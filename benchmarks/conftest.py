@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper.  The
+``benchmark`` fixture (pytest-benchmark) times the regeneration; the helpers
+here print the regenerated rows -- the same series the paper reports -- so
+that running ``pytest benchmarks/ --benchmark-only -s`` doubles as the
+reproduction report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import pytest
+
+from repro.metrics.summary import format_table
+
+
+def print_block(title: str, rows: List[Dict], columns: Sequence[str]) -> None:
+    """Print one regenerated table/figure under a banner."""
+    print()
+    print("=" * 78)
+    print(title)
+    print("-" * 78)
+    print(format_table(rows, columns=list(columns)))
+    print("=" * 78)
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an expensive regeneration exactly once under pytest-benchmark.
+
+    The sweeps behind the figures take seconds, so the default calibration
+    (hundreds of rounds) would be prohibitive; a single round still records a
+    wall-clock figure for the harness while keeping the suite fast.
+    """
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

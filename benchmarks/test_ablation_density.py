@@ -1,0 +1,87 @@
+"""Ablation A4: deployment density, stimulus speed and radio range sensitivity.
+
+Not a paper figure -- this probes how the PAS-vs-SAS gap depends on the fixed
+choices of the paper's setup (30 nodes, 10 m range, ~1 m/s front).
+"""
+
+import functools
+
+import pytest
+
+from benchmarks.conftest import print_block
+from repro.experiments.sensitivity import (
+    density_sensitivity,
+    range_sensitivity,
+    speed_sensitivity,
+)
+
+
+@functools.lru_cache(maxsize=1)
+def _density_rows():
+    return density_sensitivity(node_counts=(15, 30, 60), seeds=(0, 1))
+
+
+@functools.lru_cache(maxsize=1)
+def _speed_rows():
+    return speed_sensitivity(speeds=(0.5, 1.0, 2.0))
+
+
+@functools.lru_cache(maxsize=1)
+def _range_rows():
+    return range_sensitivity(ranges=(5.0, 10.0, 20.0))
+
+
+def test_density_sensitivity_regeneration(run_once):
+    rows = run_once(_density_rows)
+    print_block(
+        "Ablation A4a -- density sensitivity (mean of 2 seeds)",
+        rows,
+        columns=["scheduler", "num_nodes", "delay_s", "energy_j", "detected", "reached"],
+    )
+
+
+def test_speed_and_range_regeneration(run_once):
+    rows = run_once(lambda: _speed_rows() + _range_rows())
+    print_block(
+        "Ablation A4b -- stimulus speed sensitivity",
+        _speed_rows(),
+        columns=["scheduler", "speed_mps", "delay_s", "energy_j"],
+    )
+    print_block(
+        "Ablation A4c -- transmission range sensitivity",
+        _range_rows(),
+        columns=["scheduler", "range_m", "delay_s", "energy_j"],
+    )
+    assert rows
+
+
+def test_every_density_detects_all_reached_nodes():
+    for row in _density_rows():
+        assert row["detected"] == row["reached"]
+
+
+def test_pas_advantage_present_at_paper_density():
+    rows = [r for r in _density_rows() if r["num_nodes"] == 30]
+    pas = next(r for r in rows if r["scheduler"] == "PAS")
+    sas = next(r for r in rows if r["scheduler"] == "SAS")
+    assert pas["delay_s"] <= sas["delay_s"] + 0.1
+
+
+def test_pas_beats_sas_at_every_speed():
+    by_speed = {}
+    for row in _speed_rows():
+        by_speed.setdefault(row["speed_mps"], {})[row["scheduler"]] = row["delay_s"]
+    for speed, delays in by_speed.items():
+        assert delays["PAS"] <= delays["SAS"] + 0.1, f"PAS lost at speed {speed}"
+
+
+def test_slower_front_means_longer_sleep_and_higher_delay():
+    # A slower front arrives later, after the safe-state sleep interval has
+    # ramped further towards its cap, so the average delay grows as the speed
+    # drops (for both adaptive schemes).
+    for scheduler in ("PAS", "SAS"):
+        series = sorted(
+            (r["speed_mps"], r["delay_s"]) for r in _speed_rows() if r["scheduler"] == scheduler
+        )
+        delays = [d for _, d in series]
+        assert delays[0] >= delays[-1] - 0.25

@@ -1,0 +1,60 @@
+"""Ablation A2: growth law of the safe-state sleep interval.
+
+The paper prescribes a linearly increasing interval; this ablation compares
+it against exponential back-off and a fixed maximum interval.  The fixed
+policy sleeps at the maximum immediately, so it must use the least energy and
+suffer the largest delay; the linear policy (paper) sits in between.
+"""
+
+import functools
+
+import pytest
+
+from benchmarks.conftest import print_block
+from repro.experiments.ablations import ablation_sleep_policy
+
+
+@functools.lru_cache(maxsize=1)
+def _sweep():
+    rows_by_variant = {}
+    for seed in range(3):
+        for row in ablation_sleep_policy(seed=seed):
+            rows_by_variant.setdefault(row["variant"], []).append(row)
+    return [
+        {
+            "policy": variant,
+            "delay_s": sum(r["delay_s"] for r in rows) / len(rows),
+            "energy_j": sum(r["energy_j"] for r in rows) / len(rows),
+        }
+        for variant, rows in rows_by_variant.items()
+    ]
+
+
+@pytest.fixture
+def policy_rows():
+    return _sweep()
+
+
+def test_ablation_sleep_policy_regeneration(run_once):
+    rows = run_once(_sweep)
+    print_block(
+        "Ablation A2 -- safe-state sleep growth policy (mean of 3 seeds)",
+        rows,
+        columns=["policy", "delay_s", "energy_j"],
+    )
+
+
+def test_all_policies_produce_valid_metrics(policy_rows):
+    assert {r["policy"] for r in policy_rows} == {"linear", "exponential", "fixed"}
+    assert all(r["delay_s"] >= 0 and r["energy_j"] > 0 for r in policy_rows)
+
+
+def test_fixed_policy_cheapest_energy(policy_rows):
+    by = {r["policy"]: r for r in policy_rows}
+    assert by["fixed"]["energy_j"] <= by["linear"]["energy_j"] + 1e-6
+
+
+def test_linear_policy_delay_not_worse_than_fixed(policy_rows):
+    # Ramping up from short sleeps means nodes check more often early on.
+    by = {r["policy"]: r for r in policy_rows}
+    assert by["linear"]["delay_s"] <= by["fixed"]["delay_s"] + 0.25

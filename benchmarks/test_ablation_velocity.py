@@ -1,0 +1,57 @@
+"""Ablation A1: PAS velocity estimator vs. SAS-style local scalar estimator.
+
+Both variants run with the *same* alert threshold so the only difference is
+how stimulus knowledge is estimated and propagated.  The PAS estimator should
+deliver a lower (or at worst equal) detection delay because alert nodes relay
+estimates beyond the one-hop neighbourhood of the front.
+"""
+
+import functools
+
+import pytest
+
+from benchmarks.conftest import print_block
+from repro.experiments.ablations import ablation_velocity_estimator
+
+
+@functools.lru_cache(maxsize=1)
+def _sweep():
+    # Average over a few seeds so the comparison is not a single-deployment fluke.
+    rows_by_variant = {}
+    for seed in range(3):
+        for row in ablation_velocity_estimator(seed=seed):
+            rows_by_variant.setdefault(row["variant"], []).append(row)
+    return [
+        {
+            "variant": variant,
+            "delay_s": sum(r["delay_s"] for r in rows) / len(rows),
+            "energy_j": sum(r["energy_j"] for r in rows) / len(rows),
+            "tx_messages": sum(r["tx_messages"] for r in rows) / len(rows),
+        }
+        for variant, rows in rows_by_variant.items()
+    ]
+
+
+@pytest.fixture
+def ablation_rows():
+    return _sweep()
+
+
+def test_ablation_velocity_regeneration(run_once):
+    rows = run_once(_sweep)
+    print_block(
+        "Ablation A1 -- estimator choice at equal alert threshold (mean of 3 seeds)",
+        rows,
+        columns=["variant", "delay_s", "energy_j", "tx_messages"],
+    )
+
+
+def test_pas_estimator_not_worse_than_sas_estimator(ablation_rows):
+    by_variant = {r["variant"]: r for r in ablation_rows}
+    assert by_variant["PAS estimator"]["delay_s"] <= by_variant["SAS estimator"]["delay_s"] + 0.1
+
+
+def test_pas_estimator_sends_more_messages(ablation_rows):
+    # Estimate propagation is exactly what costs extra traffic.
+    by_variant = {r["variant"]: r for r in ablation_rows}
+    assert by_variant["PAS estimator"]["tx_messages"] >= by_variant["SAS estimator"]["tx_messages"]

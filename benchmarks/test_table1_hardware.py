@@ -1,0 +1,29 @@
+"""Table 1: Telos hardware characteristics used by the simulation.
+
+Regenerates the table from the power model the simulator actually uses and
+checks it matches the paper's numbers exactly (this is the one artefact that
+should reproduce verbatim, since it is an input, not a result).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_block
+from repro.experiments.table1 import PAPER_TABLE1, table1_hardware
+
+
+def test_table1_hardware(run_once):
+    rows = run_once(table1_hardware)
+    print_block(
+        "Table 1 -- Telos hardware characteristics (paper values in parentheses)",
+        [
+            {
+                "quantity": r["quantity"],
+                "simulated": r["value"],
+                "paper": PAPER_TABLE1[r["quantity"]],
+            }
+            for r in rows
+        ],
+        columns=["quantity", "simulated", "paper"],
+    )
+    for row in rows:
+        assert row["value"] == pytest.approx(PAPER_TABLE1[row["quantity"]]), row["quantity"]

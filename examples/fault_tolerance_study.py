@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Fault-tolerance study: PAS under node failures and lossy channels.
+
+The paper's conclusion names "the impacts of sensor failure and imperfect
+communication channel" as future work.  This example runs those two
+extensions: it sweeps the node-failure rate and the per-frame message-loss
+probability on the standard scenario and reports how PAS's detection delay
+and detection completeness degrade, compared against the never-sleeping (NS)
+reference which only suffers from failures, not from missed alerts.
+
+Run with::
+
+    python examples/fault_tolerance_study.py
+"""
+
+from repro import (
+    FaultConfig,
+    NoSleepScheduler,
+    PASConfig,
+    PASScheduler,
+    SchedulerConfig,
+    default_scenario,
+    run_scenario,
+)
+from repro.metrics.summary import format_table
+
+
+def run_point(scheduler_factory, faults: FaultConfig, seed: int = 3):
+    scenario = default_scenario(num_nodes=30, area=50.0, seed=seed).with_overrides(faults=faults)
+    summary = run_scenario(scenario, scheduler_factory())
+    reached = summary.delay.num_reached
+    detected = summary.delay.num_detected
+    return {
+        "avg delay (s)": summary.average_delay_s,
+        "detected/reached": f"{detected}/{reached}",
+        "avg energy (J)": summary.average_energy_j,
+        "messages lost": summary.messages.get("losses", 0),
+    }
+
+
+def failure_sweep() -> None:
+    print("\n== Node failures (failures per node-hour) ==")
+    rows = []
+    for rate in (0.0, 30.0, 60.0, 120.0, 240.0):
+        pas = run_point(lambda: PASScheduler(PASConfig()), FaultConfig(node_failure_rate=rate))
+        ns = run_point(lambda: NoSleepScheduler(SchedulerConfig()), FaultConfig(node_failure_rate=rate))
+        rows.append(
+            {
+                "failure rate": rate,
+                "PAS delay (s)": pas["avg delay (s)"],
+                "PAS detected": pas["detected/reached"],
+                "NS detected": ns["detected/reached"],
+            }
+        )
+    print(format_table(rows, columns=["failure rate", "PAS delay (s)", "PAS detected", "NS detected"]))
+
+
+def loss_sweep() -> None:
+    print("\n== Imperfect channel (per-frame loss probability) ==")
+    rows = []
+    for loss in (0.0, 0.1, 0.3, 0.5, 0.7):
+        pas = run_point(
+            lambda: PASScheduler(PASConfig()), FaultConfig(message_loss_probability=loss)
+        )
+        rows.append(
+            {
+                "loss probability": loss,
+                "PAS delay (s)": pas["avg delay (s)"],
+                "PAS detected": pas["detected/reached"],
+                "frames lost": pas["messages lost"],
+                "PAS energy (J)": pas["avg energy (J)"],
+            }
+        )
+    print(
+        format_table(
+            rows,
+            columns=[
+                "loss probability",
+                "PAS delay (s)",
+                "PAS detected",
+                "frames lost",
+                "PAS energy (J)",
+            ],
+        )
+    )
+    print()
+    print("Message loss degrades the prediction (fewer RESPONSEs reach waking nodes),")
+    print("so delay creeps towards the blind duty-cycling behaviour, but local sensing")
+    print("still guarantees every surviving reached node eventually detects the stimulus.")
+
+
+def main() -> None:
+    print("PAS fault-tolerance study (the paper's stated future work)")
+    failure_sweep()
+    loss_sweep()
+
+
+if __name__ == "__main__":
+    main()

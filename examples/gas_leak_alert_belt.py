@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Noxious-gas leak: watch the PAS "alert belt" travel with the plume.
+
+The paper highlights that PAS can enlarge or shrink the alert area by tuning
+the alert-time threshold -- "the spreading of noxious gas in a city is highly
+emergent.  In this case, the alert area should be enlarged to minimize
+detecting delays."  This example uses the drifting Gaussian-plume stimulus,
+samples the protocol-state occupancy every few seconds and prints an ASCII
+timeline showing how many nodes are SAFE / ALERT / COVERED as the plume moves
+through the field, for a small and a large alert threshold.
+
+Run with::
+
+    python examples/gas_leak_alert_belt.py
+"""
+
+from repro import PASConfig, PASScheduler, ScenarioConfig, StimulusConfig
+from repro.geometry.deployment import DeploymentConfig
+from repro.metrics.summary import format_table
+from repro.world.builder import build_simulation
+
+
+def gas_leak_scenario(seed: int = 11) -> ScenarioConfig:
+    """A wind-advected gas plume crossing a 60 m x 40 m sensor field."""
+    return ScenarioConfig(
+        deployment=DeploymentConfig(kind="jittered_grid", num_nodes=48, width=60.0, height=40.0),
+        transmission_range=12.0,
+        stimulus=StimulusConfig(
+            kind="plume",
+            source=(5.0, 20.0),
+            speed=0.6,  # wind speed along +x
+            extra={"diffusivity": 1.2, "emission": 600.0, "threshold": 0.05, "sigma0": 2.0},
+        ),
+        duration=90.0,
+        seed=seed,
+    )
+
+
+def occupancy_timeline(alert_threshold: float):
+    """Run PAS once and return (summary, occupancy samples)."""
+    scenario = gas_leak_scenario()
+    scheduler = PASScheduler(
+        PASConfig(alert_threshold=alert_threshold, max_sleep_interval=8.0)
+    )
+    simulation = build_simulation(scenario, scheduler, occupancy_sample_interval=10.0)
+    summary = simulation.run()
+    return summary, simulation.metrics.occupancy
+
+
+def bar(count: int, width: int = 24, total: int = 48) -> str:
+    filled = int(round(width * count / total))
+    return "#" * filled + "." * (width - filled)
+
+
+def report(alert_threshold: float) -> None:
+    summary, samples = occupancy_timeline(alert_threshold)
+    print(f"\n--- alert threshold = {alert_threshold:.0f} s ---")
+    print(f"average detection delay : {summary.average_delay_s:.2f} s")
+    print(f"average energy per node : {summary.average_energy_j:.3f} J")
+    print("time   safe                     alert                    covered")
+    for sample in samples:
+        safe = sample.counts.get("safe", 0)
+        alert = sample.counts.get("alert", 0)
+        covered = sample.counts.get("covered", 0)
+        print(
+            f"{sample.time:5.0f}s  {bar(safe)}  {bar(alert)}  {bar(covered)}"
+            f"   ({safe:2d}/{alert:2d}/{covered:2d})"
+        )
+
+
+def main() -> None:
+    print("Gas-leak monitoring with PAS: the alert belt follows the plume")
+    print("(# bars show how many of the 48 sensors are in each protocol state)")
+    # Small alert belt: energy-lean, slower detection.
+    report(alert_threshold=5.0)
+    # Large alert belt: the emergency setting the paper recommends for gas.
+    report(alert_threshold=30.0)
+    print()
+    print("A larger alert threshold keeps a wider belt of sensors awake ahead of")
+    print("the plume (more ALERT nodes), which lowers detection delay at the cost")
+    print("of extra energy -- the trade-off of Figs. 5 and 7 in the paper.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Deployment planning: project network lifetime for each sleep scheduler.
+
+Energy per run (Figs. 6 and 7) is what the paper reports; an operator planning
+a long-lived deployment cares about the implied *lifetime* on a pair of AA
+cells.  This example runs NS, SAS and PAS on the same scenario, projects each
+node's lifetime from its measured average power, prints the fleet lifetime
+statistics, exports the comparison to CSV and renders a snapshot of the field
+at the end of the run.
+
+Run with::
+
+    python examples/network_lifetime_planning.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    NoSleepScheduler,
+    PASConfig,
+    PASScheduler,
+    SASConfig,
+    SASScheduler,
+    SchedulerConfig,
+    default_scenario,
+)
+from repro.analysis.lifetime import compare_lifetimes, project_lifetime
+from repro.experiments.reporting import summary_rows, write_csv
+from repro.metrics.summary import format_table
+from repro.viz.ascii import render_field
+from repro.world.builder import build_simulation
+
+
+def main() -> None:
+    scenario = default_scenario(num_nodes=30, area=50.0, transmission_range=10.0, seed=21)
+    schedulers = {
+        "NS": NoSleepScheduler(SchedulerConfig()),
+        "SAS": SASScheduler(SASConfig(max_sleep_interval=10.0)),
+        "PAS": PASScheduler(PASConfig(max_sleep_interval=10.0, alert_threshold=20.0)),
+    }
+
+    summaries = {}
+    last_simulation = None
+    for name, scheduler in schedulers.items():
+        simulation = build_simulation(scenario, scheduler)
+        summaries[name] = simulation.run()
+        last_simulation = simulation
+
+    print("Projected network lifetime on 2xAA batteries (same deployment & stimulus)")
+    rows = []
+    for name, summary in summaries.items():
+        projection = project_lifetime(summary)
+        rows.append(
+            {
+                "scheduler": name,
+                "delay (s)": summary.average_delay_s,
+                "energy/run (J)": summary.average_energy_j,
+                "first death (days)": projection.first_death_s / 86_400.0,
+                "median life (days)": projection.median_s / 86_400.0,
+            }
+        )
+    print(
+        format_table(
+            rows,
+            columns=[
+                "scheduler",
+                "delay (s)",
+                "energy/run (J)",
+                "first death (days)",
+                "median life (days)",
+            ],
+        )
+    )
+
+    # Export the comparison for downstream tooling.
+    out_dir = Path(tempfile.mkdtemp(prefix="pas_lifetime_"))
+    csv_path = write_csv(summary_rows(summaries.values()), out_dir / "comparison.csv")
+    lifetime_rows = compare_lifetimes(summaries)
+    lifetime_path = write_csv(lifetime_rows, out_dir / "lifetime.csv")
+    print(f"\nwrote {csv_path}")
+    print(f"wrote {lifetime_path}")
+
+    # A final snapshot of the PAS run: by the end of the monitored window the
+    # stimulus has swept most of the field and the covered set mirrors it.
+    positions = np.array(
+        [[n.position.x, n.position.y] for _, n in sorted(last_simulation.nodes.items())]
+    )
+    states = {nid: c.state_name for nid, c in last_simulation.controllers.items()}
+    print("\nField snapshot at the end of the PAS run:")
+    print(
+        render_field(
+            positions,
+            states,
+            width=scenario.deployment.width,
+            height=scenario.deployment.height,
+            stimulus=last_simulation.stimulus,
+            time=last_simulation.duration,
+        )
+    )
+    print()
+    print("The caveat of every duty-cycling scheme applies: the projection assumes the")
+    print("monitored window is representative.  A network that spends most of its life")
+    print("with no stimulus in range sleeps far more than this window suggests, so the")
+    print("PAS/SAS advantage over NS widens further in practice.")
+
+
+if __name__ == "__main__":
+    main()

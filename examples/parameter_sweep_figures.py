@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Regenerate the paper's four evaluation figures as text tables.
+
+Runs the sweeps behind Figures 4-7 (delay / energy vs. maximum sleep interval
+and vs. alert-time threshold) and prints each as a table plus a compact ASCII
+chart, so the qualitative shapes can be compared against the paper at a
+glance.  Use ``--fast`` for a smaller, quicker sweep.
+
+Run with::
+
+    python examples/parameter_sweep_figures.py --fast
+"""
+
+import argparse
+from typing import List
+
+from repro import figure4, figure5, figure6, figure7
+
+
+def ascii_chart(x_values: List[float], series: dict, width: int = 40) -> str:
+    """Render one-or-more series as horizontal bar charts sharing a scale."""
+    all_values = [v for values in series.values() for v in values]
+    top = max(all_values) if all_values else 1.0
+    top = top or 1.0
+    lines = []
+    for name, values in series.items():
+        lines.append(f"  {name}")
+        for x, v in zip(x_values, values):
+            bar = "#" * int(round(width * v / top))
+            lines.append(f"    x={x:6.1f} | {bar} {v:.3g}")
+    return "\n".join(lines)
+
+
+def show(result) -> None:
+    print()
+    print("=" * 72)
+    print(result.render())
+    print()
+    schedulers = result.sweep.schedulers()
+    x_values = result.x_values(schedulers[0])
+    print(ascii_chart(x_values, {s: result.series(s) for s in schedulers}))
+    if result.notes:
+        print(f"\n  paper expectation: {result.notes}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true", help="smaller sweep for a quick look")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    if args.fast:
+        sleep_grid = (2.0, 10.0, 20.0)
+        alert_grid = (5.0, 15.0, 30.0)
+        reps = 1
+    else:
+        sleep_grid = (2.0, 5.0, 10.0, 15.0, 20.0)
+        alert_grid = (5.0, 10.0, 15.0, 20.0, 25.0, 30.0)
+        reps = 2
+
+    show(figure4(max_sleep_values=sleep_grid, repetitions=reps, base_seed=args.seed))
+    show(figure5(alert_thresholds=alert_grid, repetitions=reps, base_seed=args.seed))
+    show(figure6(max_sleep_values=sleep_grid, repetitions=reps, base_seed=args.seed))
+    show(figure7(alert_thresholds=alert_grid, repetitions=reps, base_seed=args.seed))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Liquid-pollutant spill: compare NS, SAS and PAS on the identical scenario.
+
+This is the scenario the paper's introduction motivates: a liquid pollutant
+spreads from a source over a continuously enlarging area, and the sensor
+field must report the advancing boundary quickly without draining its
+batteries.  The script replays the *identical* deployment and spill (same
+seed) under four schedulers and prints the delay/energy trade-off each one
+achieves, plus how many times nodes entered the ALERT state -- the mechanism
+that separates PAS from SAS.
+
+Run with::
+
+    python examples/pollutant_spill_comparison.py
+"""
+
+from repro import (
+    BaselineConfig,
+    NoSleepScheduler,
+    PASConfig,
+    PASScheduler,
+    PeriodicDutyCycleScheduler,
+    SASConfig,
+    SASScheduler,
+    SchedulerConfig,
+    default_scenario,
+)
+from repro.metrics.summary import format_table
+from repro.world.builder import build_simulation
+
+
+def run_with(scheduler, scenario):
+    """Run one scheduler and pull out the numbers we want to compare."""
+    simulation = build_simulation(scenario, scheduler)
+    summary = simulation.run()
+    alert_entries = simulation.metrics.count_transitions(new="alert")
+    return {
+        "scheduler": summary.scheduler,
+        "avg delay (s)": summary.average_delay_s,
+        "max delay (s)": summary.delay.max_s,
+        "avg energy (J)": summary.average_energy_j,
+        "tx msgs": summary.messages["tx_messages"],
+        "alert entries": alert_entries,
+    }
+
+
+def main() -> None:
+    # A slightly larger field than the quickstart: 40 sensors over 60 m x 60 m,
+    # spill spreading at 0.8 m/s -- a slow, persistent liquid leak.
+    scenario = default_scenario(
+        num_nodes=40,
+        area=60.0,
+        transmission_range=12.0,
+        stimulus_speed=0.8,
+        seed=7,
+    )
+
+    shared = dict(base_sleep_interval=1.0, sleep_increment=1.0, max_sleep_interval=10.0)
+    schedulers = [
+        NoSleepScheduler(SchedulerConfig(**shared)),
+        PeriodicDutyCycleScheduler(BaselineConfig(duty_cycle=0.2, **shared)),
+        SASScheduler(SASConfig(**shared)),
+        PASScheduler(PASConfig(alert_threshold=20.0, **shared)),
+    ]
+
+    rows = [run_with(s, scenario) for s in schedulers]
+    print("Liquid pollutant spill: scheduler comparison (identical deployment & spill)")
+    print(
+        format_table(
+            rows,
+            columns=[
+                "scheduler",
+                "avg delay (s)",
+                "max delay (s)",
+                "avg energy (J)",
+                "tx msgs",
+                "alert entries",
+            ],
+        )
+    )
+    print()
+    print("Expected shape (paper, Figs. 4 & 6): NS has zero delay but the highest")
+    print("energy; PAS cuts the delay below SAS at a slightly higher energy cost;")
+    print("blind periodic duty-cycling pays delay without the prediction benefit.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so the package can be installed in editable
+mode on environments without the ``wheel`` package (legacy
+``pip install -e . --no-use-pep517`` path); all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,90 @@
+"""repro: a reproduction of *PAS: Prediction-based Adaptive Sleeping for
+Environment Monitoring in Sensor Networks* (Yang, Xu, Dai, Gu -- ICPPW 2007).
+
+The package provides, from scratch:
+
+* a deterministic discrete-event simulation kernel (:mod:`repro.sim`),
+* geometry, deployment and spatial-index substrates (:mod:`repro.geometry`),
+* diffusion-stimulus models (:mod:`repro.stimulus`),
+* a Telos-based sensor-node platform model (:mod:`repro.node`),
+* a one-hop broadcast network substrate (:mod:`repro.network`),
+* the PAS scheduler and its baselines SAS and NS (:mod:`repro.core`),
+* world orchestration, metrics and the experiment harness
+  (:mod:`repro.world`, :mod:`repro.metrics`, :mod:`repro.experiments`),
+* fault-injection extensions and analysis helpers
+  (:mod:`repro.faults`, :mod:`repro.analysis`).
+
+Quickstart
+----------
+>>> from repro import default_scenario, PASScheduler, PASConfig, run_scenario
+>>> summary = run_scenario(default_scenario(seed=1), PASScheduler(PASConfig()))
+>>> summary.average_delay_s >= 0.0
+True
+"""
+
+from repro.core import (
+    BaselineConfig,
+    NoSleepScheduler,
+    PASConfig,
+    PASScheduler,
+    PeriodicDutyCycleScheduler,
+    ProtocolState,
+    RandomDutyCycleScheduler,
+    SASConfig,
+    SASScheduler,
+    SchedulerConfig,
+)
+from repro.experiments import (
+    default_scenario,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    run_comparison,
+    table1_hardware,
+)
+from repro.metrics import RunSummary
+from repro.node import TelosPowerModel
+from repro.world import (
+    FaultConfig,
+    MonitoringSimulation,
+    ScenarioConfig,
+    StimulusConfig,
+    build_simulation,
+    run_scenario,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # schedulers / configs
+    "PASScheduler",
+    "PASConfig",
+    "SASScheduler",
+    "SASConfig",
+    "NoSleepScheduler",
+    "SchedulerConfig",
+    "BaselineConfig",
+    "PeriodicDutyCycleScheduler",
+    "RandomDutyCycleScheduler",
+    "ProtocolState",
+    # world
+    "ScenarioConfig",
+    "StimulusConfig",
+    "FaultConfig",
+    "MonitoringSimulation",
+    "build_simulation",
+    "run_scenario",
+    "default_scenario",
+    "run_comparison",
+    # metrics / platform
+    "RunSummary",
+    "TelosPowerModel",
+    # experiments
+    "table1_hardware",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+]

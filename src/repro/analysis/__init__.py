@@ -1,0 +1,34 @@
+"""Analysis helpers: coverage accuracy, contour comparison and sweep statistics.
+
+These sit on top of the metrics layer and are used by the examples and the
+ablation benchmarks:
+
+* :mod:`repro.analysis.coverage` -- how well the set of COVERED sensors tracks
+  the true stimulus area over time (precision / recall of the detected set).
+* :mod:`repro.analysis.contour` -- compare the boundary implied by the covered
+  sensors against the true front extracted from the stimulus model.
+* :mod:`repro.analysis.statistics` -- small sweep-level helpers (confidence
+  intervals, monotonicity checks, crossover detection) used when aggregating
+  repeated runs.
+"""
+
+from repro.analysis.coverage import CoverageSnapshot, coverage_timeline, detection_quality
+from repro.analysis.contour import contour_error, covered_hull_points
+from repro.analysis.statistics import (
+    SweepSeries,
+    confidence_interval,
+    is_monotonic,
+    relative_change,
+)
+
+__all__ = [
+    "CoverageSnapshot",
+    "coverage_timeline",
+    "detection_quality",
+    "contour_error",
+    "covered_hull_points",
+    "SweepSeries",
+    "confidence_interval",
+    "is_monotonic",
+    "relative_change",
+]

@@ -1,0 +1,81 @@
+"""Contour comparison: covered-sensor boundary vs. the true stimulus front.
+
+The covered sensors implicitly outline the stimulus (this is the contour
+mapping application the paper cites for context).  ``covered_hull_points``
+extracts the outer boundary of the detected set; ``contour_error`` measures
+how far that boundary is from the true front extracted with
+:func:`repro.stimulus.front.extract_front`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.stimulus.base import StimulusModel
+from repro.stimulus.front import extract_front
+
+
+def covered_hull_points(
+    positions: np.ndarray, detection_times: Dict[int, float], time: float
+) -> np.ndarray:
+    """Convex hull of the sensors that have detected the stimulus by ``time``.
+
+    Returns an ``(m, 2)`` array of hull vertices in counter-clockwise order
+    (Andrew's monotone chain).  Fewer than three detecting sensors yield the
+    detecting points themselves (possibly empty).
+    """
+    pts = np.asarray(positions, dtype=float)
+    detected_idx = [
+        i for i, t in detection_times.items() if t <= time and 0 <= i < len(pts)
+    ]
+    detected = pts[sorted(detected_idx)]
+    if len(detected) < 3:
+        return detected
+    # Andrew's monotone chain convex hull.
+    order = np.lexsort((detected[:, 1], detected[:, 0]))
+    sorted_pts = detected[order]
+
+    def cross(o, a, b):
+        return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+    lower = []
+    for p in sorted_pts:
+        while len(lower) >= 2 and cross(lower[-2], lower[-1], p) <= 0:
+            lower.pop()
+        lower.append(tuple(p))
+    upper = []
+    for p in sorted_pts[::-1]:
+        while len(upper) >= 2 and cross(upper[-2], upper[-1], p) <= 0:
+            upper.pop()
+        upper.append(tuple(p))
+    hull = lower[:-1] + upper[:-1]
+    return np.array(hull, dtype=float)
+
+
+def contour_error(
+    positions: np.ndarray,
+    detection_times: Dict[int, float],
+    stimulus: StimulusModel,
+    seed: Sequence[float],
+    time: float,
+    *,
+    num_rays: int = 36,
+) -> float:
+    """Mean distance between the detected hull and the true front at ``time``.
+
+    For every sampled true-front point the distance to the nearest detected
+    hull vertex is taken; the mean over front points is returned.  ``inf``
+    when either boundary is empty (nothing detected yet, or the stimulus has
+    not started).
+    """
+    true_front = extract_front(stimulus, seed, time, num_rays=num_rays)
+    hull = covered_hull_points(positions, detection_times, time)
+    if len(true_front) == 0 or len(hull) == 0:
+        return math.inf
+    # Pairwise distances front x hull, take min over hull for each front point.
+    diff = true_front[:, None, :] - hull[None, :, :]
+    dists = np.sqrt(np.sum(diff**2, axis=2))
+    return float(dists.min(axis=1).mean())

@@ -1,0 +1,83 @@
+"""Coverage-tracking quality: does the detected set match the true stimulus area?
+
+The monitoring objective in the paper is "to detect the diffused area of
+stimulus".  These helpers quantify, per time instant, how the set of sensors
+that have *detected* the stimulus compares to the set of sensors that are
+*actually* covered:
+
+* **precision** -- fraction of detecting sensors that are truly covered
+  (false alarms only arise with noisy sensing);
+* **recall**    -- fraction of truly covered sensors that have detected
+  (the sleep-induced blind spot PAS is designed to minimise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.stimulus.base import StimulusModel
+
+
+@dataclass(frozen=True)
+class CoverageSnapshot:
+    """Detection quality at one time instant."""
+
+    time: float
+    true_covered: int
+    detected: int
+    true_positive: int
+    precision: float
+    recall: float
+
+
+def detection_quality(
+    positions: np.ndarray,
+    detection_times: Dict[int, float],
+    stimulus: StimulusModel,
+    time: float,
+) -> CoverageSnapshot:
+    """Precision / recall of the detected set at ``time``.
+
+    Parameters
+    ----------
+    positions:
+        ``(n, 2)`` node positions, row index = node id.
+    detection_times:
+        Mapping node id -> first detection time (absent = never detected).
+    stimulus:
+        Ground-truth stimulus model.
+    time:
+        Evaluation instant.
+    """
+    pts = np.asarray(positions, dtype=float)
+    truly_covered = stimulus.covers_many(pts, time)
+    detected = np.zeros(len(pts), dtype=bool)
+    for node_id, t_detect in detection_times.items():
+        if 0 <= node_id < len(pts) and t_detect <= time:
+            detected[node_id] = True
+    tp = int(np.sum(truly_covered & detected))
+    n_true = int(np.sum(truly_covered))
+    n_detected = int(np.sum(detected))
+    precision = tp / n_detected if n_detected else 1.0
+    recall = tp / n_true if n_true else 1.0
+    return CoverageSnapshot(
+        time=time,
+        true_covered=n_true,
+        detected=n_detected,
+        true_positive=tp,
+        precision=precision,
+        recall=recall,
+    )
+
+
+def coverage_timeline(
+    positions: np.ndarray,
+    detection_times: Dict[int, float],
+    stimulus: StimulusModel,
+    times: Sequence[float],
+) -> List[CoverageSnapshot]:
+    """Detection quality evaluated at each instant in ``times``."""
+    return [detection_quality(positions, detection_times, stimulus, t) for t in sorted(times)]

@@ -1,0 +1,131 @@
+"""Network-lifetime projection from measured per-node energy rates.
+
+The paper reports per-run energy; what an operator ultimately cares about is
+how long the deployment survives on its batteries.  These helpers project the
+measured average power of each node (energy consumed over the simulated
+window divided by the window length) onto a battery capacity and summarise
+the fleet's lifetime distribution, including the two standard definitions:
+
+* **first-death lifetime** -- time until the first node dies (conservative);
+* **percentile lifetime** -- time until a given fraction of nodes has died.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.metrics.summary import RunSummary
+from repro.node.battery import DEFAULT_CAPACITY_J
+
+
+@dataclass(frozen=True)
+class LifetimeProjection:
+    """Projected lifetime statistics for one run (all times in seconds)."""
+
+    per_node_s: Dict[int, float]
+    first_death_s: float
+    median_s: float
+    p90_survival_s: float
+    mean_s: float
+
+    def as_dict(self) -> dict:
+        """Scalar fields as a plain dict (per-node map excluded)."""
+        return {
+            "first_death_s": self.first_death_s,
+            "median_s": self.median_s,
+            "p90_survival_s": self.p90_survival_s,
+            "mean_s": self.mean_s,
+        }
+
+    @property
+    def first_death_days(self) -> float:
+        """First-death lifetime expressed in days."""
+        return self.first_death_s / 86_400.0
+
+
+def project_node_lifetime(
+    energy_j: float, window_s: float, capacity_j: float = DEFAULT_CAPACITY_J
+) -> float:
+    """Project one node's lifetime from its energy use over a window.
+
+    Assumes the node keeps drawing the same average power it exhibited during
+    the simulated window.  A node that consumed nothing is given an infinite
+    lifetime.
+    """
+    if window_s <= 0:
+        raise ValueError("window_s must be positive")
+    if capacity_j <= 0:
+        raise ValueError("capacity_j must be positive")
+    if energy_j < 0:
+        raise ValueError("energy_j must be non-negative")
+    if energy_j == 0:
+        return float("inf")
+    average_power_w = energy_j / window_s
+    return capacity_j / average_power_w
+
+
+def project_lifetime(
+    summary: RunSummary,
+    *,
+    capacity_j: float = DEFAULT_CAPACITY_J,
+    survival_fraction: float = 0.9,
+) -> LifetimeProjection:
+    """Project the fleet lifetime distribution from a run summary.
+
+    Parameters
+    ----------
+    summary:
+        A completed run's :class:`RunSummary` (its ``energy.per_node_j`` map
+        and ``duration_s`` drive the projection).
+    capacity_j:
+        Battery capacity per node (defaults to two AA cells).
+    survival_fraction:
+        The "p90" style figure: the reported ``p90_survival_s`` is the time at
+        which this fraction of nodes is still alive.
+    """
+    if not 0 < survival_fraction <= 1:
+        raise ValueError("survival_fraction must lie in (0, 1]")
+    per_node = {
+        node_id: project_node_lifetime(energy, summary.duration_s, capacity_j)
+        for node_id, energy in summary.energy.per_node_j.items()
+    }
+    if not per_node:
+        raise ValueError("summary has no per-node energy data")
+    values = np.array(sorted(per_node.values()), dtype=float)
+    # Time at which `survival_fraction` of nodes is still alive = the
+    # (1 - fraction) quantile of the death times.
+    index = int(np.floor((1.0 - survival_fraction) * (len(values) - 1)))
+    return LifetimeProjection(
+        per_node_s=per_node,
+        first_death_s=float(values[0]),
+        median_s=float(np.median(values)),
+        p90_survival_s=float(values[index]),
+        mean_s=float(values[~np.isinf(values)].mean()) if np.isfinite(values).any() else float("inf"),
+    )
+
+
+def compare_lifetimes(
+    summaries: Dict[str, RunSummary], *, capacity_j: float = DEFAULT_CAPACITY_J
+) -> List[dict]:
+    """Rows comparing the projected lifetime of several schedulers.
+
+    Convenience for examples and reports: one row per scheduler with the
+    first-death and median lifetimes in days.
+    """
+    rows = []
+    for name, summary in summaries.items():
+        projection = project_lifetime(summary, capacity_j=capacity_j)
+        rows.append(
+            {
+                "scheduler": name,
+                "first_death_days": projection.first_death_s / 86_400.0,
+                "median_days": projection.median_s / 86_400.0,
+                "mean_days": projection.mean_s / 86_400.0
+                if np.isfinite(projection.mean_s)
+                else float("inf"),
+            }
+        )
+    return rows

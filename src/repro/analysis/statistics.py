@@ -1,0 +1,102 @@
+"""Sweep-level statistics helpers.
+
+The experiment harness repeats each sweep point over several seeds; these
+helpers summarise those repetitions and check the qualitative properties the
+paper's figures claim (monotone trends, orderings, crossovers).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+def confidence_interval(
+    samples: Sequence[float], confidence: float = 0.95
+) -> Tuple[float, float, float]:
+    """Mean and a normal-approximation confidence interval ``(mean, lo, hi)``.
+
+    With a single sample the interval collapses onto the mean.  A normal
+    approximation (z-quantile) is used rather than Student's t to avoid a
+    SciPy dependency in the core path; for the 5+ repetitions used by the
+    harness the difference is irrelevant to the qualitative checks.
+    """
+    if not samples:
+        raise ValueError("confidence_interval needs at least one sample")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must lie in (0, 1)")
+    arr = np.asarray(list(samples), dtype=float)
+    mean = float(arr.mean())
+    if len(arr) == 1:
+        return mean, mean, mean
+    # Two-sided z quantile via the inverse error function.
+    z = math.sqrt(2.0) * _erfinv(confidence)
+    half_width = z * float(arr.std(ddof=1)) / math.sqrt(len(arr))
+    return mean, mean - half_width, mean + half_width
+
+
+def _erfinv(x: float) -> float:
+    """Inverse error function (Winitzki's approximation, ~1e-3 accuracy)."""
+    a = 0.147
+    ln_term = math.log(1.0 - x * x)
+    first = 2.0 / (math.pi * a) + ln_term / 2.0
+    return math.copysign(math.sqrt(math.sqrt(first**2 - ln_term / a) - first), x)
+
+
+def is_monotonic(values: Sequence[float], increasing: bool = True, tolerance: float = 0.0) -> bool:
+    """True if the sequence is monotone within an absolute ``tolerance``.
+
+    The tolerance absorbs simulation noise so the harness can assert "delay
+    grows with the maximum sleep interval" without requiring strictness.
+    """
+    vals = list(values)
+    if len(vals) < 2:
+        return True
+    for prev, curr in zip(vals, vals[1:]):
+        if increasing and curr < prev - tolerance:
+            return False
+        if not increasing and curr > prev + tolerance:
+            return False
+    return True
+
+
+def relative_change(first: float, last: float) -> float:
+    """Signed relative change ``(last - first) / |first|`` (``inf`` safe)."""
+    if first == 0:
+        return math.inf if last != 0 else 0.0
+    return (last - first) / abs(first)
+
+
+@dataclass
+class SweepSeries:
+    """One curve of a figure: an x-axis and per-x repeated measurements."""
+
+    name: str
+    x_values: List[float] = field(default_factory=list)
+    samples: Dict[float, List[float]] = field(default_factory=dict)
+
+    def add(self, x: float, value: float) -> None:
+        """Record one measurement at sweep position ``x``."""
+        if x not in self.samples:
+            self.samples[x] = []
+            self.x_values.append(x)
+        self.samples[x].append(float(value))
+
+    def means(self) -> List[float]:
+        """Mean value per x, in x order."""
+        return [float(np.mean(self.samples[x])) for x in sorted(self.x_values)]
+
+    def sorted_x(self) -> List[float]:
+        """The sweep positions in ascending order."""
+        return sorted(self.x_values)
+
+    def as_rows(self) -> List[Dict[str, float]]:
+        """Rows ``{"x": ..., "mean": ..., "lo": ..., "hi": ...}`` per sweep point."""
+        rows = []
+        for x in self.sorted_x():
+            mean, lo, hi = confidence_interval(self.samples[x])
+            rows.append({"x": x, "mean": mean, "lo": lo, "hi": hi, "n": len(self.samples[x])})
+        return rows

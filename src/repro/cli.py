@@ -1,0 +1,223 @@
+"""Command-line interface: ``pas-sim``.
+
+Subcommands
+-----------
+* ``pas-sim run`` -- run one scenario with a chosen scheduler and print the
+  run summary.
+* ``pas-sim compare`` -- run NS / PAS / SAS on the identical scenario and
+  print a comparison table.
+* ``pas-sim figure {4,5,6,7}`` -- regenerate one of the paper's figures as a
+  text table.
+* ``pas-sim table1`` -- print the Telos hardware characteristics in use.
+* ``pas-sim export`` -- run the NS/PAS/SAS comparison and write the rows to a
+  CSV file.
+* ``pas-sim field`` -- run one PAS scenario and print ASCII snapshots of the
+  field (node states + stimulus) at a few instants.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.baselines import NoSleepScheduler, PeriodicDutyCycleScheduler
+from repro.core.config import BaselineConfig, PASConfig, SASConfig, SchedulerConfig
+from repro.core.pas import PASScheduler
+from repro.core.sas import SASScheduler
+from repro.experiments.figures import figure4, figure5, figure6, figure7
+from repro.experiments.runner import default_scenario, run_comparison
+from repro.experiments.table1 import print_table1
+from repro.metrics.summary import format_table
+from repro.world.builder import run_scenario
+
+
+def _make_scheduler(name: str, max_sleep: float, alert_threshold: float):
+    name = name.upper()
+    if name == "PAS":
+        return PASScheduler(
+            PASConfig(max_sleep_interval=max_sleep, alert_threshold=alert_threshold)
+        )
+    if name == "SAS":
+        return SASScheduler(SASConfig(max_sleep_interval=max_sleep))
+    if name == "NS":
+        return NoSleepScheduler(SchedulerConfig(max_sleep_interval=max_sleep))
+    if name == "PERIODIC":
+        return PeriodicDutyCycleScheduler(BaselineConfig(max_sleep_interval=max_sleep))
+    raise ValueError(f"unknown scheduler {name!r} (choose PAS, SAS, NS or PERIODIC)")
+
+
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--nodes", type=int, default=30, help="number of sensors")
+    parser.add_argument("--area", type=float, default=50.0, help="square region edge (m)")
+    parser.add_argument("--range", type=float, default=10.0, help="transmission range (m)")
+    parser.add_argument("--speed", type=float, default=1.0, help="stimulus speed (m/s)")
+    parser.add_argument(
+        "--stimulus",
+        default="circular",
+        choices=["circular", "anisotropic", "plume", "advection_diffusion"],
+        help="stimulus model",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master random seed")
+    parser.add_argument("--duration", type=float, default=None, help="run length (s)")
+
+
+def _scenario_from_args(args: argparse.Namespace):
+    return default_scenario(
+        num_nodes=args.nodes,
+        area=args.area,
+        transmission_range=args.range,
+        stimulus_speed=args.speed,
+        stimulus_kind=args.stimulus,
+        duration=args.duration,
+        seed=args.seed,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="pas-sim",
+        description="PAS reproduction: prediction-based adaptive sleeping simulator",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one scenario with one scheduler")
+    _add_scenario_arguments(run_p)
+    run_p.add_argument("--scheduler", default="PAS", help="PAS, SAS, NS or PERIODIC")
+    run_p.add_argument("--max-sleep", type=float, default=10.0, help="max sleep interval (s)")
+    run_p.add_argument("--alert-threshold", type=float, default=20.0, help="alert threshold (s)")
+
+    cmp_p = sub.add_parser("compare", help="run NS, PAS and SAS on the same scenario")
+    _add_scenario_arguments(cmp_p)
+    cmp_p.add_argument("--max-sleep", type=float, default=10.0)
+    cmp_p.add_argument("--alert-threshold", type=float, default=20.0)
+
+    fig_p = sub.add_parser("figure", help="regenerate a paper figure as a table")
+    fig_p.add_argument("number", type=int, choices=[4, 5, 6, 7])
+    fig_p.add_argument("--repetitions", type=int, default=1)
+    fig_p.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("table1", help="print the Telos hardware characteristics")
+
+    export_p = sub.add_parser("export", help="run the NS/PAS/SAS comparison and write CSV")
+    _add_scenario_arguments(export_p)
+    export_p.add_argument("--max-sleep", type=float, default=10.0)
+    export_p.add_argument("--alert-threshold", type=float, default=20.0)
+    export_p.add_argument("--output", required=True, help="CSV file to write")
+
+    field_p = sub.add_parser("field", help="print ASCII snapshots of a PAS run")
+    _add_scenario_arguments(field_p)
+    field_p.add_argument("--max-sleep", type=float, default=10.0)
+    field_p.add_argument("--alert-threshold", type=float, default=20.0)
+    field_p.add_argument(
+        "--snapshots", type=int, default=3, help="number of evenly spaced snapshots"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point.  Returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "table1":
+        print(print_table1())
+        return 0
+
+    if args.command == "run":
+        scenario = _scenario_from_args(args)
+        scheduler = _make_scheduler(args.scheduler, args.max_sleep, args.alert_threshold)
+        summary = run_scenario(scenario, scheduler)
+        rows = [
+            {"metric": "scheduler", "value": summary.scheduler},
+            {"metric": "average detection delay (s)", "value": summary.average_delay_s},
+            {"metric": "average energy (J/node)", "value": summary.average_energy_j},
+            {"metric": "nodes reached", "value": summary.delay.num_reached},
+            {"metric": "nodes detected", "value": summary.delay.num_detected},
+            {"metric": "messages sent", "value": summary.messages.get("tx_messages", 0)},
+        ]
+        print(format_table(rows, columns=["metric", "value"]))
+        return 0
+
+    if args.command == "compare":
+        scenario = _scenario_from_args(args)
+        results = run_comparison(
+            scenario,
+            max_sleep_interval=args.max_sleep,
+            alert_threshold=args.alert_threshold,
+        )
+        rows = [
+            {
+                "scheduler": name,
+                "delay_s": summary.average_delay_s,
+                "energy_j": summary.average_energy_j,
+                "tx_messages": summary.messages.get("tx_messages", 0),
+            }
+            for name, summary in results.items()
+        ]
+        print(format_table(rows, columns=["scheduler", "delay_s", "energy_j", "tx_messages"]))
+        return 0
+
+    if args.command == "figure":
+        generators = {4: figure4, 5: figure5, 6: figure6, 7: figure7}
+        result = generators[args.number](repetitions=args.repetitions, base_seed=args.seed)
+        print(result.render())
+        return 0
+
+    if args.command == "export":
+        from repro.experiments.reporting import summary_rows, write_csv
+
+        scenario = _scenario_from_args(args)
+        results = run_comparison(
+            scenario,
+            max_sleep_interval=args.max_sleep,
+            alert_threshold=args.alert_threshold,
+        )
+        path = write_csv(summary_rows(results.values()), args.output)
+        print(f"wrote {len(results)} rows to {path}")
+        return 0
+
+    if args.command == "field":
+        import numpy as np
+
+        from repro.viz.ascii import render_field
+        from repro.world.builder import build_simulation
+
+        scenario = _scenario_from_args(args)
+        scheduler = _make_scheduler("PAS", args.max_sleep, args.alert_threshold)
+        simulation = build_simulation(scenario, scheduler)
+        positions = np.array(
+            [[n.position.x, n.position.y] for _, n in sorted(simulation.nodes.items())]
+        )
+        simulation.start()
+        snapshots = max(1, args.snapshots)
+        for i in range(1, snapshots + 1):
+            t = simulation.duration * i / (snapshots + 1)
+            simulation.sim.run(until=t)
+            states = {nid: c.state_name for nid, c in simulation.controllers.items()}
+            print(f"\n--- t = {t:.1f} s ---")
+            print(
+                render_field(
+                    positions,
+                    states,
+                    width=scenario.deployment.width,
+                    height=scenario.deployment.height,
+                    stimulus=simulation.stimulus,
+                    time=t,
+                )
+            )
+        simulation.sim.run(until=simulation.duration)
+        summary = simulation.finalize()
+        print(
+            f"\naverage delay {summary.average_delay_s:.2f} s, "
+            f"average energy {summary.average_energy_j:.3f} J/node"
+        )
+        return 0
+
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    sys.exit(main())

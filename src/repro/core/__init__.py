@@ -1,0 +1,95 @@
+"""The paper's primary contribution: prediction-based adaptive sleeping.
+
+Layout
+------
+* :mod:`repro.core.config` -- configuration dataclasses for every scheduler.
+* :mod:`repro.core.states` -- the SAFE / ALERT / COVERED protocol state machine.
+* :mod:`repro.core.neighbors` -- per-node cache of neighbour-reported stimulus
+  information (the content of RESPONSE messages).
+* :mod:`repro.core.velocity` -- the *actual* and *expected* velocity estimators
+  of §3.3.
+* :mod:`repro.core.arrival` -- the expected-arrival-time formula of §3.3.
+* :mod:`repro.core.sleep_policy` -- safe-state sleep-interval growth policies
+  (linear as in the paper, plus exponential/fixed for the ablation).
+* :mod:`repro.core.controller` -- the per-node controller interface and the
+  services a controller may call on the surrounding world model.
+* :mod:`repro.core.pas` -- the PAS scheduler (the contribution).
+* :mod:`repro.core.sas` -- the SAS baseline (Ngan et al., ICPP'05) as described
+  in the paper: covered-nodes-only information exchange, local scalar velocity.
+* :mod:`repro.core.baselines` -- NS (never sleeping) plus periodic and random
+  duty-cycling reference points.
+"""
+
+from repro.core.config import (
+    BaselineConfig,
+    PASConfig,
+    SASConfig,
+    SchedulerConfig,
+)
+from repro.core.states import ProtocolState, StateMachine, InvalidTransition
+from repro.core.neighbors import NeighborInfo, NeighborTable
+from repro.core.velocity import (
+    actual_velocity,
+    expected_velocity,
+    outward_velocity,
+    scalar_speed_estimate,
+)
+from repro.core.arrival import (
+    arrival_time_from_neighbor,
+    expected_arrival_time,
+    sas_arrival_time,
+)
+from repro.core.sleep_policy import (
+    ExponentialSleepPolicy,
+    FixedSleepPolicy,
+    LinearSleepPolicy,
+    SleepPolicy,
+    make_sleep_policy,
+)
+from repro.core.controller import NodeController, WorldServices
+from repro.core.scheduler_base import SleepScheduler
+from repro.core.pas import PASController, PASScheduler
+from repro.core.sas import SASController, SASScheduler
+from repro.core.baselines import (
+    NoSleepController,
+    NoSleepScheduler,
+    PeriodicDutyCycleController,
+    PeriodicDutyCycleScheduler,
+    RandomDutyCycleScheduler,
+)
+
+__all__ = [
+    "SchedulerConfig",
+    "PASConfig",
+    "SASConfig",
+    "BaselineConfig",
+    "ProtocolState",
+    "StateMachine",
+    "InvalidTransition",
+    "NeighborInfo",
+    "NeighborTable",
+    "actual_velocity",
+    "expected_velocity",
+    "outward_velocity",
+    "scalar_speed_estimate",
+    "expected_arrival_time",
+    "arrival_time_from_neighbor",
+    "sas_arrival_time",
+    "SleepPolicy",
+    "LinearSleepPolicy",
+    "ExponentialSleepPolicy",
+    "FixedSleepPolicy",
+    "make_sleep_policy",
+    "NodeController",
+    "WorldServices",
+    "SleepScheduler",
+    "PASScheduler",
+    "PASController",
+    "SASScheduler",
+    "SASController",
+    "NoSleepScheduler",
+    "NoSleepController",
+    "PeriodicDutyCycleScheduler",
+    "PeriodicDutyCycleController",
+    "RandomDutyCycleScheduler",
+]

@@ -1,0 +1,153 @@
+"""Expected-arrival-time prediction (§3.3 of the paper).
+
+A node X receives, from each informative neighbour I, the neighbour's
+position, velocity estimate ``v_I`` and -- if I is covered -- its detection
+time.  The per-neighbour arrival estimate treats the front as locally planar
+and moving along ``v_I``:
+
+* the front reaches X after it has advanced by the projection of ``I -> X``
+  onto the direction of ``v_I`` (that is ``|IX| * cos(theta_I)``),
+* at speed ``|v_I|``, so the travel time from I is
+  ``|IX| * cos(theta_I) / |v_I|``,
+* measured from the moment the front was at I: the neighbour's detection time
+  when covered, otherwise the neighbour's own predicted arrival time.
+
+Neighbours whose velocity points *away* from X (``cos(theta) <= 0``)
+contribute ``+inf`` -- the front is not approaching along that report.  The
+node's expected arrival time is the minimum over neighbours, exactly as in
+the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+from repro.core.neighbors import NeighborInfo
+from repro.geometry.vec import Vec2, angle_between
+
+#: Velocity magnitudes below this are treated as "no usable estimate".
+MIN_SPEED = 1e-9
+
+
+def arrival_time_from_neighbor(
+    position: Vec2, info: NeighborInfo, now: float
+) -> float:
+    """Arrival-time estimate contributed by a single neighbour report.
+
+    Returns an *absolute* simulation time, or ``math.inf`` when the report is
+    uninformative for node ``position`` (no velocity, zero speed, stimulus
+    moving away, or no time reference).
+    """
+    if info.velocity is None:
+        return math.inf
+    speed = info.velocity.norm()
+    if speed < MIN_SPEED:
+        return math.inf
+    displacement = position - info.position
+    if displacement.is_zero():
+        # Co-located with the reporting neighbour: the front is effectively here.
+        reference = _reference_time(info, now)
+        return reference if reference is not None else math.inf
+    theta = angle_between(info.velocity, displacement)
+    cos_theta = math.cos(theta)
+    # Perpendicular or receding motion never brings the front here; use a small
+    # tolerance so a numerically-perpendicular report does not collapse the
+    # projected travel distance to zero.
+    if cos_theta <= 1e-9:
+        return math.inf
+    travel = displacement.norm() * cos_theta / speed
+    reference = _reference_time(info, now)
+    if reference is None:
+        return math.inf
+    return reference + travel
+
+
+def _reference_time(info: NeighborInfo, now: float) -> Optional[float]:
+    """The time the front is taken to have been at the neighbour's position.
+
+    Covered neighbours anchor at their detection time; alert neighbours anchor
+    at their own predicted arrival when it is finite.  ``None`` otherwise.
+    """
+    if info.detection_time is not None:
+        return float(info.detection_time)
+    if math.isfinite(info.predicted_arrival):
+        return float(info.predicted_arrival)
+    return None
+
+
+def expected_arrival_time(
+    position: Vec2,
+    neighbors: Iterable[NeighborInfo],
+    now: float,
+    *,
+    min_reports: int = 1,
+) -> float:
+    """PAS expected arrival time: minimum over per-neighbour estimates.
+
+    Parameters
+    ----------
+    position:
+        Position of the estimating node.
+    neighbors:
+        Neighbour reports (typically ``NeighborTable.informative_neighbors``).
+    now:
+        Current simulation time; the result is clamped to be at least ``now``
+        (the stimulus cannot arrive in the past -- if the estimate says it
+        already should have, it is imminent).
+    min_reports:
+        Minimum number of *finite* per-neighbour estimates required before a
+        finite result is returned; below that the node stays uninformed
+        (``inf``).
+
+    Returns
+    -------
+    float
+        Absolute predicted arrival time, or ``math.inf``.
+    """
+    if min_reports < 1:
+        raise ValueError("min_reports must be at least 1")
+    finite = []
+    for info in neighbors:
+        estimate = arrival_time_from_neighbor(position, info, now)
+        if math.isfinite(estimate):
+            finite.append(estimate)
+    if len(finite) < min_reports:
+        return math.inf
+    return max(now, min(finite))
+
+
+def sas_arrival_time(
+    position: Vec2,
+    covered_neighbors: Iterable[NeighborInfo],
+    now: float,
+    fallback_speed: Optional[float] = None,
+) -> float:
+    """SAS-style arrival estimate: straight-line distance over a scalar speed.
+
+    SAS has no direction information, so each covered neighbour contributes
+    ``distance(X, I) / speed`` measured from the neighbour's detection time,
+    where ``speed`` is the scalar reported by that neighbour (the magnitude of
+    its velocity field in our message format) or ``fallback_speed``.
+    """
+    best = math.inf
+    for info in covered_neighbors:
+        if info.detection_time is None:
+            continue
+        speed = info.velocity.norm() if info.velocity is not None else 0.0
+        if speed < MIN_SPEED:
+            if fallback_speed is None or fallback_speed < MIN_SPEED:
+                continue
+            speed = fallback_speed
+        dist = position.distance_to(info.position)
+        best = min(best, info.detection_time + dist / speed)
+    if not math.isfinite(best):
+        return math.inf
+    return max(now, best)
+
+
+def time_to_arrival(predicted_arrival: float, now: float) -> float:
+    """Relative time until the predicted arrival (``inf`` stays ``inf``)."""
+    if not math.isfinite(predicted_arrival):
+        return math.inf
+    return max(0.0, predicted_arrival - now)

@@ -1,0 +1,174 @@
+"""Non-predictive baseline schedulers.
+
+* :class:`NoSleepScheduler` (NS) -- the paper's upper baseline: every node is
+  permanently awake, so detection delay is zero and energy is maximal.
+* :class:`PeriodicDutyCycleScheduler` -- fixed duty cycle, oblivious to the
+  stimulus; a common non-adaptive reference point not in the paper but useful
+  to situate PAS between "always on" and "blind duty cycling".
+* :class:`RandomDutyCycleScheduler` -- like periodic but with randomised
+  awake-phase offsets, which removes synchronised blind spots.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import BaselineConfig, SchedulerConfig
+from repro.core.controller import NodeController, WorldServices
+from repro.core.scheduler_base import SleepScheduler
+from repro.network.messages import Message, Request, Response
+from repro.node.sensor import SensorNode
+
+
+class NoSleepController(NodeController):
+    """Always awake; detects the stimulus the instant it arrives."""
+
+    def __init__(self, node: SensorNode, world: WorldServices) -> None:
+        super().__init__(node, world)
+        self.detection_time: Optional[float] = None
+
+    def start(self) -> None:
+        self.wake_node()
+        if self.world.sense(self.node.id):
+            self._detect(self.world.now)
+
+    def on_message(self, message: Message) -> None:
+        # NS nodes answer information requests so mixed-policy scenarios and
+        # the message-count metrics remain meaningful.
+        if isinstance(message, Request):
+            self.world.broadcast(
+                self.node.id,
+                Response(
+                    sender_id=self.node.id,
+                    timestamp=self.world.now,
+                    position=(self.node.position.x, self.node.position.y),
+                    state="covered" if self.detection_time is not None else "safe",
+                    velocity=None,
+                    detection_time=self.detection_time,
+                ),
+            )
+
+    def on_stimulus_arrival(self) -> None:
+        if self.detection_time is None:
+            self._detect(self.world.now)
+
+    def _detect(self, time: float) -> None:
+        self.detection_time = time
+        self.world.notify_detection(self.node.id, time)
+
+    @property
+    def state_name(self) -> str:
+        return "covered" if self.detection_time is not None else "active"
+
+
+class NoSleepScheduler(SleepScheduler):
+    """The NS baseline of Figs. 4 and 6."""
+
+    name = "NS"
+
+    def __init__(self, config: Optional[SchedulerConfig] = None) -> None:
+        super().__init__(config or SchedulerConfig())
+
+    def create_controller(self, node: SensorNode, world: WorldServices) -> NoSleepController:
+        return NoSleepController(node, world)
+
+
+class PeriodicDutyCycleController(NodeController):
+    """Awake for ``duty_cycle`` of every period, asleep for the rest."""
+
+    def __init__(
+        self,
+        node: SensorNode,
+        world: WorldServices,
+        config: BaselineConfig,
+        phase_offset: float = 0.0,
+    ) -> None:
+        super().__init__(node, world)
+        self.config = config
+        self.period = config.max_sleep_interval
+        self.awake_duration = self.period * config.duty_cycle
+        self.sleep_duration = max(self.period - self.awake_duration, 1e-6)
+        self.phase_offset = float(phase_offset) % self.period
+        self.detection_time: Optional[float] = None
+
+    def start(self) -> None:
+        self.wake_node()
+        if self.world.sense(self.node.id):
+            self._detect(self.world.now)
+            return
+        # Start each node at its phase offset within the awake part of the cycle.
+        initial_awake = max(self.awake_duration - self.phase_offset, 1e-6)
+        self.world.schedule_in(
+            initial_awake, self._go_to_sleep, name=f"node{self.node.id}:duty-sleep"
+        )
+
+    def on_message(self, message: Message) -> None:
+        # Duty-cycling baselines do not participate in the PAS protocol.
+        return
+
+    def on_stimulus_arrival(self) -> None:
+        if self.detection_time is None:
+            self._detect(self.world.now)
+
+    def _detect(self, time: float) -> None:
+        self.detection_time = time
+        self.cancel_pending_wake()
+        self.wake_node()
+        self.world.notify_detection(self.node.id, time)
+
+    def _go_to_sleep(self) -> None:
+        if self.detection_time is not None or self.node.is_failed:
+            return
+        self.sleep_node(self.sleep_duration, self._on_wake)
+
+    def _on_wake(self) -> None:
+        if self.node.is_failed:
+            return
+        if self.world.sense(self.node.id):
+            self._detect(self.world.now)
+            return
+        self.world.schedule_in(
+            self.awake_duration, self._go_to_sleep, name=f"node{self.node.id}:duty-sleep"
+        )
+
+    @property
+    def state_name(self) -> str:
+        if self.detection_time is not None:
+            return "covered"
+        return "active" if self.node.is_awake else "safe"
+
+
+class PeriodicDutyCycleScheduler(SleepScheduler):
+    """Fixed duty-cycle baseline (all nodes share the same phase)."""
+
+    name = "PERIODIC"
+
+    def __init__(self, config: Optional[BaselineConfig] = None) -> None:
+        super().__init__(config or BaselineConfig())
+
+    def create_controller(
+        self, node: SensorNode, world: WorldServices
+    ) -> PeriodicDutyCycleController:
+        return PeriodicDutyCycleController(node, world, self.config)  # type: ignore[arg-type]
+
+
+class RandomDutyCycleScheduler(SleepScheduler):
+    """Duty-cycle baseline with per-node random phase offsets."""
+
+    name = "RANDOM"
+
+    def __init__(
+        self,
+        config: Optional[BaselineConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(config or BaselineConfig())
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def create_controller(
+        self, node: SensorNode, world: WorldServices
+    ) -> PeriodicDutyCycleController:
+        offset = float(self.rng.uniform(0.0, self.config.max_sleep_interval))
+        return PeriodicDutyCycleController(node, world, self.config, phase_offset=offset)  # type: ignore[arg-type]

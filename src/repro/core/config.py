@@ -1,0 +1,144 @@
+"""Configuration dataclasses for the sleep schedulers.
+
+Every parameter that the paper sweeps (maximum sleeping interval in Figs. 4
+and 6, alert-time threshold in Figs. 5 and 7) or merely mentions (the sleep
+increment ``delta t``, the detection timeout, the "significant change"
+retransmission rule) is an explicit, validated field here so the experiment
+harness can sweep it without touching scheduler code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Parameters shared by all schedulers.
+
+    Attributes
+    ----------
+    base_sleep_interval:
+        Initial sleep duration of a safe node (seconds).
+    sleep_increment:
+        The paper's ``delta t``: how much the safe-state sleep interval grows
+        after each uneventful wake-up (seconds).
+    max_sleep_interval:
+        Upper bound on the sleep interval; the x-axis of Figs. 4 and 6.
+    listen_window:
+        How long a node stays awake after sending a REQUEST to collect the
+        RESPONSE messages before deciding its state (seconds).
+    detection_timeout:
+        How long a covered node waits after the stimulus recedes before
+        returning to the safe state (seconds).
+    sleep_policy:
+        Growth law of the safe-state sleep interval: ``"linear"`` (paper),
+        ``"exponential"`` or ``"fixed"`` (ablation A2).
+    """
+
+    base_sleep_interval: float = 1.0
+    sleep_increment: float = 1.0
+    max_sleep_interval: float = 10.0
+    listen_window: float = 0.1
+    detection_timeout: float = 10.0
+    sleep_policy: str = "linear"
+
+    def __post_init__(self) -> None:
+        if self.base_sleep_interval <= 0:
+            raise ValueError("base_sleep_interval must be positive")
+        if self.sleep_increment < 0:
+            raise ValueError("sleep_increment must be non-negative")
+        if self.max_sleep_interval < self.base_sleep_interval:
+            raise ValueError("max_sleep_interval must be >= base_sleep_interval")
+        if self.listen_window <= 0:
+            raise ValueError("listen_window must be positive")
+        if self.detection_timeout < 0:
+            raise ValueError("detection_timeout must be non-negative")
+        if self.sleep_policy not in ("linear", "exponential", "fixed"):
+            raise ValueError(
+                f"sleep_policy must be 'linear', 'exponential' or 'fixed', "
+                f"got {self.sleep_policy!r}"
+            )
+
+    def with_overrides(self, **changes: Any) -> "SchedulerConfig":
+        """Return a copy with the given fields replaced (sweep helper)."""
+        return replace(self, **changes)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain dict of all fields (for run summaries)."""
+        return {k: getattr(self, k) for k in self.__dataclass_fields__}  # type: ignore[attr-defined]
+
+
+@dataclass(frozen=True)
+class PASConfig(SchedulerConfig):
+    """PAS-specific parameters.
+
+    Attributes
+    ----------
+    alert_threshold:
+        The alert-time threshold ``T_alert`` (seconds): a node whose expected
+        arrival time is within this window becomes (or stays) ALERT and keeps
+        its radio on.  The x-axis of Figs. 5 and 7.
+    significant_change:
+        Fractional change of the expected arrival time that triggers a fresh
+        RESPONSE broadcast ("replies ... if the difference between the
+        expectations has changed significantly", §3.2).
+    min_neighbors_for_estimate:
+        Minimum number of informative neighbour reports required before the
+        node trusts an arrival-time estimate (1 reproduces the paper).
+    """
+
+    alert_threshold: float = 20.0
+    significant_change: float = 0.2
+    min_neighbors_for_estimate: int = 1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.alert_threshold <= 0:
+            raise ValueError("alert_threshold must be positive")
+        if not 0 <= self.significant_change <= 1:
+            raise ValueError("significant_change must lie in [0, 1]")
+        if self.min_neighbors_for_estimate < 1:
+            raise ValueError("min_neighbors_for_estimate must be at least 1")
+
+
+@dataclass(frozen=True)
+class SASConfig(SchedulerConfig):
+    """SAS baseline parameters.
+
+    SAS exchanges stimulus information only in the one-hop neighbourhood of
+    covered nodes and uses a scalar local speed estimate; the paper observes
+    it behaves like PAS with a sharply reduced alert threshold.
+
+    Attributes
+    ----------
+    alert_threshold:
+        Kept small by default; nodes right next to the front go alert, the
+        rest keep sleeping.
+    """
+
+    alert_threshold: float = 2.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.alert_threshold <= 0:
+            raise ValueError("alert_threshold must be positive")
+
+
+@dataclass(frozen=True)
+class BaselineConfig(SchedulerConfig):
+    """Parameters of the non-predictive baselines.
+
+    Attributes
+    ----------
+    duty_cycle:
+        Fraction of time a periodic / random duty-cycling node stays awake.
+    """
+
+    duty_cycle: float = 0.2
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0 < self.duty_cycle <= 1:
+            raise ValueError("duty_cycle must lie in (0, 1]")

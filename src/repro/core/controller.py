@@ -1,0 +1,128 @@
+"""Controller interface and the world-services facade.
+
+A *controller* is the per-node brain: it owns the node's protocol state and
+decides when the node sleeps, wakes, transmits and how it reacts to messages
+and detections.  The surrounding world model (``repro.world``) provides a
+narrow :class:`WorldServices` facade so that controllers stay decoupled from
+the simulation plumbing and can be unit tested against a tiny fake world.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Protocol, runtime_checkable
+
+from repro.network.messages import Message
+from repro.node.sensor import SensorNode
+from repro.sim.events import EventHandle
+
+
+@runtime_checkable
+class WorldServices(Protocol):
+    """What a controller may ask of the world model.
+
+    Implemented by :class:`repro.world.simulation.MonitoringSimulation` and by
+    the lightweight fakes used in the unit tests.
+    """
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+
+    def sense(self, node_id: int) -> bool:
+        """Sample the node's sensor: is the stimulus present at its position?"""
+
+    def broadcast(self, node_id: int, message: Message) -> int:
+        """Broadcast ``message`` from ``node_id``; returns reached-neighbour count."""
+
+    def schedule_in(self, delay: float, callback, *, name: str = "") -> EventHandle:
+        """Schedule a callback ``delay`` seconds from now."""
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a previously scheduled callback."""
+
+    def notify_detection(self, node_id: int, time: float) -> None:
+        """Report the node's first detection of the stimulus (metrics hook)."""
+
+    def notify_state_change(self, node_id: int, time: float, old: str, new: str) -> None:
+        """Report a protocol state change (metrics hook)."""
+
+
+class NodeController(abc.ABC):
+    """Per-node scheduling policy.
+
+    Concrete controllers implement the event hooks; the world model calls
+    them.  Power-state changes always go through :meth:`wake_node` /
+    :meth:`sleep_node` so that energy accounting stays consistent.
+    """
+
+    def __init__(self, node: SensorNode, world: WorldServices) -> None:
+        self.node = node
+        self.world = world
+        #: pending wake-up event while the node sleeps (None when awake)
+        self._wake_handle: Optional[EventHandle] = None
+
+    # ------------------------------------------------------------- lifecycle
+    @abc.abstractmethod
+    def start(self) -> None:
+        """Called once at simulation start (t = start time)."""
+
+    @abc.abstractmethod
+    def on_message(self, message: Message) -> None:
+        """Called when the node receives a message while awake."""
+
+    @abc.abstractmethod
+    def on_stimulus_arrival(self) -> None:
+        """Called the instant the stimulus reaches the node's position.
+
+        Only invoked while the node is awake; a sleeping node discovers the
+        stimulus on its next wake-up via :meth:`on_wake`.
+        """
+
+    def on_stimulus_departure(self) -> None:
+        """Called when the stimulus no longer covers an awake node (optional)."""
+
+    def finalize(self, end_time: float) -> None:
+        """Called once when the run ends (settle outstanding energy, timers)."""
+        self.node.settle_energy(end_time)
+
+    # ------------------------------------------------------------ power ops
+    def wake_node(self) -> None:
+        """Wake the node immediately (energy settled at the current time)."""
+        self.node.wake_up(self.world.now)
+
+    def sleep_node(self, duration: float, on_wake) -> None:
+        """Put the node to sleep for ``duration`` seconds then call ``on_wake``.
+
+        Any previously scheduled wake-up is cancelled first, so controllers
+        can always call this unconditionally.
+        """
+        if duration <= 0:
+            raise ValueError("sleep duration must be positive")
+        self.cancel_pending_wake()
+        self.node.go_to_sleep(self.world.now)
+
+        def _wake() -> None:
+            self._wake_handle = None
+            # The node may have been failed (fault injection / battery death)
+            # while asleep; a dead node never wakes up.
+            if self.node.is_failed:
+                return
+            self.node.wake_up(self.world.now)
+            on_wake()
+
+        self._wake_handle = self.world.schedule_in(
+            duration, _wake, name=f"node{self.node.id}:wake"
+        )
+
+    def cancel_pending_wake(self) -> None:
+        """Cancel a scheduled wake-up, if any."""
+        if self._wake_handle is not None:
+            self.world.cancel(self._wake_handle)
+            self._wake_handle = None
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def state_name(self) -> str:
+        """Protocol state name for reporting; overridden by stateful controllers."""
+        return "active"

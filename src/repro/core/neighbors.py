@@ -1,0 +1,138 @@
+"""Per-node cache of neighbour-reported stimulus information.
+
+Every RESPONSE a node hears updates its :class:`NeighborTable`; the velocity
+and arrival-time estimators then operate on the cached
+:class:`NeighborInfo` records rather than on raw messages, which keeps the
+estimation code purely functional and easy to test.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.core.states import ProtocolState
+from repro.geometry.vec import Vec2
+from repro.network.messages import Response
+
+
+@dataclass
+class NeighborInfo:
+    """What one neighbour last reported about the stimulus.
+
+    Attributes
+    ----------
+    node_id:
+        Neighbour identifier.
+    position:
+        Neighbour location.
+    state:
+        Neighbour protocol state at report time.
+    velocity:
+        Neighbour's spreading-velocity estimate (``None`` if it had none).
+    predicted_arrival:
+        Neighbour's own predicted arrival time (absolute simulation time,
+        ``math.inf`` when unknown).
+    detection_time:
+        When the neighbour detected the stimulus (``None`` if it has not).
+    report_time:
+        When this report was received (for staleness filtering).
+    """
+
+    node_id: int
+    position: Vec2
+    state: ProtocolState
+    velocity: Optional[Vec2] = None
+    predicted_arrival: float = math.inf
+    detection_time: Optional[float] = None
+    report_time: float = 0.0
+
+    @property
+    def is_covered(self) -> bool:
+        """True if the neighbour reported being covered by the stimulus."""
+        return self.state == ProtocolState.COVERED
+
+    @property
+    def is_informative(self) -> bool:
+        """True if the report carries any usable stimulus knowledge."""
+        return (
+            self.velocity is not None
+            or self.detection_time is not None
+            or math.isfinite(self.predicted_arrival)
+        )
+
+    @staticmethod
+    def from_response(response: Response, report_time: float) -> "NeighborInfo":
+        """Build a cache record from a received RESPONSE message."""
+        velocity = None
+        if response.velocity is not None:
+            velocity = Vec2(float(response.velocity[0]), float(response.velocity[1]))
+        return NeighborInfo(
+            node_id=response.sender_id,
+            position=Vec2(float(response.position[0]), float(response.position[1])),
+            state=ProtocolState(response.state),
+            velocity=velocity,
+            predicted_arrival=float(response.predicted_arrival),
+            detection_time=response.detection_time,
+            report_time=report_time,
+        )
+
+
+class NeighborTable:
+    """Most recent report per neighbour, with optional staleness filtering."""
+
+    def __init__(self, staleness_limit: Optional[float] = None) -> None:
+        if staleness_limit is not None and staleness_limit <= 0:
+            raise ValueError("staleness_limit must be positive when given")
+        self.staleness_limit = staleness_limit
+        self._records: Dict[int, NeighborInfo] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._records
+
+    def update(self, info: NeighborInfo) -> None:
+        """Insert or overwrite the record for ``info.node_id``."""
+        existing = self._records.get(info.node_id)
+        if existing is None or info.report_time >= existing.report_time:
+            self._records[info.node_id] = info
+
+    def update_from_response(self, response: Response, report_time: float) -> NeighborInfo:
+        """Convenience wrapper: convert a RESPONSE and store it."""
+        info = NeighborInfo.from_response(response, report_time)
+        self.update(info)
+        return info
+
+    def get(self, node_id: int) -> Optional[NeighborInfo]:
+        """The cached record for ``node_id``, or ``None``."""
+        return self._records.get(node_id)
+
+    def fresh_records(self, now: float) -> List[NeighborInfo]:
+        """All records, dropping those older than the staleness limit."""
+        if self.staleness_limit is None:
+            return list(self._records.values())
+        return [
+            r for r in self._records.values() if now - r.report_time <= self.staleness_limit
+        ]
+
+    def covered_neighbors(self, now: float) -> List[NeighborInfo]:
+        """Fresh records from neighbours reporting the COVERED state."""
+        return [r for r in self.fresh_records(now) if r.is_covered]
+
+    def informative_neighbors(self, now: float) -> List[NeighborInfo]:
+        """Fresh records from COVERED or ALERT neighbours carrying estimates."""
+        return [
+            r
+            for r in self.fresh_records(now)
+            if r.state in (ProtocolState.COVERED, ProtocolState.ALERT) and r.is_informative
+        ]
+
+    def clear(self) -> None:
+        """Drop every cached record."""
+        self._records.clear()
+
+    def __iter__(self) -> Iterator[NeighborInfo]:
+        return iter(self._records.values())

@@ -1,0 +1,40 @@
+"""Scheduler factory base class.
+
+A :class:`SleepScheduler` is the object the experiment harness sweeps over:
+it carries a configuration and knows how to build one
+:class:`~repro.core.controller.NodeController` per deployed node.  Keeping the
+factory separate from the controllers lets the same scenario be replayed with
+PAS, SAS and NS by swapping a single object.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict
+
+from repro.core.config import SchedulerConfig
+from repro.core.controller import NodeController, WorldServices
+from repro.node.sensor import SensorNode
+
+
+class SleepScheduler(abc.ABC):
+    """Factory of per-node controllers for one sleep-scheduling policy."""
+
+    #: short, human readable policy name used in results tables
+    name: str = "base"
+
+    def __init__(self, config: SchedulerConfig) -> None:
+        self.config = config
+
+    @abc.abstractmethod
+    def create_controller(self, node: SensorNode, world: WorldServices) -> NodeController:
+        """Build the controller driving ``node`` inside ``world``."""
+
+    def describe(self) -> Dict[str, Any]:
+        """Scheduler name plus its full configuration (for run summaries)."""
+        summary: Dict[str, Any] = {"scheduler": self.name}
+        summary.update(self.config.as_dict())
+        return summary
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

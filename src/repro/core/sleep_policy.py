@@ -1,0 +1,105 @@
+"""Safe-state sleep-interval policies.
+
+The paper prescribes a *linearly increasing* sleep interval for safe nodes:
+every uneventful wake-up adds ``delta t`` to the interval until the maximum
+sleeping interval is reached (§3.4).  Two alternatives are provided for the
+ablation study (benchmark A2): exponential back-off and a fixed interval.
+All policies reset to the base interval whenever the node's situation changes
+(it became alert or covered and later returned to safe).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.core.config import SchedulerConfig
+
+
+class SleepPolicy(abc.ABC):
+    """Produces the next safe-state sleep duration for one node."""
+
+    def __init__(self, base_interval: float, max_interval: float) -> None:
+        if base_interval <= 0:
+            raise ValueError("base_interval must be positive")
+        if max_interval < base_interval:
+            raise ValueError("max_interval must be >= base_interval")
+        self.base_interval = float(base_interval)
+        self.max_interval = float(max_interval)
+        self._current = float(base_interval)
+
+    @property
+    def current_interval(self) -> float:
+        """The sleep duration that :meth:`next_interval` will return next."""
+        return self._current
+
+    def next_interval(self) -> float:
+        """Return the sleep duration to use now and advance the policy."""
+        value = self._current
+        self._current = min(self.max_interval, self._grow(self._current))
+        return value
+
+    def reset(self) -> None:
+        """Return to the base interval (called when the node leaves SAFE)."""
+        self._current = self.base_interval
+
+    @abc.abstractmethod
+    def _grow(self, current: float) -> float:
+        """Compute the interval to use after ``current`` (before clamping)."""
+
+
+class LinearSleepPolicy(SleepPolicy):
+    """The paper's policy: add ``increment`` after every uneventful wake-up."""
+
+    def __init__(self, base_interval: float, max_interval: float, increment: float) -> None:
+        super().__init__(base_interval, max_interval)
+        if increment < 0:
+            raise ValueError("increment must be non-negative")
+        self.increment = float(increment)
+
+    def _grow(self, current: float) -> float:
+        return current + self.increment
+
+
+class ExponentialSleepPolicy(SleepPolicy):
+    """Multiply the interval by ``factor`` after every uneventful wake-up."""
+
+    def __init__(self, base_interval: float, max_interval: float, factor: float = 2.0) -> None:
+        super().__init__(base_interval, max_interval)
+        if factor < 1.0:
+            raise ValueError("factor must be >= 1")
+        self.factor = float(factor)
+
+    def _grow(self, current: float) -> float:
+        return current * self.factor
+
+
+class FixedSleepPolicy(SleepPolicy):
+    """Always sleep for the maximum interval (no adaptation)."""
+
+    def __init__(self, base_interval: float, max_interval: float) -> None:
+        super().__init__(base_interval, max_interval)
+        self._current = self.max_interval
+
+    def _grow(self, current: float) -> float:
+        return self.max_interval
+
+    def reset(self) -> None:
+        # A fixed policy has nothing to reset; keep the maximum interval.
+        self._current = self.max_interval
+
+
+def make_sleep_policy(config: SchedulerConfig, kind: Optional[str] = None) -> SleepPolicy:
+    """Build the sleep policy selected by ``config.sleep_policy`` (or ``kind``)."""
+    choice = kind or config.sleep_policy
+    if choice == "linear":
+        return LinearSleepPolicy(
+            config.base_sleep_interval, config.max_sleep_interval, config.sleep_increment
+        )
+    if choice == "exponential":
+        return ExponentialSleepPolicy(
+            config.base_sleep_interval, config.max_sleep_interval
+        )
+    if choice == "fixed":
+        return FixedSleepPolicy(config.base_sleep_interval, config.max_sleep_interval)
+    raise ValueError(f"unknown sleep policy {choice!r}")

@@ -1,0 +1,118 @@
+"""The SAFE / ALERT / COVERED protocol state machine (Fig. 3 of the paper).
+
+Allowed transitions:
+
+* ``SAFE -> COVERED``    -- the node detects the stimulus while awake.
+* ``SAFE -> ALERT``      -- expected arrival time falls below the threshold.
+* ``ALERT -> COVERED``   -- the node detects the stimulus.
+* ``ALERT -> SAFE``      -- expected arrival time rises above the threshold.
+* ``COVERED -> SAFE``    -- the stimulus recedes and the detection timeout expires.
+
+Self-transitions are allowed (re-asserting the current state is a no-op that
+is still recorded, which the tests use to check idempotence).  Everything
+else raises :class:`InvalidTransition`, which protects the controllers from
+protocol bugs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+
+class ProtocolState(enum.Enum):
+    """Protocol-level state of a PAS / SAS sensor."""
+
+    SAFE = "safe"
+    ALERT = "alert"
+    COVERED = "covered"
+
+
+class InvalidTransition(RuntimeError):
+    """Raised when a controller requests a transition Fig. 3 does not allow."""
+
+
+#: The legal transitions of Fig. 3 (self-loops handled separately).
+_ALLOWED: FrozenSet[Tuple[ProtocolState, ProtocolState]] = frozenset(
+    {
+        (ProtocolState.SAFE, ProtocolState.COVERED),
+        (ProtocolState.SAFE, ProtocolState.ALERT),
+        (ProtocolState.ALERT, ProtocolState.COVERED),
+        (ProtocolState.ALERT, ProtocolState.SAFE),
+        (ProtocolState.COVERED, ProtocolState.SAFE),
+    }
+)
+
+
+@dataclass(frozen=True)
+class TransitionRecord:
+    """One entry in the transition history."""
+
+    time: float
+    source: ProtocolState
+    target: ProtocolState
+    reason: str = ""
+
+
+class StateMachine:
+    """Per-node protocol state with validation, history and change hooks.
+
+    Parameters
+    ----------
+    initial:
+        Starting state; all sensors start SAFE per §3.2.
+    on_change:
+        Optional hook ``on_change(time, old, new, reason)`` invoked after every
+        *effective* (non self-loop) transition.
+    """
+
+    def __init__(
+        self,
+        initial: ProtocolState = ProtocolState.SAFE,
+        on_change: Optional[Callable[[float, ProtocolState, ProtocolState, str], None]] = None,
+    ) -> None:
+        self._state = initial
+        self._on_change = on_change
+        self.history: List[TransitionRecord] = []
+        self.entered_at: Dict[ProtocolState, float] = {initial: 0.0}
+
+    @property
+    def state(self) -> ProtocolState:
+        """Current protocol state."""
+        return self._state
+
+    def can_transition(self, target: ProtocolState) -> bool:
+        """True if moving to ``target`` is legal from the current state."""
+        return target == self._state or (self._state, target) in _ALLOWED
+
+    def transition(self, target: ProtocolState, time: float, reason: str = "") -> bool:
+        """Move to ``target`` at simulation ``time``.
+
+        Returns ``True`` if the state actually changed, ``False`` for a
+        self-loop.  Raises :class:`InvalidTransition` for illegal moves.
+        """
+        if target == self._state:
+            self.history.append(TransitionRecord(time, self._state, target, reason or "noop"))
+            return False
+        if (self._state, target) not in _ALLOWED:
+            raise InvalidTransition(
+                f"illegal transition {self._state.value} -> {target.value} at t={time:.3f}"
+                + (f" ({reason})" if reason else "")
+            )
+        old = self._state
+        self._state = target
+        self.entered_at[target] = time
+        self.history.append(TransitionRecord(time, old, target, reason))
+        if self._on_change is not None:
+            self._on_change(time, old, target, reason)
+        return True
+
+    def time_in_state(self, state: ProtocolState, now: float) -> float:
+        """Seconds spent in ``state`` since it was last entered (0 if not current)."""
+        if state != self._state:
+            return 0.0
+        return max(0.0, now - self.entered_at.get(state, 0.0))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StateMachine(state={self._state.value}, transitions={len(self.history)})"

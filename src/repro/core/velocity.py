@@ -1,0 +1,177 @@
+"""Spreading-velocity estimators (§3.3 of the paper).
+
+Two estimators are defined:
+
+* **actual velocity** -- computed by a node the moment it *detects* the
+  stimulus, from the positions and detection times of its covered neighbours:
+  each covered neighbour I contributes the displacement ``I -> X`` divided by
+  the elapsed time between I's detection and X's detection, and the node
+  averages those per-neighbour vectors.
+* **expected velocity** -- computed by alert/safe nodes that have *not* seen
+  the stimulus: the plain vector mean of the velocities reported by covered
+  and alert neighbours.
+
+Both functions are pure (no node state), so they are directly unit- and
+property-testable; the PAS controller simply feeds them its neighbour table.
+
+The SAS baseline uses :func:`scalar_speed_estimate`, a direction-less local
+speed average, reflecting the "simple method for the local velocity
+estimation" the paper attributes to SAS.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Sequence
+
+from repro.core.neighbors import NeighborInfo
+from repro.geometry.vec import Vec2
+
+#: Elapsed-time floor (seconds) below which a covered neighbour's report is
+#: considered simultaneous with our own detection and therefore uninformative
+#: for a finite-difference speed estimate.
+MIN_ELAPSED_S = 1e-6
+
+
+def actual_velocity(
+    position: Vec2,
+    detection_time: float,
+    covered_neighbors: Sequence[NeighborInfo],
+) -> Optional[Vec2]:
+    """Actual spreading velocity at a node that has just detected the stimulus.
+
+    Parameters
+    ----------
+    position:
+        The detecting node's own position (the ``X`` of the formula).
+    detection_time:
+        Absolute time at which this node detected the stimulus.
+    covered_neighbors:
+        Neighbour reports from nodes already in the COVERED state; records
+        without a ``detection_time`` or detected *after* us are skipped.
+
+    Returns
+    -------
+    Optional[Vec2]
+        The averaged velocity vector, or ``None`` when no neighbour report is
+        usable (the node then keeps no velocity estimate, exactly as a
+        first-detector at the source would).
+    """
+    contributions = []
+    for info in covered_neighbors:
+        if info.detection_time is None:
+            continue
+        elapsed = detection_time - info.detection_time
+        if elapsed < MIN_ELAPSED_S:
+            # Simultaneous or out-of-order detection: no finite-difference signal.
+            continue
+        displacement = position - info.position
+        if displacement.is_zero():
+            continue
+        contributions.append(displacement / elapsed)
+    if not contributions:
+        return None
+    total = Vec2.zero()
+    for v in contributions:
+        total = total + v
+    return total / float(len(contributions))
+
+
+def outward_velocity(
+    position: Vec2,
+    detection_time: float,
+    covered_neighbors: Sequence[NeighborInfo],
+) -> Optional[Vec2]:
+    """Velocity estimate from covered neighbours detected *after* this node.
+
+    The §3.3 actual-velocity formula looks backwards (towards neighbours the
+    front passed earlier).  A covered node can equally estimate the front
+    velocity forwards, from neighbours the front reached *later*: the front
+    travelled from this node to neighbour I in ``t_I - t_X`` seconds, so each
+    such neighbour contributes ``(I - X) / (t_I - t_X)``.  This matters for
+    the first sensors the stimulus engulfs, which have no earlier-covered
+    neighbours and would otherwise never obtain an estimate to share.
+    """
+    contributions = []
+    for info in covered_neighbors:
+        if info.detection_time is None:
+            continue
+        elapsed = info.detection_time - detection_time
+        if elapsed < MIN_ELAPSED_S:
+            continue
+        displacement = info.position - position
+        if displacement.is_zero():
+            continue
+        contributions.append(displacement / elapsed)
+    if not contributions:
+        return None
+    total = Vec2.zero()
+    for v in contributions:
+        total = total + v
+    return total / float(len(contributions))
+
+
+def expected_velocity(neighbors: Iterable[NeighborInfo]) -> Optional[Vec2]:
+    """Expected spreading velocity for a node that has not seen the stimulus.
+
+    The vector mean of the velocities reported by covered/alert neighbours;
+    ``None`` when no neighbour reported a velocity.
+    """
+    velocities = [info.velocity for info in neighbors if info.velocity is not None]
+    if not velocities:
+        return None
+    total = Vec2.zero()
+    for v in velocities:
+        total = total + v
+    return total / float(len(velocities))
+
+
+def scalar_speed_estimate(
+    position: Vec2,
+    detection_time: float,
+    covered_neighbors: Sequence[NeighborInfo],
+) -> Optional[float]:
+    """Direction-less local speed estimate used by the SAS baseline.
+
+    The average of ``distance / elapsed`` over covered neighbours; ``None``
+    when no usable neighbour exists.
+    """
+    speeds = []
+    for info in covered_neighbors:
+        if info.detection_time is None:
+            continue
+        elapsed = detection_time - info.detection_time
+        if elapsed < MIN_ELAPSED_S:
+            continue
+        dist = position.distance_to(info.position)
+        if dist <= 0:
+            continue
+        speeds.append(dist / elapsed)
+    if not speeds:
+        return None
+    return float(sum(speeds) / len(speeds))
+
+
+def velocity_magnitude(velocity: Optional[Vec2]) -> float:
+    """Magnitude of an optional velocity (0 for ``None``)."""
+    if velocity is None:
+        return 0.0
+    return velocity.norm()
+
+
+def blend_velocities(
+    own: Optional[Vec2], incoming: Optional[Vec2], weight_incoming: float = 0.5
+) -> Optional[Vec2]:
+    """Exponential-style blend of an existing estimate with a new report.
+
+    Used when a covered node keeps refining its velocity while further
+    RESPONSE messages arrive.  Either argument may be ``None``; the result is
+    ``None`` only when both are.
+    """
+    if not 0 <= weight_incoming <= 1:
+        raise ValueError("weight_incoming must lie in [0, 1]")
+    if own is None:
+        return incoming
+    if incoming is None:
+        return own
+    return own * (1.0 - weight_incoming) + incoming * weight_incoming

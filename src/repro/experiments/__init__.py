@@ -1,0 +1,62 @@
+"""Experiment harness: parameter sweeps and figure/table regenerators.
+
+Each regenerator corresponds to one table or figure of the paper's §4 and
+returns (and can print) the same series the paper plots:
+
+* :func:`~repro.experiments.table1.table1_hardware` -- Table 1, the Telos
+  power characteristics fed into the simulation.
+* :func:`~repro.experiments.figures.figure4` -- detection delay vs. maximum
+  sleeping interval for NS / PAS / SAS.
+* :func:`~repro.experiments.figures.figure5` -- PAS detection delay vs. alert
+  time threshold.
+* :func:`~repro.experiments.figures.figure6` -- energy vs. maximum sleeping
+  interval for NS / PAS / SAS.
+* :func:`~repro.experiments.figures.figure7` -- PAS energy vs. alert time
+  threshold.
+* :mod:`~repro.experiments.ablations` -- velocity-estimator, sleep-policy and
+  stimulus-shape ablations plus the failure / lossy-channel extensions.
+
+The shared machinery lives in :mod:`~repro.experiments.runner`.
+"""
+
+from repro.experiments.runner import (
+    ExperimentResult,
+    SweepPoint,
+    default_scenario,
+    run_comparison,
+    run_sweep,
+)
+from repro.experiments.table1 import table1_hardware
+from repro.experiments.figures import (
+    FigureResult,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+)
+from repro.experiments.ablations import (
+    ablation_sleep_policy,
+    ablation_stimulus_shape,
+    ablation_velocity_estimator,
+    extension_lossy_channel,
+    extension_node_failures,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "SweepPoint",
+    "default_scenario",
+    "run_sweep",
+    "run_comparison",
+    "table1_hardware",
+    "FigureResult",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "ablation_velocity_estimator",
+    "ablation_sleep_policy",
+    "ablation_stimulus_shape",
+    "extension_node_failures",
+    "extension_lossy_channel",
+]

@@ -1,0 +1,149 @@
+"""Ablations and extensions beyond the paper's headline figures.
+
+Ablations (design choices called out in DESIGN.md):
+
+* **A1 velocity estimator** -- PAS with full estimate propagation vs. the
+  SAS-style covered-only, scalar estimator (all other parameters equal),
+  isolating how much of the delay gap comes from the estimator itself.
+* **A2 sleep policy** -- linear (paper) vs. exponential vs. fixed growth of
+  the safe-state sleep interval.
+* **A3 stimulus shape** -- circular vs. anisotropic vs. plume fronts, testing
+  how robust the prediction is when the constant-velocity assumption breaks.
+
+Extensions (the paper's stated future work):
+
+* **E1 node failures** -- sweep the failure rate and observe delay degradation.
+* **E2 lossy channel** -- sweep the per-frame loss probability.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import PASConfig, SASConfig
+from repro.core.pas import PASScheduler
+from repro.core.sas import SASScheduler
+from repro.experiments.runner import default_scenario
+from repro.metrics.summary import RunSummary
+from repro.world.builder import run_scenario
+from repro.world.scenario import FaultConfig, ScenarioConfig, StimulusConfig
+
+
+def _row(label: str, value: float, summary: RunSummary) -> Dict[str, float]:
+    return {
+        "variant": label,
+        "x": value,
+        "delay_s": summary.average_delay_s,
+        "energy_j": summary.average_energy_j,
+        "tx_messages": summary.messages.get("tx_messages", 0),
+    }
+
+
+def ablation_velocity_estimator(
+    *, max_sleep_interval: float = 10.0, alert_threshold: float = 20.0, seed: int = 0
+) -> List[Dict[str, float]]:
+    """A1: PAS estimator vs. SAS-style estimator at the same alert threshold.
+
+    Using the same (large) alert threshold for both removes the threshold
+    difference and leaves only the estimation / propagation difference.
+    """
+    scenario = default_scenario(seed=seed, label="ablation-velocity")
+    pas = PASScheduler(
+        PASConfig(max_sleep_interval=max_sleep_interval, alert_threshold=alert_threshold)
+    )
+    sas_like = SASScheduler(
+        SASConfig(max_sleep_interval=max_sleep_interval, alert_threshold=alert_threshold)
+    )
+    rows = []
+    rows.append(_row("PAS estimator", alert_threshold, run_scenario(scenario, pas)))
+    rows.append(_row("SAS estimator", alert_threshold, run_scenario(scenario, sas_like)))
+    return rows
+
+
+def ablation_sleep_policy(
+    policies: Sequence[str] = ("linear", "exponential", "fixed"),
+    *,
+    max_sleep_interval: float = 10.0,
+    alert_threshold: float = 20.0,
+    seed: int = 0,
+) -> List[Dict[str, float]]:
+    """A2: growth law of the safe-state sleep interval."""
+    scenario = default_scenario(seed=seed, label="ablation-sleep-policy")
+    rows = []
+    for policy in policies:
+        scheduler = PASScheduler(
+            PASConfig(
+                max_sleep_interval=max_sleep_interval,
+                alert_threshold=alert_threshold,
+                sleep_policy=policy,
+            )
+        )
+        rows.append(_row(policy, max_sleep_interval, run_scenario(scenario, scheduler)))
+    return rows
+
+
+def ablation_stimulus_shape(
+    kinds: Sequence[str] = ("circular", "anisotropic", "plume"),
+    *,
+    max_sleep_interval: float = 10.0,
+    alert_threshold: float = 20.0,
+    seed: int = 0,
+) -> List[Dict[str, float]]:
+    """A3: robustness of the prediction across stimulus shapes."""
+    rows = []
+    for kind in kinds:
+        extra = {}
+        if kind == "plume":
+            # Keep the plume within the region for most of the run.
+            extra = {"diffusivity": 1.5, "emission": 400.0, "threshold": 0.02}
+        scenario = default_scenario(
+            seed=seed, stimulus_kind=kind, label=f"ablation-stimulus-{kind}"
+        )
+        scenario = scenario.with_overrides(
+            stimulus=StimulusConfig(kind=kind, speed=1.0, extra=extra)
+        )
+        scheduler = PASScheduler(
+            PASConfig(max_sleep_interval=max_sleep_interval, alert_threshold=alert_threshold)
+        )
+        rows.append(_row(kind, 1.0, run_scenario(scenario, scheduler)))
+    return rows
+
+
+def extension_node_failures(
+    failure_rates: Sequence[float] = (0.0, 20.0, 60.0, 120.0),
+    *,
+    max_sleep_interval: float = 10.0,
+    alert_threshold: float = 20.0,
+    seed: int = 0,
+) -> List[Dict[str, float]]:
+    """E1: PAS under increasing node-failure rates (failures per node-hour)."""
+    rows = []
+    for rate in failure_rates:
+        base = default_scenario(seed=seed, label=f"ext-failures-{rate}")
+        scenario = base.with_overrides(faults=FaultConfig(node_failure_rate=rate))
+        scheduler = PASScheduler(
+            PASConfig(max_sleep_interval=max_sleep_interval, alert_threshold=alert_threshold)
+        )
+        rows.append(_row(f"failure_rate={rate}", rate, run_scenario(scenario, scheduler)))
+    return rows
+
+
+def extension_lossy_channel(
+    loss_probabilities: Sequence[float] = (0.0, 0.1, 0.3, 0.5),
+    *,
+    max_sleep_interval: float = 10.0,
+    alert_threshold: float = 20.0,
+    seed: int = 0,
+) -> List[Dict[str, float]]:
+    """E2: PAS under increasing per-frame message loss."""
+    rows = []
+    for loss in loss_probabilities:
+        base = default_scenario(seed=seed, label=f"ext-loss-{loss}")
+        scenario = base.with_overrides(
+            faults=FaultConfig(message_loss_probability=loss)
+        )
+        scheduler = PASScheduler(
+            PASConfig(max_sleep_interval=max_sleep_interval, alert_threshold=alert_threshold)
+        )
+        rows.append(_row(f"loss={loss}", loss, run_scenario(scenario, scheduler)))
+    return rows

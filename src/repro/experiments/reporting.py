@@ -1,0 +1,124 @@
+"""Result export: CSV / JSON serialisation of run summaries and sweeps.
+
+The benchmark harness prints its tables to stdout; longer campaigns want the
+raw rows on disk so they can be re-plotted or diffed between code versions.
+This module flattens :class:`~repro.metrics.summary.RunSummary` objects and
+:class:`~repro.experiments.runner.ExperimentResult` grids into plain rows and
+writes them as CSV or JSON, and can read them back for comparison.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.experiments.runner import ExperimentResult
+from repro.metrics.summary import RunSummary
+
+PathLike = Union[str, Path]
+
+
+def summary_rows(summaries: Iterable[RunSummary]) -> List[Dict[str, Any]]:
+    """Flatten run summaries into uniform dict rows.
+
+    Rows may have different keys (different scenario fields); the union of all
+    keys is used, with missing entries left empty, so the CSV header is stable
+    within one export.
+    """
+    rows = [s.as_dict() for s in summaries]
+    if not rows:
+        return []
+    all_keys: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in all_keys:
+                all_keys.append(key)
+    return [{key: row.get(key, "") for key in all_keys} for row in rows]
+
+
+def sweep_rows(result: ExperimentResult, metric: str = "delay") -> List[Dict[str, Any]]:
+    """One row per sweep position with one column per scheduler."""
+    return result.as_rows(metric=metric)
+
+
+def write_csv(rows: Sequence[Dict[str, Any]], path: PathLike) -> Path:
+    """Write dict rows to ``path`` as CSV (header from the first row).
+
+    Returns the resolved path.  An empty row list produces a file with no
+    content rather than raising, so sweep scripts can call this
+    unconditionally.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as handle:
+        if rows:
+            writer = csv.DictWriter(handle, fieldnames=list(rows[0].keys()))
+            writer.writeheader()
+            writer.writerows(rows)
+    return target
+
+
+def read_csv(path: PathLike) -> List[Dict[str, str]]:
+    """Read back a CSV written by :func:`write_csv` (values stay strings)."""
+    target = Path(path)
+    with target.open("r", newline="") as handle:
+        return list(csv.DictReader(handle))
+
+
+def write_json(rows: Sequence[Dict[str, Any]], path: PathLike, *, indent: int = 2) -> Path:
+    """Write dict rows to ``path`` as a JSON array."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(list(rows), indent=indent, default=_json_fallback))
+    return target
+
+
+def read_json(path: PathLike) -> List[Dict[str, Any]]:
+    """Read back a JSON array of rows."""
+    return json.loads(Path(path).read_text())
+
+
+def export_summary(summary: RunSummary, path: PathLike) -> Path:
+    """Write a single run summary as a JSON document (nested, not flattened)."""
+    document = {
+        "scheduler": summary.scheduler,
+        "scenario": summary.scenario,
+        "duration_s": summary.duration_s,
+        "average_delay_s": summary.average_delay_s,
+        "average_energy_j": summary.average_energy_j,
+        "delay": summary.delay.as_dict(),
+        "energy": summary.energy.as_dict(),
+        "messages": summary.messages,
+        "extra": summary.extra,
+    }
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(document, indent=2, default=_json_fallback))
+    return target
+
+
+def export_experiment(
+    result: ExperimentResult,
+    directory: PathLike,
+    *,
+    metrics: Sequence[str] = ("delay", "energy"),
+    stem: Optional[str] = None,
+) -> List[Path]:
+    """Write one CSV per metric for a sweep result; returns the written paths."""
+    base = Path(directory)
+    name = stem or result.name
+    written = []
+    for metric in metrics:
+        written.append(write_csv(sweep_rows(result, metric), base / f"{name}_{metric}.csv"))
+    return written
+
+
+def _json_fallback(value: Any) -> Any:
+    """Serialise NumPy scalars and other simple objects JSON chokes on."""
+    if hasattr(value, "item"):
+        return value.item()
+    if hasattr(value, "as_dict"):
+        return value.as_dict()
+    return str(value)

@@ -1,0 +1,122 @@
+"""Sensitivity studies beyond the paper's sweeps: density, speed and range.
+
+The paper fixes 30 nodes and a 10 m transmission range.  These sweeps probe
+how the PAS-vs-SAS comparison depends on that choice:
+
+* **node density** -- PAS relies on neighbour reports; in sparse deployments
+  a waking node often has no covered neighbour to learn from, so the benefit
+  over SAS should shrink.
+* **stimulus speed** -- a faster front shortens the usable prediction window
+  (a node must wake inside the window between its neighbours' coverage and
+  its own arrival), so delays rise for both adaptive schemes.
+* **transmission range** -- a larger range widens the neighbourhood a single
+  REQUEST can harvest information from, improving predictions at the price
+  of more RX energy per broadcast.
+
+Each function returns plain dict rows (scheduler, sweep value, delay, energy)
+ready for :func:`repro.metrics.summary.format_table` or CSV export.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import PASConfig, SASConfig
+from repro.core.pas import PASScheduler
+from repro.core.sas import SASScheduler
+from repro.experiments.runner import default_scenario
+from repro.metrics.summary import RunSummary
+from repro.world.builder import run_scenario
+
+
+def _both_schedulers(max_sleep_interval: float, alert_threshold: float):
+    return {
+        "PAS": lambda: PASScheduler(
+            PASConfig(max_sleep_interval=max_sleep_interval, alert_threshold=alert_threshold)
+        ),
+        "SAS": lambda: SASScheduler(SASConfig(max_sleep_interval=max_sleep_interval)),
+    }
+
+
+def _row(scheduler: str, x_name: str, x: float, summary: RunSummary) -> Dict[str, float]:
+    return {
+        "scheduler": scheduler,
+        x_name: x,
+        "delay_s": summary.average_delay_s,
+        "energy_j": summary.average_energy_j,
+        "detected": summary.delay.num_detected,
+        "reached": summary.delay.num_reached,
+    }
+
+
+def density_sensitivity(
+    node_counts: Sequence[int] = (15, 30, 60),
+    *,
+    area: float = 50.0,
+    max_sleep_interval: float = 10.0,
+    alert_threshold: float = 20.0,
+    seeds: Sequence[int] = (0, 1),
+) -> List[Dict[str, float]]:
+    """PAS and SAS across deployment densities (same area, more nodes)."""
+    rows: List[Dict[str, float]] = []
+    for count in node_counts:
+        for name, factory in _both_schedulers(max_sleep_interval, alert_threshold).items():
+            delays, energies, detected, reached = [], [], 0, 0
+            for seed in seeds:
+                scenario = default_scenario(
+                    num_nodes=count, area=area, seed=seed, label=f"density-{count}"
+                )
+                summary = run_scenario(scenario, factory())
+                delays.append(summary.average_delay_s)
+                energies.append(summary.average_energy_j)
+                detected += summary.delay.num_detected
+                reached += summary.delay.num_reached
+            rows.append(
+                {
+                    "scheduler": name,
+                    "num_nodes": count,
+                    "delay_s": sum(delays) / len(delays),
+                    "energy_j": sum(energies) / len(energies),
+                    "detected": detected,
+                    "reached": reached,
+                }
+            )
+    return rows
+
+
+def speed_sensitivity(
+    speeds: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
+    *,
+    max_sleep_interval: float = 10.0,
+    alert_threshold: float = 20.0,
+    seed: int = 0,
+) -> List[Dict[str, float]]:
+    """PAS and SAS across stimulus spreading speeds."""
+    rows: List[Dict[str, float]] = []
+    for speed in speeds:
+        for name, factory in _both_schedulers(max_sleep_interval, alert_threshold).items():
+            scenario = default_scenario(
+                stimulus_speed=speed, seed=seed, label=f"speed-{speed}"
+            )
+            summary = run_scenario(scenario, factory())
+            rows.append(_row(name, "speed_mps", speed, summary))
+    return rows
+
+
+def range_sensitivity(
+    ranges: Sequence[float] = (5.0, 10.0, 20.0),
+    *,
+    max_sleep_interval: float = 10.0,
+    alert_threshold: float = 20.0,
+    seed: int = 0,
+) -> List[Dict[str, float]]:
+    """PAS and SAS across transmission ranges."""
+    rows: List[Dict[str, float]] = []
+    for tx_range in ranges:
+        for name, factory in _both_schedulers(max_sleep_interval, alert_threshold).items():
+            scenario = default_scenario(
+                transmission_range=tx_range, seed=seed, label=f"range-{tx_range}"
+            )
+            summary = run_scenario(scenario, factory())
+            rows.append(_row(name, "range_m", tx_range, summary))
+    return rows

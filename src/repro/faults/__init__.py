@@ -1,0 +1,17 @@
+"""Fault injection: node failures and imperfect channels.
+
+Both mechanisms are the "future work" items named in the paper's conclusion
+("we plan to study the impacts of sensor failure and imperfect communication
+channel").  They are implemented as optional scenario features so the
+extension benchmarks (E1 and E2 in DESIGN.md) can quantify how gracefully PAS
+degrades, without complicating the base reproduction.
+"""
+
+from repro.faults.failure import NodeFailureInjector
+from repro.faults.channel_faults import burst_loss_channel, uniform_loss_channel
+
+__all__ = [
+    "NodeFailureInjector",
+    "uniform_loss_channel",
+    "burst_loss_channel",
+]

@@ -1,0 +1,77 @@
+"""Imperfect-channel helpers (extension E2).
+
+Factory helpers that build pre-configured :class:`~repro.network.channel.LossyChannel`
+variants used in the lossy-channel extension benchmark and the examples:
+
+* :func:`uniform_loss_channel` -- every frame lost with the same probability;
+* :func:`burst_loss_channel` -- a simple two-state (Gilbert--Elliott style)
+  loss process, approximated here by a distance-independent elevated loss
+  rate punctuated with jitter, which is enough to show how PAS's estimate
+  propagation degrades when RESPONSE messages go missing in bursts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.network.channel import ChannelModel, LossyChannel
+
+
+class _BurstLossChannel(LossyChannel):
+    """Two-state loss process: GOOD (low loss) and BAD (high loss).
+
+    State flips are evaluated per transmission with the configured switching
+    probabilities, which gives geometrically distributed burst lengths -- the
+    standard Gilbert--Elliott behaviour -- without needing wall-clock timers.
+    """
+
+    def __init__(
+        self,
+        good_loss: float,
+        bad_loss: float,
+        p_good_to_bad: float,
+        p_bad_to_good: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(good_loss, rng=rng)
+        if not 0 <= bad_loss <= 1:
+            raise ValueError("bad_loss must lie in [0, 1]")
+        if not 0 < p_good_to_bad < 1 or not 0 < p_bad_to_good < 1:
+            raise ValueError("switching probabilities must lie in (0, 1)")
+        self.good_loss = float(good_loss)
+        self.bad_loss = float(bad_loss)
+        self.p_good_to_bad = float(p_good_to_bad)
+        self.p_bad_to_good = float(p_bad_to_good)
+        self._in_bad_state = False
+
+    def delivered(self, sender_id: int, receiver_id: int, distance: float) -> bool:
+        # Possibly switch state, then apply the state's loss rate.
+        if self._in_bad_state:
+            if self.rng.random() < self.p_bad_to_good:
+                self._in_bad_state = False
+        else:
+            if self.rng.random() < self.p_good_to_bad:
+                self._in_bad_state = True
+        loss = self.bad_loss if self._in_bad_state else self.good_loss
+        return self.rng.random() >= loss
+
+
+def uniform_loss_channel(
+    loss_probability: float, rng: Optional[np.random.Generator] = None
+) -> ChannelModel:
+    """A channel losing every frame independently with ``loss_probability``."""
+    return LossyChannel(loss_probability, rng=rng)
+
+
+def burst_loss_channel(
+    *,
+    good_loss: float = 0.02,
+    bad_loss: float = 0.6,
+    p_good_to_bad: float = 0.05,
+    p_bad_to_good: float = 0.3,
+    rng: Optional[np.random.Generator] = None,
+) -> ChannelModel:
+    """A bursty Gilbert--Elliott style loss channel."""
+    return _BurstLossChannel(good_loss, bad_loss, p_good_to_bad, p_bad_to_good, rng=rng)

@@ -1,0 +1,89 @@
+"""Node-failure injection (extension E1).
+
+Failures follow a memoryless model: each node independently draws an
+exponential time-to-failure with the configured mean rate; nodes whose draw
+exceeds the simulation horizon never fail.  A failed node stops sensing,
+transmitting, receiving and consuming energy -- the same behaviour as a node
+whose battery has died.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.node.sensor import SensorNode
+from repro.sim.engine import Simulator
+
+
+class NodeFailureInjector:
+    """Schedules permanent node failures over the simulation horizon.
+
+    Parameters
+    ----------
+    sim:
+        Simulator to schedule failure events on.
+    nodes:
+        The deployed nodes (by id).
+    failure_rate_per_hour:
+        Mean number of failures per node per hour; the exponential
+        time-to-failure has mean ``3600 / rate`` seconds.
+    rng:
+        Random generator (from the ``failures`` stream for reproducibility).
+    horizon:
+        Only failures occurring before this time are scheduled.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nodes: Dict[int, SensorNode],
+        *,
+        failure_rate_per_hour: float,
+        rng: Optional[np.random.Generator] = None,
+        horizon: float = float("inf"),
+    ) -> None:
+        if failure_rate_per_hour <= 0:
+            raise ValueError("failure_rate_per_hour must be positive")
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        self.sim = sim
+        self.nodes = nodes
+        self.failure_rate_per_hour = float(failure_rate_per_hour)
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.horizon = float(horizon)
+        #: (time, node_id) pairs scheduled by :meth:`schedule_failures`
+        self.scheduled: List[Tuple[float, int]] = []
+
+    def draw_failure_times(self) -> Dict[int, float]:
+        """Draw one exponential time-to-failure per node (may exceed horizon)."""
+        mean_seconds = 3600.0 / self.failure_rate_per_hour
+        return {
+            node_id: float(self.rng.exponential(mean_seconds)) for node_id in self.nodes
+        }
+
+    def schedule_failures(self) -> int:
+        """Schedule failure events before the horizon; returns how many."""
+        count = 0
+        for node_id, t_fail in self.draw_failure_times().items():
+            if t_fail <= self.horizon:
+                self.scheduled.append((t_fail, node_id))
+                self.sim.schedule_at(
+                    t_fail, self._make_failure(node_id), name=f"node{node_id}:fail"
+                )
+                count += 1
+        return count
+
+    def _make_failure(self, node_id: int):
+        def fail() -> None:
+            node = self.nodes[node_id]
+            if not node.is_failed:
+                node.fail(self.sim.now)
+
+        return fail
+
+    @property
+    def num_scheduled(self) -> int:
+        """Number of failures scheduled within the horizon."""
+        return len(self.scheduled)

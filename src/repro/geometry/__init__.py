@@ -1,0 +1,49 @@
+"""Geometry substrate: vectors, deployments, spatial indexing and regions.
+
+All PAS quantities live in a 2-D plane: node positions, stimulus fronts,
+spreading-velocity vectors and the angles between them.  This package keeps
+those primitives in one place so the scheduler code can stay close to the
+paper's formulas.
+
+Contents
+--------
+* :class:`~repro.geometry.vec.Vec2` -- immutable 2-D vector with the small
+  amount of linear algebra PAS needs (norm, angle between vectors, projection).
+* :mod:`~repro.geometry.deployment` -- node deployment generators (uniform
+  random, regular grid, jittered grid, Poisson-disk, clustered).
+* :class:`~repro.geometry.spatial_index.GridIndex` -- uniform-grid spatial hash
+  used for neighbour queries; validated against brute force in the tests.
+* :mod:`~repro.geometry.regions` -- rectangles, circles and polygons used to
+  describe monitored regions and to test point membership.
+"""
+
+from repro.geometry.vec import Vec2, angle_between, polar
+from repro.geometry.deployment import (
+    DeploymentConfig,
+    clustered_deployment,
+    grid_deployment,
+    jittered_grid_deployment,
+    poisson_disk_deployment,
+    uniform_random_deployment,
+    make_deployment,
+)
+from repro.geometry.spatial_index import GridIndex
+from repro.geometry.regions import Circle, Polygon, Rectangle, Region
+
+__all__ = [
+    "Vec2",
+    "angle_between",
+    "polar",
+    "DeploymentConfig",
+    "uniform_random_deployment",
+    "grid_deployment",
+    "jittered_grid_deployment",
+    "poisson_disk_deployment",
+    "clustered_deployment",
+    "make_deployment",
+    "GridIndex",
+    "Region",
+    "Rectangle",
+    "Circle",
+    "Polygon",
+]

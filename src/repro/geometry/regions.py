@@ -1,0 +1,208 @@
+"""Region primitives: rectangles, circles and simple polygons.
+
+Regions describe the monitored area (where nodes live and where the detected
+area is evaluated) and are also reused by the stimulus models -- e.g. the
+circular front model's coverage test is exactly :class:`Circle` membership.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.vec import Vec2
+
+
+class Region(abc.ABC):
+    """Abstract 2-D region with point membership, area and bounding box."""
+
+    @abc.abstractmethod
+    def contains(self, point: Sequence[float]) -> bool:
+        """True if ``point`` lies inside (or on the boundary of) the region."""
+
+    @abc.abstractmethod
+    def area(self) -> float:
+        """Area of the region in square metres."""
+
+    @abc.abstractmethod
+    def bounding_box(self) -> Tuple[float, float, float, float]:
+        """``(xmin, ymin, xmax, ymax)`` of the region."""
+
+    def contains_many(self, points: np.ndarray) -> np.ndarray:
+        """Vectorised membership test; default loops, subclasses may override."""
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise ValueError(f"points must have shape (n, 2), got {pts.shape}")
+        return np.array([self.contains(p) for p in pts], dtype=bool)
+
+    def sample_uniform(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Rejection-sample ``n`` points uniformly from the region."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        xmin, ymin, xmax, ymax = self.bounding_box()
+        out = np.empty((n, 2), dtype=float)
+        filled = 0
+        attempts = 0
+        max_attempts = max(1000, 200 * max(n, 1))
+        while filled < n:
+            if attempts > max_attempts:
+                raise RuntimeError("sample_uniform rejection sampling did not converge")
+            batch = np.column_stack(
+                [
+                    rng.uniform(xmin, xmax, size=max(n - filled, 1)),
+                    rng.uniform(ymin, ymax, size=max(n - filled, 1)),
+                ]
+            )
+            mask = self.contains_many(batch)
+            accepted = batch[mask]
+            take = min(len(accepted), n - filled)
+            out[filled : filled + take] = accepted[:take]
+            filled += take
+            attempts += len(batch)
+        return out
+
+
+@dataclass(frozen=True)
+class Rectangle(Region):
+    """Axis-aligned rectangle ``[xmin, xmax] x [ymin, ymax]``."""
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    def __post_init__(self) -> None:
+        if self.xmax < self.xmin or self.ymax < self.ymin:
+            raise ValueError("rectangle must have xmax >= xmin and ymax >= ymin")
+
+    @staticmethod
+    def from_size(width: float, height: float) -> "Rectangle":
+        """Rectangle anchored at the origin with the given extent."""
+        return Rectangle(0.0, 0.0, width, height)
+
+    def contains(self, point: Sequence[float]) -> bool:
+        x, y = float(point[0]), float(point[1])
+        return self.xmin <= x <= self.xmax and self.ymin <= y <= self.ymax
+
+    def contains_many(self, points: np.ndarray) -> np.ndarray:
+        pts = np.asarray(points, dtype=float)
+        return (
+            (pts[:, 0] >= self.xmin)
+            & (pts[:, 0] <= self.xmax)
+            & (pts[:, 1] >= self.ymin)
+            & (pts[:, 1] <= self.ymax)
+        )
+
+    def area(self) -> float:
+        return (self.xmax - self.xmin) * (self.ymax - self.ymin)
+
+    def bounding_box(self) -> Tuple[float, float, float, float]:
+        return (self.xmin, self.ymin, self.xmax, self.ymax)
+
+    @property
+    def center(self) -> Vec2:
+        """Geometric centre of the rectangle."""
+        return Vec2((self.xmin + self.xmax) / 2.0, (self.ymin + self.ymax) / 2.0)
+
+    @property
+    def width(self) -> float:
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> float:
+        return self.ymax - self.ymin
+
+
+@dataclass(frozen=True)
+class Circle(Region):
+    """Disk of radius ``radius`` centred at ``(cx, cy)``."""
+
+    cx: float
+    cy: float
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius < 0:
+            raise ValueError("radius must be non-negative")
+
+    def contains(self, point: Sequence[float]) -> bool:
+        dx = float(point[0]) - self.cx
+        dy = float(point[1]) - self.cy
+        return dx * dx + dy * dy <= self.radius * self.radius + 1e-12
+
+    def contains_many(self, points: np.ndarray) -> np.ndarray:
+        pts = np.asarray(points, dtype=float)
+        d2 = (pts[:, 0] - self.cx) ** 2 + (pts[:, 1] - self.cy) ** 2
+        return d2 <= self.radius * self.radius + 1e-12
+
+    def area(self) -> float:
+        return math.pi * self.radius * self.radius
+
+    def bounding_box(self) -> Tuple[float, float, float, float]:
+        return (
+            self.cx - self.radius,
+            self.cy - self.radius,
+            self.cx + self.radius,
+            self.cy + self.radius,
+        )
+
+    @property
+    def center(self) -> Vec2:
+        """Centre of the disk."""
+        return Vec2(self.cx, self.cy)
+
+
+class Polygon(Region):
+    """Simple (non self-intersecting) polygon defined by its vertices.
+
+    Membership uses the even-odd ray-casting rule; the area uses the shoelace
+    formula.  Vertices may be given in either winding order.
+    """
+
+    def __init__(self, vertices: Sequence[Sequence[float]]) -> None:
+        verts = np.asarray(vertices, dtype=float)
+        if verts.ndim != 2 or verts.shape[1] != 2 or verts.shape[0] < 3:
+            raise ValueError("polygon needs at least 3 (x, y) vertices")
+        self._verts = verts
+
+    @property
+    def vertices(self) -> np.ndarray:
+        """``(n, 2)`` vertex array."""
+        return self._verts
+
+    def contains(self, point: Sequence[float]) -> bool:
+        x, y = float(point[0]), float(point[1])
+        inside = False
+        verts = self._verts
+        n = len(verts)
+        j = n - 1
+        for i in range(n):
+            xi, yi = verts[i]
+            xj, yj = verts[j]
+            # Edge straddles the horizontal ray through y?
+            if (yi > y) != (yj > y):
+                x_cross = (xj - xi) * (y - yi) / (yj - yi) + xi
+                if x < x_cross:
+                    inside = not inside
+            j = i
+        return inside
+
+    def area(self) -> float:
+        x = self._verts[:, 0]
+        y = self._verts[:, 1]
+        return 0.5 * abs(float(np.dot(x, np.roll(y, -1)) - np.dot(y, np.roll(x, -1))))
+
+    def bounding_box(self) -> Tuple[float, float, float, float]:
+        return (
+            float(self._verts[:, 0].min()),
+            float(self._verts[:, 1].min()),
+            float(self._verts[:, 0].max()),
+            float(self._verts[:, 1].max()),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Polygon(n_vertices={len(self._verts)})"

@@ -1,0 +1,110 @@
+"""Uniform-grid spatial hash for neighbour queries.
+
+The network substrate needs "all nodes within radius r of position p" both at
+topology-construction time (neighbour tables for the unit-disk graph) and for
+stimulus coverage queries on grids of probe points.  A uniform-cell spatial
+hash with cell size equal to the query radius gives O(1) expected query cost
+for the node densities used in the paper's evaluation and is trivial to verify
+against brute force (see the property tests).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+class GridIndex:
+    """Static spatial hash over a fixed set of 2-D points.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 2)`` array of positions.
+    cell_size:
+        Edge length of the square hash cells.  Choose the typical query radius
+        for best performance; correctness does not depend on it.
+    """
+
+    def __init__(self, points: np.ndarray, cell_size: float) -> None:
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2 or points.shape[1] != 2:
+            raise ValueError(f"points must have shape (n, 2), got {points.shape}")
+        if cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        self._points = points
+        self._cell = float(cell_size)
+        self._buckets: Dict[Tuple[int, int], List[int]] = {}
+        for idx, (x, y) in enumerate(points):
+            self._buckets.setdefault(self._key(x, y), []).append(idx)
+
+    # ------------------------------------------------------------------ info
+    @property
+    def points(self) -> np.ndarray:
+        """The indexed positions (read-only view semantics by convention)."""
+        return self._points
+
+    @property
+    def size(self) -> int:
+        """Number of indexed points."""
+        return int(self._points.shape[0])
+
+    @property
+    def cell_size(self) -> float:
+        """Hash cell edge length."""
+        return self._cell
+
+    def _key(self, x: float, y: float) -> Tuple[int, int]:
+        return (int(math.floor(x / self._cell)), int(math.floor(y / self._cell)))
+
+    # --------------------------------------------------------------- queries
+    def query_radius(self, center: Sequence[float], radius: float) -> np.ndarray:
+        """Indices of points within Euclidean ``radius`` of ``center`` (inclusive).
+
+        Results are sorted ascending so callers get deterministic neighbour
+        ordering regardless of hash-bucket iteration order.
+        """
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        cx, cy = float(center[0]), float(center[1])
+        reach = int(math.ceil(radius / self._cell))
+        kx, ky = self._key(cx, cy)
+        candidates: List[int] = []
+        for ix in range(kx - reach, kx + reach + 1):
+            for iy in range(ky - reach, ky + reach + 1):
+                bucket = self._buckets.get((ix, iy))
+                if bucket:
+                    candidates.extend(bucket)
+        if not candidates:
+            return np.empty(0, dtype=int)
+        cand = np.array(sorted(candidates), dtype=int)
+        d2 = np.sum((self._points[cand] - np.array([cx, cy])) ** 2, axis=1)
+        return cand[d2 <= radius * radius + 1e-12]
+
+    def query_pairs(self, radius: float) -> List[Tuple[int, int]]:
+        """All unordered index pairs ``(i, j)``, ``i < j``, within ``radius``."""
+        pairs: List[Tuple[int, int]] = []
+        for i in range(self.size):
+            neighbours = self.query_radius(self._points[i], radius)
+            for j in neighbours:
+                if j > i:
+                    pairs.append((i, int(j)))
+        return pairs
+
+    def nearest(self, center: Sequence[float]) -> int:
+        """Index of the point nearest to ``center`` (brute force fallback).
+
+        The grid buckets cannot bound the nearest neighbour without a growing
+        ring search, so for this rarely used helper a vectorised brute force
+        over all points is simpler and fast enough.
+        """
+        if self.size == 0:
+            raise ValueError("nearest() on an empty index")
+        c = np.array([float(center[0]), float(center[1])])
+        d2 = np.sum((self._points - c) ** 2, axis=1)
+        return int(np.argmin(d2))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GridIndex(n={self.size}, cell={self._cell})"

@@ -1,0 +1,175 @@
+"""Immutable 2-D vector used for positions and spreading velocities.
+
+The PAS arrival-time estimate needs exactly three geometric operations:
+
+* the distance ``|IX|`` between two sensors,
+* the angle ``theta`` between a reported velocity ``v_I`` and the vector
+  ``I -> X``,
+* the magnitude of a velocity.
+
+``Vec2`` provides these with plain ``math`` calls (cheap, allocation-light)
+while still converting to/from NumPy arrays for the vectorised stimulus code.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Tuple
+
+import numpy as np
+
+#: Magnitudes below this are treated as the zero vector when normalising or
+#: measuring angles; avoids NaNs from floating point dust.
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class Vec2:
+    """A 2-D vector / point with float components.
+
+    ``Vec2`` doubles as a point (node position) and a direction (velocity);
+    the distinction is by usage, as is conventional in small geometry kernels.
+    """
+
+    x: float
+    y: float
+
+    # ------------------------------------------------------------ construction
+    @staticmethod
+    def zero() -> "Vec2":
+        """The zero vector."""
+        return Vec2(0.0, 0.0)
+
+    @staticmethod
+    def from_iterable(values: Iterable[float]) -> "Vec2":
+        """Build from any two-element iterable (list, tuple, ndarray row)."""
+        seq = list(values)
+        if len(seq) != 2:
+            raise ValueError(f"expected exactly 2 components, got {len(seq)}")
+        return Vec2(float(seq[0]), float(seq[1]))
+
+    # ---------------------------------------------------------------- algebra
+    def __add__(self, other: "Vec2") -> "Vec2":
+        return Vec2(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Vec2") -> "Vec2":
+        return Vec2(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Vec2":
+        return Vec2(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "Vec2":
+        if abs(scalar) < _EPS:
+            raise ZeroDivisionError("division of Vec2 by (near-)zero scalar")
+        return Vec2(self.x / scalar, self.y / scalar)
+
+    def __neg__(self) -> "Vec2":
+        return Vec2(-self.x, -self.y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def dot(self, other: "Vec2") -> float:
+        """Dot product."""
+        return self.x * other.x + self.y * other.y
+
+    def cross(self, other: "Vec2") -> float:
+        """2-D cross product (z-component of the 3-D cross product)."""
+        return self.x * other.y - self.y * other.x
+
+    # --------------------------------------------------------------- measures
+    def norm(self) -> float:
+        """Euclidean length."""
+        return math.hypot(self.x, self.y)
+
+    def norm_sq(self) -> float:
+        """Squared Euclidean length (cheaper when only comparing)."""
+        return self.x * self.x + self.y * self.y
+
+    def is_zero(self, tol: float = _EPS) -> bool:
+        """True if the vector is (numerically) the zero vector."""
+        return self.norm() < tol
+
+    def distance_to(self, other: "Vec2") -> float:
+        """Euclidean distance to another point."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def normalized(self) -> "Vec2":
+        """Unit vector in the same direction.
+
+        Raises
+        ------
+        ZeroDivisionError
+            If the vector is (numerically) zero.
+        """
+        n = self.norm()
+        if n < _EPS:
+            raise ZeroDivisionError("cannot normalise a zero vector")
+        return Vec2(self.x / n, self.y / n)
+
+    def angle(self) -> float:
+        """Polar angle in radians in ``(-pi, pi]`` (``atan2`` convention)."""
+        return math.atan2(self.y, self.x)
+
+    def rotated(self, radians: float) -> "Vec2":
+        """Vector rotated counter-clockwise by ``radians``."""
+        c, s = math.cos(radians), math.sin(radians)
+        return Vec2(c * self.x - s * self.y, s * self.x + c * self.y)
+
+    def projection_onto(self, direction: "Vec2") -> float:
+        """Signed length of the projection of ``self`` onto ``direction``."""
+        n = direction.norm()
+        if n < _EPS:
+            raise ZeroDivisionError("cannot project onto a zero direction")
+        return self.dot(direction) / n
+
+    # ------------------------------------------------------------- conversion
+    def to_tuple(self) -> Tuple[float, float]:
+        """Plain ``(x, y)`` tuple."""
+        return (self.x, self.y)
+
+    def to_array(self) -> np.ndarray:
+        """NumPy array ``[x, y]`` (dtype float64)."""
+        return np.array([self.x, self.y], dtype=float)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Vec2({self.x:.6g}, {self.y:.6g})"
+
+
+def polar(magnitude: float, angle_radians: float) -> Vec2:
+    """Vector of given ``magnitude`` at polar ``angle_radians``."""
+    return Vec2(magnitude * math.cos(angle_radians), magnitude * math.sin(angle_radians))
+
+
+def angle_between(a: Vec2, b: Vec2) -> float:
+    """Unsigned angle between two vectors in ``[0, pi]``.
+
+    This is the ``theta_I`` of the PAS arrival-time formula: the angle between
+    a neighbour's velocity estimate and the neighbour-to-me displacement.
+
+    Raises
+    ------
+    ZeroDivisionError
+        If either vector is (numerically) zero -- the angle is undefined and
+        callers must treat such neighbours as uninformative.
+    """
+    na, nb = a.norm(), b.norm()
+    if na < _EPS or nb < _EPS:
+        raise ZeroDivisionError("angle with a zero vector is undefined")
+    cos_theta = a.dot(b) / (na * nb)
+    cos_theta = max(-1.0, min(1.0, cos_theta))
+    return math.acos(cos_theta)
+
+
+def centroid(points: Iterable[Vec2]) -> Vec2:
+    """Arithmetic mean of a non-empty collection of points."""
+    pts = list(points)
+    if not pts:
+        raise ValueError("centroid of an empty point set is undefined")
+    sx = sum(p.x for p in pts)
+    sy = sum(p.y for p in pts)
+    return Vec2(sx / len(pts), sy / len(pts))

@@ -1,0 +1,28 @@
+"""Metrics: detection delay, energy consumption and run summaries.
+
+The paper defines two headline metrics (§4.1):
+
+* **average detection delay** -- mean over reached nodes of
+  (first detection time - true arrival time);
+* **average energy consumption** -- mean per-node energy, controller plus
+  communication.
+
+This package records both, plus the per-node breakdowns, protocol-state
+transition logs and message counters used by the ablations and the analysis
+examples.
+"""
+
+from repro.metrics.delay import DelayRecorder, DelayStats
+from repro.metrics.energy import EnergyStats, collect_energy_stats
+from repro.metrics.recorder import MetricsRecorder, StateChangeRecord
+from repro.metrics.summary import RunSummary
+
+__all__ = [
+    "DelayRecorder",
+    "DelayStats",
+    "EnergyStats",
+    "collect_energy_stats",
+    "MetricsRecorder",
+    "StateChangeRecord",
+    "RunSummary",
+]

@@ -1,0 +1,148 @@
+"""Detection-delay accounting.
+
+The true (ground truth) arrival time of the stimulus at every node position
+is computed once from the stimulus model; the world reports each node's first
+detection to the recorder; the statistics compare the two.
+
+Per the paper: "There is no delay for active sensors since they can
+immediately detect the diffusion while sleeping sensors might miss the first
+arrival time since they are in sleeping state."  Nodes that the stimulus
+never reaches within the simulated horizon are excluded from the average,
+and nodes that were reached but never detected (e.g. failed nodes) can either
+be excluded or clamped to the end-of-run delay, controlled by
+``missed_policy``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class DelayStats:
+    """Aggregate detection-delay statistics over one run."""
+
+    mean_s: float
+    median_s: float
+    max_s: float
+    min_s: float
+    std_s: float
+    num_reached: int
+    num_detected: int
+    num_missed: int
+    per_node_delay: Dict[int, float] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """Plain dict representation (without the per-node map)."""
+        return {
+            "mean_s": self.mean_s,
+            "median_s": self.median_s,
+            "max_s": self.max_s,
+            "min_s": self.min_s,
+            "std_s": self.std_s,
+            "num_reached": self.num_reached,
+            "num_detected": self.num_detected,
+            "num_missed": self.num_missed,
+        }
+
+
+class DelayRecorder:
+    """Collects first-detection times and computes delay statistics.
+
+    Parameters
+    ----------
+    true_arrival_times:
+        Mapping node id -> ground-truth arrival time (``math.inf`` if the
+        stimulus never reaches the node within the analysis horizon).
+    missed_policy:
+        ``"exclude"`` (default) drops reached-but-undetected nodes from the
+        averages; ``"clamp"`` scores them with the end-of-run delay, which is
+        the pessimistic convention used when comparing against failure
+        injection runs.
+    """
+
+    def __init__(
+        self, true_arrival_times: Dict[int, float], missed_policy: str = "exclude"
+    ) -> None:
+        if missed_policy not in ("exclude", "clamp"):
+            raise ValueError("missed_policy must be 'exclude' or 'clamp'")
+        self.true_arrival_times = dict(true_arrival_times)
+        self.missed_policy = missed_policy
+        self.detection_times: Dict[int, float] = {}
+
+    # ------------------------------------------------------------- recording
+    def record_detection(self, node_id: int, time: float) -> None:
+        """Record the *first* detection of the stimulus by ``node_id``."""
+        if node_id not in self.true_arrival_times:
+            raise KeyError(f"unknown node id {node_id}")
+        if node_id not in self.detection_times:
+            self.detection_times[node_id] = float(time)
+
+    def has_detected(self, node_id: int) -> bool:
+        """True once a detection has been recorded for the node."""
+        return node_id in self.detection_times
+
+    def delay_of(self, node_id: int) -> Optional[float]:
+        """Delay of one node, or ``None`` if not reached / not detected."""
+        arrival = self.true_arrival_times.get(node_id, math.inf)
+        if not math.isfinite(arrival):
+            return None
+        detected = self.detection_times.get(node_id)
+        if detected is None:
+            return None
+        return max(0.0, detected - arrival)
+
+    # ------------------------------------------------------------ statistics
+    def compute(self, end_time: float) -> DelayStats:
+        """Aggregate statistics at the end of a run lasting until ``end_time``."""
+        delays: List[float] = []
+        per_node: Dict[int, float] = {}
+        num_reached = 0
+        num_detected = 0
+        num_missed = 0
+        for node_id, arrival in self.true_arrival_times.items():
+            if not math.isfinite(arrival) or arrival > end_time:
+                continue
+            num_reached += 1
+            detected = self.detection_times.get(node_id)
+            if detected is None:
+                num_missed += 1
+                if self.missed_policy == "clamp":
+                    delay = max(0.0, end_time - arrival)
+                    delays.append(delay)
+                    per_node[node_id] = delay
+                continue
+            num_detected += 1
+            delay = max(0.0, detected - arrival)
+            delays.append(delay)
+            per_node[node_id] = delay
+        if delays:
+            arr = np.asarray(delays, dtype=float)
+            stats = DelayStats(
+                mean_s=float(arr.mean()),
+                median_s=float(np.median(arr)),
+                max_s=float(arr.max()),
+                min_s=float(arr.min()),
+                std_s=float(arr.std()),
+                num_reached=num_reached,
+                num_detected=num_detected,
+                num_missed=num_missed,
+                per_node_delay=per_node,
+            )
+        else:
+            stats = DelayStats(
+                mean_s=0.0,
+                median_s=0.0,
+                max_s=0.0,
+                min_s=0.0,
+                std_s=0.0,
+                num_reached=num_reached,
+                num_detected=num_detected,
+                num_missed=num_missed,
+                per_node_delay=per_node,
+            )
+        return stats

@@ -1,0 +1,75 @@
+"""Energy-consumption statistics.
+
+Aggregates the per-node :class:`~repro.node.energy.EnergyAccount` ledgers into
+the paper's "average energy consumption" metric plus a per-component
+breakdown (MCU active, sleep, radio RX, radio TX) used by the ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+import numpy as np
+
+from repro.node.sensor import SensorNode
+
+
+@dataclass
+class EnergyStats:
+    """Aggregate energy statistics over one run (all values in joules)."""
+
+    mean_j: float
+    total_j: float
+    max_j: float
+    min_j: float
+    std_j: float
+    mean_active_j: float
+    mean_sleep_j: float
+    mean_rx_j: float
+    mean_tx_j: float
+    per_node_j: Dict[int, float] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """Plain dict representation (without the per-node map)."""
+        return {
+            "mean_j": self.mean_j,
+            "total_j": self.total_j,
+            "max_j": self.max_j,
+            "min_j": self.min_j,
+            "std_j": self.std_j,
+            "mean_active_j": self.mean_active_j,
+            "mean_sleep_j": self.mean_sleep_j,
+            "mean_rx_j": self.mean_rx_j,
+            "mean_tx_j": self.mean_tx_j,
+        }
+
+
+def collect_energy_stats(nodes: Iterable[SensorNode]) -> EnergyStats:
+    """Aggregate the energy ledgers of ``nodes`` into an :class:`EnergyStats`.
+
+    Callers must have settled each node's energy up to the end of the run
+    (``SensorNode.settle_energy``) before calling this, otherwise the time
+    spent in the final power state is missing from the ledgers; the world
+    model's ``finalize`` does that automatically.
+    """
+    node_list = list(nodes)
+    if not node_list:
+        raise ValueError("collect_energy_stats needs at least one node")
+    totals = np.array([n.energy.total_j for n in node_list], dtype=float)
+    active = np.array([n.energy.breakdown.active_j for n in node_list], dtype=float)
+    sleep = np.array([n.energy.breakdown.sleep_j for n in node_list], dtype=float)
+    rx = np.array([n.energy.breakdown.rx_j for n in node_list], dtype=float)
+    tx = np.array([n.energy.breakdown.tx_j for n in node_list], dtype=float)
+    return EnergyStats(
+        mean_j=float(totals.mean()),
+        total_j=float(totals.sum()),
+        max_j=float(totals.max()),
+        min_j=float(totals.min()),
+        std_j=float(totals.std()),
+        mean_active_j=float(active.mean()),
+        mean_sleep_j=float(sleep.mean()),
+        mean_rx_j=float(rx.mean()),
+        mean_tx_j=float(tx.mean()),
+        per_node_j={n.id: float(n.energy.total_j) for n in node_list},
+    )

@@ -1,0 +1,80 @@
+"""Event recorder: state changes, detections and periodic occupancy samples.
+
+``MetricsRecorder`` is the single sink the world model reports into.  It owns
+the :class:`~repro.metrics.delay.DelayRecorder`, keeps the protocol
+state-change log and (optionally) samples how many nodes are awake / asleep /
+in each protocol state on a fixed period, which the examples use to plot the
+"alert belt" travelling with the front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.metrics.delay import DelayRecorder, DelayStats
+
+
+@dataclass(frozen=True)
+class StateChangeRecord:
+    """One protocol-state transition reported by a controller."""
+
+    time: float
+    node_id: int
+    old_state: str
+    new_state: str
+
+
+@dataclass
+class OccupancySample:
+    """Snapshot of how many nodes are in each protocol / power state."""
+
+    time: float
+    counts: Dict[str, int] = field(default_factory=dict)
+    awake: int = 0
+    asleep: int = 0
+
+
+class MetricsRecorder:
+    """Collects everything a run reports and produces the final statistics."""
+
+    def __init__(self, true_arrival_times: Dict[int, float], missed_policy: str = "exclude") -> None:
+        self.delay = DelayRecorder(true_arrival_times, missed_policy=missed_policy)
+        self.state_changes: List[StateChangeRecord] = []
+        self.occupancy: List[OccupancySample] = []
+        self.detections: Dict[int, float] = {}
+
+    # ------------------------------------------------------------- reporting
+    def record_detection(self, node_id: int, time: float) -> None:
+        """First-detection hook called by the world model."""
+        if node_id not in self.detections:
+            self.detections[node_id] = float(time)
+        self.delay.record_detection(node_id, time)
+
+    def record_state_change(self, node_id: int, time: float, old: str, new: str) -> None:
+        """Protocol state-change hook called by the controllers."""
+        self.state_changes.append(StateChangeRecord(time, node_id, old, new))
+
+    def record_occupancy(self, sample: OccupancySample) -> None:
+        """Store a periodic occupancy snapshot."""
+        self.occupancy.append(sample)
+
+    # ------------------------------------------------------------ statistics
+    def delay_stats(self, end_time: float) -> DelayStats:
+        """Detection-delay statistics at the end of the run."""
+        return self.delay.compute(end_time)
+
+    def transitions_of(self, node_id: int) -> List[StateChangeRecord]:
+        """All recorded transitions of one node, in order."""
+        return [r for r in self.state_changes if r.node_id == node_id]
+
+    def count_transitions(self, old: Optional[str] = None, new: Optional[str] = None) -> int:
+        """Number of transitions matching the given old/new state filters."""
+        count = 0
+        for record in self.state_changes:
+            if old is not None and record.old_state != old:
+                continue
+            if new is not None and record.new_state != new:
+                continue
+            count += 1
+        return count

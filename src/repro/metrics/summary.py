@@ -1,0 +1,79 @@
+"""Run summaries: the single record the experiment harness works with.
+
+A :class:`RunSummary` bundles the scheduler identity, the scenario parameters
+that were swept, the delay and energy statistics and the traffic counters of
+one simulation run.  The figure regenerators collect one summary per sweep
+point and print the paper's series from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.metrics.delay import DelayStats
+from repro.metrics.energy import EnergyStats
+
+
+@dataclass
+class RunSummary:
+    """Everything the harness needs to know about one completed run."""
+
+    scheduler: str
+    scenario: Dict[str, Any]
+    duration_s: float
+    delay: DelayStats
+    energy: EnergyStats
+    messages: Dict[str, int] = field(default_factory=dict)
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    # --------------------------------------------------------------- access
+    @property
+    def average_delay_s(self) -> float:
+        """The paper's "average detection delay" metric."""
+        return self.delay.mean_s
+
+    @property
+    def average_energy_j(self) -> float:
+        """The paper's "average energy consumption" metric (joules per node)."""
+        return self.energy.mean_j
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flattened dictionary (suitable for CSV rows)."""
+        row: Dict[str, Any] = {
+            "scheduler": self.scheduler,
+            "duration_s": self.duration_s,
+            "average_delay_s": self.average_delay_s,
+            "average_energy_j": self.average_energy_j,
+        }
+        row.update({f"scenario.{k}": v for k, v in self.scenario.items()})
+        row.update({f"delay.{k}": v for k, v in self.delay.as_dict().items()})
+        row.update({f"energy.{k}": v for k, v in self.energy.as_dict().items()})
+        row.update({f"messages.{k}": v for k, v in self.messages.items()})
+        row.update({f"extra.{k}": v for k, v in self.extra.items()})
+        return row
+
+
+def format_table(
+    rows: List[Dict[str, Any]], columns: Optional[List[str]] = None, float_fmt: str = "{:.4g}"
+) -> str:
+    """Render a list of dict rows as a fixed-width text table.
+
+    Small utility shared by the benchmark harness and the CLI so the printed
+    figures / tables look consistent.
+    """
+    if not rows:
+        return "(no rows)"
+    cols = columns if columns is not None else list(rows[0].keys())
+
+    def fmt(value: Any) -> str:
+        if isinstance(value, float):
+            return float_fmt.format(value)
+        return str(value)
+
+    rendered = [[fmt(row.get(c, "")) for c in cols] for row in rows]
+    widths = [max(len(c), *(len(r[i]) for r in rendered)) for i, c in enumerate(cols)]
+    header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(cols))
+    separator = "  ".join("-" * widths[i] for i in range(len(cols)))
+    body = "\n".join("  ".join(r[i].ljust(widths[i]) for i in range(len(cols))) for r in rendered)
+    return f"{header}\n{separator}\n{body}"

@@ -1,0 +1,33 @@
+"""Wireless network substrate: topology, messages and the broadcast medium.
+
+PAS nodes exchange exactly two message types in a one-hop neighbourhood
+(REQUEST and RESPONSE).  This package supplies:
+
+* :class:`~repro.network.messages.Request` / :class:`~repro.network.messages.Response`
+  -- typed message payloads with on-air byte sizes,
+* :class:`~repro.network.topology.Topology` -- the unit-disk neighbour graph
+  built from node positions and the transmission range,
+* :class:`~repro.network.channel.ChannelModel` -- per-link delivery model
+  (perfect by default; probabilistic loss and extra latency for the
+  "imperfect channel" extension),
+* :class:`~repro.network.medium.BroadcastMedium` -- delivers a node's
+  broadcast to all awake neighbours, charging TX/RX energy and channel delay.
+"""
+
+from repro.network.messages import Message, MessageType, Request, Response
+from repro.network.topology import Topology
+from repro.network.channel import ChannelModel, PerfectChannel, LossyChannel
+from repro.network.medium import BroadcastMedium, MediumStats
+
+__all__ = [
+    "Message",
+    "MessageType",
+    "Request",
+    "Response",
+    "Topology",
+    "ChannelModel",
+    "PerfectChannel",
+    "LossyChannel",
+    "BroadcastMedium",
+    "MediumStats",
+]

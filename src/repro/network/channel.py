@@ -1,0 +1,82 @@
+"""Per-link channel models.
+
+The paper assumes a perfect channel and leaves "imperfect communication
+channel" to future work; both are provided here.  A channel model answers two
+questions per transmission attempt on a link: is the frame delivered, and how
+much extra latency (beyond air time) does it incur.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+
+class ChannelModel(abc.ABC):
+    """Decides delivery success and extra latency per link transmission."""
+
+    @abc.abstractmethod
+    def delivered(self, sender_id: int, receiver_id: int, distance: float) -> bool:
+        """True if the frame from ``sender_id`` reaches ``receiver_id``."""
+
+    def extra_latency(self, sender_id: int, receiver_id: int, distance: float) -> float:
+        """Additional propagation / MAC latency in seconds (default: none)."""
+        return 0.0
+
+
+class PerfectChannel(ChannelModel):
+    """Every frame within range is delivered with zero extra latency."""
+
+    def delivered(self, sender_id: int, receiver_id: int, distance: float) -> bool:
+        return True
+
+
+class LossyChannel(ChannelModel):
+    """Independent per-frame loss with optional distance-dependent degradation.
+
+    Parameters
+    ----------
+    loss_probability:
+        Baseline probability that a frame is lost, independent of distance.
+    distance_factor:
+        Additional loss probability per metre of link distance (linear model);
+        the total loss probability is clipped to ``[0, 1]``.
+    jitter_s:
+        Upper bound of a uniform random extra latency added per delivery.
+    rng:
+        Random generator (inject one from :class:`repro.sim.rng.RandomStreams`
+        for reproducibility).
+    """
+
+    def __init__(
+        self,
+        loss_probability: float = 0.1,
+        *,
+        distance_factor: float = 0.0,
+        jitter_s: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if not 0 <= loss_probability <= 1:
+            raise ValueError("loss_probability must be in [0, 1]")
+        if distance_factor < 0:
+            raise ValueError("distance_factor must be non-negative")
+        if jitter_s < 0:
+            raise ValueError("jitter_s must be non-negative")
+        self.loss_probability = float(loss_probability)
+        self.distance_factor = float(distance_factor)
+        self.jitter_s = float(jitter_s)
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def link_loss_probability(self, distance: float) -> float:
+        """Total loss probability for a link of the given ``distance``."""
+        return min(1.0, self.loss_probability + self.distance_factor * max(0.0, distance))
+
+    def delivered(self, sender_id: int, receiver_id: int, distance: float) -> bool:
+        return self.rng.random() >= self.link_loss_probability(distance)
+
+    def extra_latency(self, sender_id: int, receiver_id: int, distance: float) -> float:
+        if self.jitter_s <= 0:
+            return 0.0
+        return float(self.rng.uniform(0.0, self.jitter_s))

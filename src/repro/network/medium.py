@@ -1,0 +1,148 @@
+"""The shared broadcast medium.
+
+``BroadcastMedium`` ties together the topology (who is in range), the channel
+model (is a frame delivered, with what extra latency), the nodes' radios
+(TX/RX energy) and the simulator (delivery happens after air time + latency).
+
+Delivery semantics follow the paper's protocol:
+
+* every transmission is a local broadcast to the one-hop neighbourhood,
+* only *awake* neighbours receive a frame -- a sleeping node cannot overhear,
+  which is exactly why safe nodes must poll with REQUEST when they wake,
+* the transmitter is charged TX energy once per broadcast; every receiving
+  neighbour is charged RX energy for the same frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.network.channel import ChannelModel, PerfectChannel
+from repro.network.messages import Message
+from repro.network.topology import Topology
+from repro.node.sensor import SensorNode
+from repro.sim.engine import Simulator
+
+#: A receiver callback: ``handler(receiver_id, message)``.
+DeliveryHandler = Callable[[int, Message], None]
+
+
+@dataclass
+class MediumStats:
+    """Network-wide traffic counters."""
+
+    broadcasts: int = 0
+    deliveries: int = 0
+    losses: int = 0
+    skipped_sleeping: int = 0
+    skipped_failed: int = 0
+
+    def as_dict(self) -> dict:
+        """Plain dict representation for summaries."""
+        return {
+            "broadcasts": self.broadcasts,
+            "deliveries": self.deliveries,
+            "losses": self.losses,
+            "skipped_sleeping": self.skipped_sleeping,
+            "skipped_failed": self.skipped_failed,
+        }
+
+
+class BroadcastMedium:
+    """Delivers one-hop broadcasts between sensor nodes.
+
+    Parameters
+    ----------
+    sim:
+        Simulator used to schedule deferred deliveries.
+    topology:
+        Static unit-disk topology (node ids must match ``nodes`` keys).
+    nodes:
+        Mapping of node id to :class:`SensorNode`.
+    channel:
+        Channel model; perfect by default.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        nodes: Dict[int, SensorNode],
+        *,
+        channel: Optional[ChannelModel] = None,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.nodes = nodes
+        self.channel = channel or PerfectChannel()
+        self.stats = MediumStats()
+        self._handlers: Dict[int, DeliveryHandler] = {}
+        #: optional tap receiving every delivered message (metrics / debugging)
+        self._taps: List[Callable[[int, int, Message], None]] = []
+
+    # -------------------------------------------------------------- handlers
+    def register_handler(self, node_id: int, handler: DeliveryHandler) -> None:
+        """Register the receive callback for ``node_id`` (one per node)."""
+        if node_id not in self.nodes:
+            raise KeyError(f"unknown node id {node_id}")
+        self._handlers[node_id] = handler
+
+    def add_tap(self, tap: Callable[[int, int, Message], None]) -> None:
+        """Register ``tap(sender_id, receiver_id, message)`` on every delivery."""
+        self._taps.append(tap)
+
+    # ------------------------------------------------------------- broadcast
+    def broadcast(self, sender_id: int, message: Message) -> int:
+        """Broadcast ``message`` from ``sender_id`` to its awake neighbours.
+
+        Returns the number of neighbours the frame was scheduled to reach
+        (losses already excluded).  The sender is charged TX energy exactly
+        once regardless of the neighbour count; each receiver is charged RX
+        energy at delivery time.
+        """
+        sender = self.nodes[sender_id]
+        if sender.is_failed:
+            return 0
+        air_time = sender.radio.transmit(message.payload_bytes)
+        self.stats.broadcasts += 1
+        scheduled = 0
+        for neighbour_id in self.topology.neighbours(sender_id):
+            receiver = self.nodes[neighbour_id]
+            if receiver.is_failed:
+                self.stats.skipped_failed += 1
+                continue
+            if not receiver.is_awake:
+                self.stats.skipped_sleeping += 1
+                continue
+            distance = self.topology.distance(sender_id, neighbour_id)
+            if not self.channel.delivered(sender_id, neighbour_id, distance):
+                self.stats.losses += 1
+                receiver.radio.drop()
+                continue
+            latency = air_time + self.channel.extra_latency(
+                sender_id, neighbour_id, distance
+            )
+            self._schedule_delivery(neighbour_id, message, latency)
+            scheduled += 1
+        return scheduled
+
+    def _schedule_delivery(self, receiver_id: int, message: Message, latency: float) -> None:
+        def deliver() -> None:
+            receiver = self.nodes[receiver_id]
+            # The receiver may have gone to sleep or failed during the air time.
+            if receiver.is_failed or not receiver.is_awake:
+                self.stats.skipped_sleeping += 1
+                return
+            receiver.radio.receive(message.payload_bytes)
+            self.stats.deliveries += 1
+            handler = self._handlers.get(receiver_id)
+            if handler is not None:
+                handler(receiver_id, message)
+            for tap in self._taps:
+                tap(message.sender_id, receiver_id, message)
+
+        self.sim.schedule_in(latency, deliver, name=f"deliver->{receiver_id}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BroadcastMedium(nodes={len(self.nodes)}, {self.stats.as_dict()})"

@@ -1,0 +1,112 @@
+"""Message types exchanged by PAS sensors.
+
+From §3.2 of the paper:
+
+* ``REQUEST`` -- "a sensor sends this message to request its neighbors for
+  stimulus information.  This message does not have any payload."
+* ``RESPONSE`` -- "contains a sensor's location, state, the estimated spread
+  speed and the predicted arrival time of the stimulus."
+
+Byte sizes are derived from a straightforward binary encoding (8-byte floats,
+1-byte enums) and only matter through the energy model (air time x TX/RX
+power); the protocol logic never inspects them.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+_message_counter = itertools.count()
+
+
+class MessageType(enum.Enum):
+    """Wire-level type tag."""
+
+    REQUEST = "request"
+    RESPONSE = "response"
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class for protocol messages.
+
+    Attributes
+    ----------
+    sender_id:
+        Node id of the transmitter.
+    timestamp:
+        Simulation time at which the message was sent.
+    message_id:
+        Monotonically increasing identifier (diagnostics / dedup in tests).
+    """
+
+    sender_id: int
+    timestamp: float
+    message_id: int = field(default_factory=lambda: next(_message_counter))
+
+    @property
+    def kind(self) -> MessageType:
+        """Wire-level type of this message."""
+        raise NotImplementedError
+
+    @property
+    def payload_bytes(self) -> int:
+        """Payload size excluding PHY/MAC headers."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Request(Message):
+    """Neighbour poll for stimulus information; carries no payload."""
+
+    @property
+    def kind(self) -> MessageType:
+        return MessageType.REQUEST
+
+    @property
+    def payload_bytes(self) -> int:
+        # Only the type tag rides in the payload; identity lives in the header.
+        return 1
+
+
+@dataclass(frozen=True)
+class Response(Message):
+    """Reply carrying the sender's stimulus knowledge.
+
+    Attributes
+    ----------
+    position:
+        Sender location ``(x, y)`` in metres.
+    state:
+        Sender protocol state name (``"safe"`` / ``"alert"`` / ``"covered"``).
+    velocity:
+        Sender's estimated spreading velocity vector ``(vx, vy)`` in m/s, or
+        ``None`` when the sender has no estimate yet.
+    predicted_arrival:
+        Sender's predicted stimulus arrival time at its own position
+        (absolute simulation time, ``math.inf`` when unknown / infinitely far).
+    detection_time:
+        Absolute time at which the sender detected the stimulus, or ``None``
+        if it has not detected it.  Needed by the PAS *actual velocity*
+        formula (elapsed time between two detections).
+    """
+
+    position: Tuple[float, float] = (0.0, 0.0)
+    state: str = "safe"
+    velocity: Optional[Tuple[float, float]] = None
+    predicted_arrival: float = math.inf
+    detection_time: Optional[float] = None
+
+    @property
+    def kind(self) -> MessageType:
+        return MessageType.RESPONSE
+
+    @property
+    def payload_bytes(self) -> int:
+        # type tag (1) + position (16) + state (1) + velocity (16) +
+        # predicted arrival (8) + detection time (8) = 50 bytes.
+        return 50

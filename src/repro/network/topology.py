@@ -1,0 +1,121 @@
+"""Unit-disk network topology and neighbour tables.
+
+The paper's evaluation uses 30 nodes with a 10 m transmission range; two
+nodes can talk iff their distance is at most the range (the classic unit-disk
+model).  ``Topology`` builds the neighbour tables once from positions using
+the spatial hash and exposes connectivity queries used by the schedulers and
+the analysis code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.geometry.spatial_index import GridIndex
+
+
+class Topology:
+    """Static unit-disk communication graph.
+
+    Parameters
+    ----------
+    positions:
+        ``(n, 2)`` array of node positions (row index = node id).
+    transmission_range:
+        Maximum distance (metres) at which two nodes can communicate.
+    """
+
+    def __init__(self, positions: np.ndarray, transmission_range: float) -> None:
+        positions = np.asarray(positions, dtype=float)
+        if positions.ndim != 2 or positions.shape[1] != 2:
+            raise ValueError(f"positions must have shape (n, 2), got {positions.shape}")
+        if transmission_range <= 0:
+            raise ValueError("transmission_range must be positive")
+        self.positions = positions
+        self.transmission_range = float(transmission_range)
+        self._index = GridIndex(positions, cell_size=transmission_range)
+        self._neighbours: Dict[int, Tuple[int, ...]] = {}
+        for node_id in range(len(positions)):
+            in_range = self._index.query_radius(positions[node_id], transmission_range)
+            self._neighbours[node_id] = tuple(int(j) for j in in_range if j != node_id)
+
+    # ------------------------------------------------------------------ info
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the topology."""
+        return int(self.positions.shape[0])
+
+    def neighbours(self, node_id: int) -> Tuple[int, ...]:
+        """Node ids within transmission range of ``node_id`` (sorted, excludes self)."""
+        self._check_id(node_id)
+        return self._neighbours[node_id]
+
+    def degree(self, node_id: int) -> int:
+        """Number of neighbours of ``node_id``."""
+        return len(self.neighbours(node_id))
+
+    def average_degree(self) -> float:
+        """Mean neighbour count over all nodes (0 for an empty topology)."""
+        if self.num_nodes == 0:
+            return 0.0
+        return sum(len(v) for v in self._neighbours.values()) / self.num_nodes
+
+    def distance(self, a: int, b: int) -> float:
+        """Euclidean distance between nodes ``a`` and ``b``."""
+        self._check_id(a)
+        self._check_id(b)
+        return float(np.hypot(*(self.positions[a] - self.positions[b])))
+
+    def are_connected(self, a: int, b: int) -> bool:
+        """True if ``a`` and ``b`` are within transmission range (and distinct)."""
+        return b in self._neighbours.get(a, ()) if a != b else False
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """All unordered communication links ``(i, j)`` with ``i < j``."""
+        out: List[Tuple[int, int]] = []
+        for i, neigh in self._neighbours.items():
+            out.extend((i, j) for j in neigh if j > i)
+        return out
+
+    # ---------------------------------------------------------- connectivity
+    def connected_components(self) -> List[Set[int]]:
+        """Connected components of the communication graph (BFS)."""
+        unvisited = set(range(self.num_nodes))
+        components: List[Set[int]] = []
+        while unvisited:
+            start = next(iter(unvisited))
+            frontier = [start]
+            component = {start}
+            unvisited.discard(start)
+            while frontier:
+                current = frontier.pop()
+                for neighbour in self._neighbours[current]:
+                    if neighbour in unvisited:
+                        unvisited.discard(neighbour)
+                        component.add(neighbour)
+                        frontier.append(neighbour)
+            components.append(component)
+        return components
+
+    def is_connected(self) -> bool:
+        """True when every node can reach every other node over multi-hop links."""
+        if self.num_nodes <= 1:
+            return True
+        return len(self.connected_components()) == 1
+
+    def nodes_within(self, point: Sequence[float], radius: float) -> np.ndarray:
+        """Node ids within ``radius`` of an arbitrary ``point``."""
+        return self._index.query_radius(point, radius)
+
+    # -------------------------------------------------------------- internal
+    def _check_id(self, node_id: int) -> None:
+        if not 0 <= node_id < self.num_nodes:
+            raise KeyError(f"node id {node_id} out of range [0, {self.num_nodes})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Topology(n={self.num_nodes}, range={self.transmission_range}, "
+            f"avg_degree={self.average_degree():.2f})"
+        )

@@ -1,0 +1,36 @@
+"""Sensor-node substrate: energy, radio, sensing, battery and the node shell.
+
+The schedulers in :mod:`repro.core` are deliberately hardware agnostic: they
+see a :class:`~repro.node.sensor.SensorNode` that exposes position, power
+state, neighbour communication and a sensing hook.  Everything Telos-specific
+(the power numbers of Table 1 in the paper) lives in
+:class:`~repro.node.energy.TelosPowerModel`.
+"""
+
+from repro.node.energy import (
+    EnergyAccount,
+    EnergyBreakdown,
+    PowerModel,
+    TelosPowerModel,
+    TELOS_POWER,
+)
+from repro.node.radio import RadioModel, RadioStats
+from repro.node.sensing import SensingModel, PerfectSensing, NoisySensing
+from repro.node.battery import Battery
+from repro.node.sensor import PowerState, SensorNode
+
+__all__ = [
+    "PowerModel",
+    "TelosPowerModel",
+    "TELOS_POWER",
+    "EnergyAccount",
+    "EnergyBreakdown",
+    "RadioModel",
+    "RadioStats",
+    "SensingModel",
+    "PerfectSensing",
+    "NoisySensing",
+    "Battery",
+    "PowerState",
+    "SensorNode",
+]

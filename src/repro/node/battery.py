@@ -1,0 +1,76 @@
+"""Battery model: finite energy reservoir with depletion tracking.
+
+The paper reports average energy consumption rather than lifetime, but a
+battery abstraction is needed for the lifetime-oriented examples and the
+failure-injection extension (a node whose battery empties behaves like a
+failed node).  Capacity defaults to two AA cells, the Telos power source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Energy of two alkaline AA cells (~2 x 2500 mAh x 1.5 V), in joules.
+DEFAULT_CAPACITY_J = 2 * 2.5 * 1.5 * 3600.0
+
+
+@dataclass
+class Battery:
+    """Finite energy reservoir.
+
+    Attributes
+    ----------
+    capacity_j:
+        Initial stored energy in joules.
+    consumed_j:
+        Energy drawn so far.
+    depleted_at:
+        Simulation time at which the battery hit empty (``None`` while alive).
+    """
+
+    capacity_j: float = DEFAULT_CAPACITY_J
+    consumed_j: float = 0.0
+    depleted_at: Optional[float] = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.capacity_j <= 0:
+            raise ValueError("capacity_j must be positive")
+        if self.consumed_j < 0:
+            raise ValueError("consumed_j must be non-negative")
+
+    @property
+    def remaining_j(self) -> float:
+        """Energy left (never negative)."""
+        return max(0.0, self.capacity_j - self.consumed_j)
+
+    @property
+    def fraction_remaining(self) -> float:
+        """Remaining energy as a fraction of capacity in [0, 1]."""
+        return self.remaining_j / self.capacity_j
+
+    @property
+    def depleted(self) -> bool:
+        """True once all capacity has been consumed."""
+        return self.consumed_j >= self.capacity_j
+
+    def draw(self, energy_j: float, time: Optional[float] = None) -> bool:
+        """Consume ``energy_j`` joules.
+
+        Returns ``True`` while the battery still has charge after the draw.
+        The first draw that empties the battery records ``depleted_at`` if a
+        ``time`` is supplied.
+        """
+        if energy_j < 0:
+            raise ValueError("energy_j must be non-negative")
+        was_alive = not self.depleted
+        self.consumed_j += energy_j
+        if was_alive and self.depleted and time is not None:
+            self.depleted_at = float(time)
+        return not self.depleted
+
+    def estimate_lifetime_s(self, average_power_w: float) -> float:
+        """Remaining lifetime at a constant ``average_power_w`` draw."""
+        if average_power_w <= 0:
+            raise ValueError("average_power_w must be positive")
+        return self.remaining_j / average_power_w

@@ -1,0 +1,175 @@
+"""Power models and per-node energy accounting.
+
+Table 1 of the paper gives the Telos (Polastre et al., IPSN'06) power figures
+used by the evaluation:
+
+==================  ==========
+Quantity            Value
+==================  ==========
+Active power        3 mW     (MCU on, radio off)
+Sleep power         15 uW
+Receive power       38 mW    (radio RX)
+Transition power    35 mW    (radio TX / state transition)
+Data rate           250 kbps
+Total active power  41 mW    (MCU active + radio RX)
+==================  ==========
+
+``TelosPowerModel`` reproduces those numbers verbatim (all converted to
+watts).  ``EnergyAccount`` integrates "power x time" per component so the
+metrics layer can report both the total average energy (Figs. 6 and 7) and a
+breakdown by cause (MCU active, sleep, RX, TX) used in the ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Platform power characteristics (all in SI units: watts, bits/second).
+
+    Attributes
+    ----------
+    active_power_w:
+        MCU active power with the radio off.
+    sleep_power_w:
+        Deep-sleep power (MCU + radio off).
+    receive_power_w:
+        Radio receive / idle-listen power.
+    transmit_power_w:
+        Radio transmit power (the paper's "transition power").
+    data_rate_bps:
+        Radio data rate in bits per second.
+    total_active_power_w:
+        MCU active + radio listening; the power an awake, monitoring node
+        draws continuously.
+    """
+
+    active_power_w: float
+    sleep_power_w: float
+    receive_power_w: float
+    transmit_power_w: float
+    data_rate_bps: float
+    total_active_power_w: float
+
+    def __post_init__(self) -> None:
+        for name in (
+            "active_power_w",
+            "sleep_power_w",
+            "receive_power_w",
+            "transmit_power_w",
+            "data_rate_bps",
+            "total_active_power_w",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.sleep_power_w >= self.total_active_power_w:
+            raise ValueError("sleep power must be lower than total active power")
+
+    # ------------------------------------------------------------- transmit
+    def transmission_time(self, payload_bytes: int) -> float:
+        """Air time (seconds) for a payload of ``payload_bytes`` bytes."""
+        if payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+        return payload_bytes * 8.0 / self.data_rate_bps
+
+    def transmit_energy(self, payload_bytes: int) -> float:
+        """Energy (joules) to transmit ``payload_bytes`` bytes."""
+        return self.transmit_power_w * self.transmission_time(payload_bytes)
+
+    def receive_energy(self, payload_bytes: int) -> float:
+        """Energy (joules) to receive ``payload_bytes`` bytes."""
+        return self.receive_power_w * self.transmission_time(payload_bytes)
+
+
+class TelosPowerModel(PowerModel):
+    """The Telos power figures from Table 1 of the paper."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            active_power_w=3e-3,
+            sleep_power_w=15e-6,
+            receive_power_w=38e-3,
+            transmit_power_w=35e-3,
+            data_rate_bps=250_000.0,
+            total_active_power_w=41e-3,
+        )
+
+
+#: Module-level singleton for the common case.
+TELOS_POWER = TelosPowerModel()
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy split by cause, in joules."""
+
+    active_j: float = 0.0
+    sleep_j: float = 0.0
+    rx_j: float = 0.0
+    tx_j: float = 0.0
+
+    @property
+    def total_j(self) -> float:
+        """Sum over all components."""
+        return self.active_j + self.sleep_j + self.rx_j + self.tx_j
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain dict representation (for summaries / CSV export)."""
+        return {
+            "active_j": self.active_j,
+            "sleep_j": self.sleep_j,
+            "rx_j": self.rx_j,
+            "tx_j": self.tx_j,
+            "total_j": self.total_j,
+        }
+
+
+@dataclass
+class EnergyAccount:
+    """Per-node energy ledger.
+
+    The node calls :meth:`add_active_time` / :meth:`add_sleep_time` whenever it
+    leaves a power state (duration-based accounting), and the radio calls
+    :meth:`add_tx` / :meth:`add_rx` per message.  Keeping the two kinds of
+    charge separate lets the invariant tests verify that the components always
+    sum to the total.
+    """
+
+    power: PowerModel = field(default_factory=TelosPowerModel)
+    breakdown: EnergyBreakdown = field(default_factory=EnergyBreakdown)
+
+    def add_active_time(self, duration_s: float) -> float:
+        """Charge ``duration_s`` seconds of awake monitoring (MCU + RX listen)."""
+        if duration_s < 0:
+            raise ValueError("duration must be non-negative")
+        energy = self.power.total_active_power_w * duration_s
+        self.breakdown.active_j += energy
+        return energy
+
+    def add_sleep_time(self, duration_s: float) -> float:
+        """Charge ``duration_s`` seconds of deep sleep."""
+        if duration_s < 0:
+            raise ValueError("duration must be non-negative")
+        energy = self.power.sleep_power_w * duration_s
+        self.breakdown.sleep_j += energy
+        return energy
+
+    def add_tx(self, payload_bytes: int) -> float:
+        """Charge the transmission of one message of ``payload_bytes`` bytes."""
+        energy = self.power.transmit_energy(payload_bytes)
+        self.breakdown.tx_j += energy
+        return energy
+
+    def add_rx(self, payload_bytes: int) -> float:
+        """Charge the reception of one message of ``payload_bytes`` bytes."""
+        energy = self.power.receive_energy(payload_bytes)
+        self.breakdown.rx_j += energy
+        return energy
+
+    @property
+    def total_j(self) -> float:
+        """Total energy consumed so far, in joules."""
+        return self.breakdown.total_j

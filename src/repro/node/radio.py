@@ -1,0 +1,98 @@
+"""Per-node radio model: message sizes, air time, TX/RX energy and counters.
+
+The paper charges communication energy from the Telos data rate (250 kbps)
+and the TX / RX powers of Table 1.  The radio model converts messages into
+byte counts, air time and energy, and keeps per-node traffic statistics that
+the metrics layer aggregates.
+
+Frame layout (loosely IEEE 802.15.4 inspired, but only the byte counts
+matter):
+
+* every frame carries ``header_bytes`` of PHY/MAC overhead,
+* a REQUEST has no payload (per the paper),
+* a RESPONSE carries location (2 floats), state (1 byte), estimated velocity
+  (2 floats) and predicted arrival time (1 float): 41 bytes of payload with
+  8-byte floats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.node.energy import EnergyAccount
+
+
+@dataclass
+class RadioStats:
+    """Traffic counters for a single node."""
+
+    tx_messages: int = 0
+    rx_messages: int = 0
+    tx_bytes: int = 0
+    rx_bytes: int = 0
+    dropped_rx: int = 0
+
+    def as_dict(self) -> dict:
+        """Plain dict representation for summaries."""
+        return {
+            "tx_messages": self.tx_messages,
+            "rx_messages": self.rx_messages,
+            "tx_bytes": self.tx_bytes,
+            "rx_bytes": self.rx_bytes,
+            "dropped_rx": self.dropped_rx,
+        }
+
+
+@dataclass
+class RadioModel:
+    """Radio interface of one node.
+
+    Parameters
+    ----------
+    energy:
+        The node's :class:`~repro.node.energy.EnergyAccount`, charged per frame.
+    header_bytes:
+        PHY + MAC overhead added to every frame.
+    """
+
+    energy: "EnergyAccount"
+    header_bytes: int = 15
+    stats: RadioStats = field(default_factory=RadioStats)
+
+    def __post_init__(self) -> None:
+        if self.header_bytes < 0:
+            raise ValueError("header_bytes must be non-negative")
+
+    # ----------------------------------------------------------------- sizes
+    def frame_bytes(self, payload_bytes: int) -> int:
+        """Total on-air size of a frame with ``payload_bytes`` of payload."""
+        if payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+        return self.header_bytes + payload_bytes
+
+    def air_time(self, payload_bytes: int) -> float:
+        """Seconds of air time for one frame."""
+        return self.energy.power.transmission_time(self.frame_bytes(payload_bytes))
+
+    # ------------------------------------------------------------- transfers
+    def transmit(self, payload_bytes: int) -> float:
+        """Charge one transmission; returns the air time in seconds."""
+        size = self.frame_bytes(payload_bytes)
+        self.energy.add_tx(size)
+        self.stats.tx_messages += 1
+        self.stats.tx_bytes += size
+        return self.energy.power.transmission_time(size)
+
+    def receive(self, payload_bytes: int) -> float:
+        """Charge one reception; returns the air time in seconds."""
+        size = self.frame_bytes(payload_bytes)
+        self.energy.add_rx(size)
+        self.stats.rx_messages += 1
+        self.stats.rx_bytes += size
+        return self.energy.power.transmission_time(size)
+
+    def drop(self) -> None:
+        """Record a frame lost by the channel before reaching this node."""
+        self.stats.dropped_rx += 1

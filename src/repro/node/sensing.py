@@ -1,0 +1,72 @@
+"""Sensing models: how a node observes the stimulus at its own position.
+
+The paper assumes perfect binary sensing ("a sensor detects the stimulus" the
+moment it is covered).  ``PerfectSensing`` implements exactly that;
+``NoisySensing`` adds miss / false-alarm probabilities so the fault-injection
+extension (paper future work: imperfect sensing and channels) can be studied
+without touching the scheduler code.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.stimulus.base import StimulusModel
+
+
+class SensingModel(abc.ABC):
+    """Maps ground-truth coverage to the boolean a node actually observes."""
+
+    @abc.abstractmethod
+    def sense(
+        self,
+        stimulus: StimulusModel,
+        position: Sequence[float],
+        time: float,
+    ) -> bool:
+        """Return the node's observation at ``position`` and ``time``."""
+
+
+class PerfectSensing(SensingModel):
+    """Ideal sensing: the observation equals the ground truth."""
+
+    def sense(self, stimulus: StimulusModel, position: Sequence[float], time: float) -> bool:
+        return stimulus.covers(position, time)
+
+
+class NoisySensing(SensingModel):
+    """Sensing with independent miss and false-alarm probabilities.
+
+    Parameters
+    ----------
+    miss_probability:
+        Probability a covered point is reported as uncovered.
+    false_alarm_probability:
+        Probability an uncovered point is reported as covered.
+    rng:
+        Random generator; a fresh default generator is created if omitted
+        (tests should always inject one for reproducibility).
+    """
+
+    def __init__(
+        self,
+        miss_probability: float = 0.0,
+        false_alarm_probability: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if not 0 <= miss_probability <= 1:
+            raise ValueError("miss_probability must be in [0, 1]")
+        if not 0 <= false_alarm_probability <= 1:
+            raise ValueError("false_alarm_probability must be in [0, 1]")
+        self.miss_probability = float(miss_probability)
+        self.false_alarm_probability = float(false_alarm_probability)
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def sense(self, stimulus: StimulusModel, position: Sequence[float], time: float) -> bool:
+        truth = stimulus.covers(position, time)
+        if truth:
+            return self.rng.random() >= self.miss_probability
+        return self.rng.random() < self.false_alarm_probability

@@ -1,0 +1,146 @@
+"""The sensor-node shell: identity, position, power state and energy ledger.
+
+``SensorNode`` deliberately contains *no scheduling policy*: the PAS / SAS /
+NS controllers in :mod:`repro.core` decide when a node sleeps and for how
+long; the node only tracks which power state it is in and charges the correct
+energy for the time spent there.  This split keeps the paper's contribution
+(the policy) isolated from the substrate (the platform model) and lets the
+same node implementation serve every scheduler in the comparison.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.geometry.vec import Vec2
+from repro.node.battery import Battery
+from repro.node.energy import EnergyAccount, PowerModel, TelosPowerModel
+from repro.node.radio import RadioModel
+
+
+class PowerState(enum.Enum):
+    """Physical power state of the node hardware.
+
+    Distinct from the *protocol* state (SAFE / ALERT / COVERED) defined by the
+    PAS state machine: protocol states map onto power states (COVERED and
+    ALERT nodes are AWAKE, SAFE nodes alternate AWAKE and ASLEEP), and a
+    FAILED node (fault-injection extension) consumes nothing at all.
+    """
+
+    AWAKE = "awake"
+    ASLEEP = "asleep"
+    FAILED = "failed"
+
+
+class SensorNode:
+    """One deployed sensor.
+
+    Parameters
+    ----------
+    node_id:
+        Unique integer identifier.
+    position:
+        Location of the node in the monitored plane (metres).
+    power_model:
+        Platform power characteristics; Telos by default.
+    battery:
+        Optional finite battery; ``None`` models an unconstrained supply
+        (the paper's experiments measure energy, not lifetime).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        position: Vec2,
+        *,
+        power_model: Optional[PowerModel] = None,
+        battery: Optional[Battery] = None,
+        radio_header_bytes: int = 15,
+    ) -> None:
+        if node_id < 0:
+            raise ValueError("node_id must be non-negative")
+        self.id = int(node_id)
+        self.position = position
+        self.energy = EnergyAccount(power=power_model or TelosPowerModel())
+        self.radio = RadioModel(energy=self.energy, header_bytes=radio_header_bytes)
+        self.battery = battery
+        self.power_state = PowerState.AWAKE
+        #: time of the last power-state change; used to charge elapsed energy
+        self._state_since = 0.0
+        #: cumulative seconds spent awake / asleep (for state-occupancy metrics)
+        self.awake_time_s = 0.0
+        self.asleep_time_s = 0.0
+
+    # ------------------------------------------------------------ power state
+    @property
+    def is_awake(self) -> bool:
+        """True when the node can sense and receive."""
+        return self.power_state == PowerState.AWAKE
+
+    @property
+    def is_failed(self) -> bool:
+        """True once the node has been failed by fault injection or battery death."""
+        return self.power_state == PowerState.FAILED
+
+    def settle_energy(self, now: float) -> None:
+        """Charge the energy for the time elapsed in the current power state.
+
+        Must be called before every power-state change and once at the end of
+        the run so the ledger covers the whole timeline.
+        """
+        elapsed = now - self._state_since
+        if elapsed < -1e-9:
+            raise ValueError(
+                f"node {self.id}: settle_energy called with now={now} before "
+                f"state start {self._state_since}"
+            )
+        elapsed = max(0.0, elapsed)
+        if self.power_state == PowerState.AWAKE:
+            drawn = self.energy.add_active_time(elapsed)
+            self.awake_time_s += elapsed
+        elif self.power_state == PowerState.ASLEEP:
+            drawn = self.energy.add_sleep_time(elapsed)
+            self.asleep_time_s += elapsed
+        else:  # FAILED nodes draw nothing
+            drawn = 0.0
+        if self.battery is not None and drawn > 0:
+            self.battery.draw(drawn, time=now)
+        self._state_since = now
+
+    def set_power_state(self, state: PowerState, now: float) -> None:
+        """Transition to ``state`` at simulation time ``now``.
+
+        Energy for the outgoing state is settled first.  Transitions out of
+        FAILED are rejected; failure is permanent in this model.
+        """
+        if self.power_state == PowerState.FAILED and state != PowerState.FAILED:
+            raise ValueError(f"node {self.id} has failed and cannot be revived")
+        self.settle_energy(now)
+        self.power_state = state
+
+    def wake_up(self, now: float) -> None:
+        """Switch to AWAKE (no-op if already awake)."""
+        if self.power_state != PowerState.AWAKE:
+            self.set_power_state(PowerState.AWAKE, now)
+
+    def go_to_sleep(self, now: float) -> None:
+        """Switch to ASLEEP (no-op if already asleep)."""
+        if self.power_state != PowerState.ASLEEP:
+            self.set_power_state(PowerState.ASLEEP, now)
+
+    def fail(self, now: float) -> None:
+        """Permanently fail the node (fault-injection extension)."""
+        if self.power_state != PowerState.FAILED:
+            self.set_power_state(PowerState.FAILED, now)
+
+    # ----------------------------------------------------------------- misc
+    def distance_to(self, other: "SensorNode") -> float:
+        """Euclidean distance to another node (metres)."""
+        return self.position.distance_to(other.position)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SensorNode(id={self.id}, pos=({self.position.x:.1f}, {self.position.y:.1f}), "
+            f"{self.power_state.value})"
+        )

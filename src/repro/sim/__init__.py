@@ -1,0 +1,44 @@
+"""Discrete-event simulation (DES) kernel.
+
+The PAS paper evaluates sleep scheduling with a (closed-source) event driven
+simulator.  This package provides the substrate from scratch:
+
+* :class:`~repro.sim.engine.Simulator` -- a deterministic event-heap engine.
+* :class:`~repro.sim.events.Event` / :class:`~repro.sim.events.EventHandle` --
+  schedulable callbacks with cancellation support.
+* :class:`~repro.sim.process.Process` -- generator based co-routine processes
+  (a tiny ``simpy``-like layer) used by node behaviours that are easier to
+  express as sequential code (sleep, wake, probe, sleep ...).
+* :class:`~repro.sim.timers.PeriodicTimer` / :class:`~repro.sim.timers.Timeout`
+  -- convenience wrappers for recurring and one-shot callbacks.
+* :class:`~repro.sim.rng.RandomStreams` -- named, independently seeded random
+  streams so that sub-systems (deployment, stimulus, channel, failures) can be
+  re-seeded independently and runs stay reproducible.
+
+The engine is intentionally single threaded: WSN simulations of a few hundred
+nodes are dominated by Python-level event dispatch, and a lock-free heap keeps
+the kernel simple, deterministic and easy to test (see the optimisation guide:
+make it work, make it right, then profile).
+"""
+
+from repro.sim.engine import Simulator, SimulationError, StopSimulation
+from repro.sim.events import Event, EventHandle, EventQueue
+from repro.sim.process import Process, ProcessState, sleep, wait_event
+from repro.sim.rng import RandomStreams
+from repro.sim.timers import PeriodicTimer, Timeout
+
+__all__ = [
+    "Simulator",
+    "SimulationError",
+    "StopSimulation",
+    "Event",
+    "EventHandle",
+    "EventQueue",
+    "Process",
+    "ProcessState",
+    "sleep",
+    "wait_event",
+    "RandomStreams",
+    "PeriodicTimer",
+    "Timeout",
+]

@@ -1,0 +1,207 @@
+"""The discrete-event simulation engine.
+
+:class:`Simulator` owns the clock and the event queue.  Everything in the
+world model (nodes, radios, stimulus updates, metric sampling) runs by
+scheduling callbacks on a shared simulator instance.
+
+Design notes
+------------
+* Time is a ``float`` number of seconds.  The engine never advances time
+  except by popping events, so the simulation is exactly reproducible given
+  the same schedule.
+* ``run(until=...)`` processes events whose time is ``<= until`` and then sets
+  the clock to ``until`` so that energy integration over "the rest of the
+  window" is well defined.
+* Exceptions raised by callbacks abort the run and are re-raised wrapped in
+  :class:`SimulationError` carrying the offending event name and time, which
+  makes debugging long scenario runs tractable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.sim.events import DEFAULT_PRIORITY, EventHandle, EventQueue
+
+
+class SimulationError(RuntimeError):
+    """Raised when an event callback fails during :meth:`Simulator.run`."""
+
+
+class StopSimulation(Exception):
+    """Raise inside a callback to stop the run cleanly at the current time."""
+
+
+class Simulator:
+    """Deterministic single-threaded discrete-event simulator.
+
+    Parameters
+    ----------
+    start_time:
+        Initial clock value in seconds (default ``0.0``).
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule_at(2.0, lambda: fired.append(sim.now))
+    >>> _ = sim.schedule_in(1.0, lambda: fired.append(sim.now))
+    >>> sim.run(until=10.0)
+    >>> fired
+    [1.0, 2.0]
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        if start_time < 0:
+            raise ValueError("start_time must be non-negative")
+        self._now = float(start_time)
+        self._queue = EventQueue()
+        self._running = False
+        self._stopped = False
+        self._events_processed = 0
+        #: arbitrary key/value scratch space for cooperating components
+        self.context: Dict[str, Any] = {}
+        self._trace_hooks: List[Callable[[float, str], None]] = []
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of callbacks executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live events still waiting in the queue."""
+        return len(self._queue)
+
+    # -------------------------------------------------------------- schedule
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        *,
+        priority: int = DEFAULT_PRIORITY,
+        name: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` at absolute simulation time ``time``.
+
+        Scheduling in the past is an error; scheduling exactly at ``now`` is
+        allowed and fires during the current/next run.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule event '{name}' at {time:.6f}; "
+                f"current time is {self._now:.6f}"
+            )
+        event = self._queue.push(time, callback, priority=priority, name=name)
+        return EventHandle(event)
+
+    def schedule_in(
+        self,
+        delay: float,
+        callback: Callable[[], Any],
+        *,
+        priority: int = DEFAULT_PRIORITY,
+        name: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` after a relative ``delay`` (seconds)."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.schedule_at(
+            self._now + delay, callback, priority=priority, name=name
+        )
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a previously scheduled event (idempotent)."""
+        if not handle.cancelled:
+            handle.cancel()
+            self._queue.note_cancelled()
+
+    # ------------------------------------------------------------------- run
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Process events in chronological order.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would fire strictly after this time and
+            fast-forward the clock to it.  ``None`` means run until the queue
+            drains.
+        max_events:
+            Optional safety valve for tests; stop after this many callbacks.
+
+        Returns
+        -------
+        float
+            The simulation time when the run stopped.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not re-entrant")
+        if until is not None and until < self._now:
+            raise ValueError(
+                f"'until' ({until}) must not be earlier than current time ({self._now})"
+            )
+        self._running = True
+        self._stopped = False
+        processed_this_run = 0
+        try:
+            while self._queue:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                if max_events is not None and processed_this_run >= max_events:
+                    break
+                event = self._queue.pop()
+                self._now = event.time
+                try:
+                    event.callback()
+                except StopSimulation:
+                    self._stopped = True
+                    break
+                except Exception as exc:  # noqa: BLE001 - rewrap with context
+                    raise SimulationError(
+                        f"event '{event.name or event.callback!r}' failed at "
+                        f"t={event.time:.6f}: {exc}"
+                    ) from exc
+                self._events_processed += 1
+                processed_this_run += 1
+                for hook in self._trace_hooks:
+                    hook(self._now, event.name)
+        finally:
+            self._running = False
+        if until is not None and not self._stopped and self._now < until:
+            self._now = float(until)
+        return self._now
+
+    def step(self) -> bool:
+        """Process exactly one event.  Returns ``False`` if the queue is empty."""
+        if not self._queue:
+            return False
+        self.run(max_events=1)
+        return True
+
+    def stop(self) -> None:
+        """Request a clean stop; takes effect via :class:`StopSimulation`."""
+        raise StopSimulation()
+
+    # ----------------------------------------------------------------- hooks
+    def add_trace_hook(self, hook: Callable[[float, str], None]) -> None:
+        """Register ``hook(time, event_name)`` called after every event."""
+        self._trace_hooks.append(hook)
+
+    def clear(self) -> None:
+        """Drop all pending events (the clock is left untouched)."""
+        self._queue.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Simulator(now={self._now:.6f}, pending={self.pending_events}, "
+            f"processed={self._events_processed})"
+        )

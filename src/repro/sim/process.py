@@ -1,0 +1,184 @@
+"""Generator based co-routine processes on top of the event engine.
+
+Sensor behaviours such as "sleep for ``d`` seconds, wake, probe neighbours,
+possibly sleep again" read much more naturally as sequential code than as a
+web of callbacks.  :class:`Process` runs a Python generator as a co-operative
+task: the generator ``yield``\\ s *commands* (currently :func:`sleep` and
+:func:`wait_event`) and the scheduler resumes it when the command completes.
+
+This is a deliberately small subset of what ``simpy`` offers -- just enough
+for the node processes used in the world model -- and is fully deterministic
+because it rides on :class:`repro.sim.engine.Simulator`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class _SleepCommand:
+    """Yielded by a process generator to pause for ``duration`` seconds."""
+
+    duration: float
+
+
+@dataclass(frozen=True)
+class _WaitEventCommand:
+    """Yielded by a process generator to pause until a :class:`Signal` fires."""
+
+    signal: "Signal"
+
+
+def sleep(duration: float) -> _SleepCommand:
+    """Command object: suspend the calling process for ``duration`` seconds."""
+    if duration < 0:
+        raise ValueError(f"sleep duration must be non-negative, got {duration}")
+    return _SleepCommand(float(duration))
+
+
+def wait_event(signal: "Signal") -> _WaitEventCommand:
+    """Command object: suspend the calling process until ``signal`` fires."""
+    return _WaitEventCommand(signal)
+
+
+class Signal:
+    """A broadcastable wake-up condition for processes.
+
+    A signal can be fired many times; every process waiting at the moment of
+    firing is resumed with the fired value.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._waiters: List[Callable[[Any], None]] = []
+        self.fire_count = 0
+
+    def add_waiter(self, resume: Callable[[Any], None]) -> None:
+        """Register a resume callback (used internally by :class:`Process`)."""
+        self._waiters.append(resume)
+
+    def fire(self, value: Any = None) -> int:
+        """Wake every waiting process.  Returns the number of processes woken."""
+        waiters, self._waiters = self._waiters, []
+        self.fire_count += 1
+        for resume in waiters:
+            resume(value)
+        return len(waiters)
+
+    @property
+    def waiter_count(self) -> int:
+        """Number of processes currently blocked on this signal."""
+        return len(self._waiters)
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle of a :class:`Process`."""
+
+    CREATED = "created"
+    RUNNING = "running"
+    SLEEPING = "sleeping"
+    WAITING = "waiting"
+    FINISHED = "finished"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+class Process:
+    """Run a generator as a co-operative simulation task.
+
+    Parameters
+    ----------
+    sim:
+        The simulator supplying the clock and scheduler.
+    generator:
+        A generator yielding :func:`sleep` / :func:`wait_event` commands.
+    name:
+        Label used in traces and error messages.
+    start:
+        When ``True`` (default) the first resume is scheduled immediately
+        (at the current simulation time).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        generator: Generator[Any, Any, Any],
+        *,
+        name: str = "process",
+        start: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self._generator = generator
+        self.state = ProcessState.CREATED
+        self.result: Any = None
+        self.exception: Optional[BaseException] = None
+        self._pending_handle = None
+        if start:
+            self._pending_handle = sim.schedule_at(
+                sim.now, lambda: self._resume(None), name=f"{name}:start"
+            )
+
+    # ------------------------------------------------------------------ api
+    @property
+    def alive(self) -> bool:
+        """True while the generator has not finished, failed or been cancelled."""
+        return self.state in (
+            ProcessState.CREATED,
+            ProcessState.RUNNING,
+            ProcessState.SLEEPING,
+            ProcessState.WAITING,
+        )
+
+    def cancel(self) -> None:
+        """Stop the process; a sleeping resume is cancelled as well."""
+        if not self.alive:
+            return
+        if self._pending_handle is not None:
+            self.sim.cancel(self._pending_handle)
+            self._pending_handle = None
+        self._generator.close()
+        self.state = ProcessState.CANCELLED
+
+    # ------------------------------------------------------------- internals
+    def _resume(self, value: Any) -> None:
+        if not self.alive:
+            return
+        self._pending_handle = None
+        self.state = ProcessState.RUNNING
+        try:
+            command = self._generator.send(value)
+        except StopIteration as stop:
+            self.state = ProcessState.FINISHED
+            self.result = stop.value
+            return
+        except Exception as exc:  # noqa: BLE001 - recorded for inspection
+            self.state = ProcessState.FAILED
+            self.exception = exc
+            raise
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        if isinstance(command, _SleepCommand):
+            self.state = ProcessState.SLEEPING
+            self._pending_handle = self.sim.schedule_in(
+                command.duration,
+                lambda: self._resume(None),
+                name=f"{self.name}:wake",
+            )
+        elif isinstance(command, _WaitEventCommand):
+            self.state = ProcessState.WAITING
+            command.signal.add_waiter(self._resume)
+        else:
+            raise TypeError(
+                f"process '{self.name}' yielded unsupported command {command!r}; "
+                "yield sleep(...) or wait_event(...)"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Process({self.name!r}, state={self.state.value})"

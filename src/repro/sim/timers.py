@@ -1,0 +1,126 @@
+"""Timer helpers built on the event engine.
+
+These are small conveniences used throughout the node and metrics code:
+
+* :class:`Timeout` -- a cancellable, restartable one-shot callback (used for
+  the COVERED -> SAFE detection timeout in the PAS state machine).
+* :class:`PeriodicTimer` -- a fixed-interval recurring callback (used by the
+  metrics recorder to sample node states and by the stimulus driver to update
+  PDE based fields).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.events import EventHandle
+
+
+class Timeout:
+    """A restartable one-shot timer.
+
+    The callback fires ``delay`` seconds after the most recent
+    :meth:`start` / :meth:`restart`, unless :meth:`cancel` is called first.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        delay: float,
+        callback: Callable[[], Any],
+        *,
+        name: str = "timeout",
+    ) -> None:
+        if delay < 0:
+            raise ValueError(f"timeout delay must be non-negative, got {delay}")
+        self.sim = sim
+        self.delay = float(delay)
+        self.callback = callback
+        self.name = name
+        self._handle: Optional[EventHandle] = None
+        self.fire_count = 0
+
+    @property
+    def pending(self) -> bool:
+        """True while the timer is armed and has not yet fired."""
+        return self._handle is not None and not self._handle.cancelled
+
+    def start(self, delay: Optional[float] = None) -> None:
+        """Arm the timer.  Re-arming while pending restarts the countdown."""
+        self.cancel()
+        effective = self.delay if delay is None else float(delay)
+        if effective < 0:
+            raise ValueError(f"timeout delay must be non-negative, got {effective}")
+        self._handle = self.sim.schedule_in(effective, self._fire, name=self.name)
+
+    # Alias; reads better at call sites that always restart.
+    restart = start
+
+    def cancel(self) -> None:
+        """Disarm the timer (no-op if not pending)."""
+        if self._handle is not None:
+            self.sim.cancel(self._handle)
+            self._handle = None
+
+    def _fire(self) -> None:
+        self._handle = None
+        self.fire_count += 1
+        self.callback()
+
+
+class PeriodicTimer:
+    """A fixed-interval recurring callback.
+
+    The first invocation happens ``first_delay`` seconds after :meth:`start`
+    (defaults to one full ``interval``), then every ``interval`` seconds until
+    :meth:`stop` is called.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[[], Any],
+        *,
+        name: str = "periodic",
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.sim = sim
+        self.interval = float(interval)
+        self.callback = callback
+        self.name = name
+        self._handle: Optional[EventHandle] = None
+        self._running = False
+        self.fire_count = 0
+
+    @property
+    def running(self) -> bool:
+        """True between :meth:`start` and :meth:`stop`."""
+        return self._running
+
+    def start(self, first_delay: Optional[float] = None) -> None:
+        """Begin ticking.  ``first_delay`` overrides the delay of the first tick."""
+        if self._running:
+            return
+        self._running = True
+        delay = self.interval if first_delay is None else float(first_delay)
+        if delay < 0:
+            raise ValueError("first_delay must be non-negative")
+        self._handle = self.sim.schedule_in(delay, self._tick, name=self.name)
+
+    def stop(self) -> None:
+        """Stop ticking (pending tick is cancelled)."""
+        self._running = False
+        if self._handle is not None:
+            self.sim.cancel(self._handle)
+            self._handle = None
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.fire_count += 1
+        self.callback()
+        if self._running:
+            self._handle = self.sim.schedule_in(self.interval, self._tick, name=self.name)

@@ -1,0 +1,49 @@
+"""Diffusion-stimulus (DS) models.
+
+The PAS schedulers only ever ask a stimulus two questions:
+
+1. *coverage* -- "is position ``p`` inside the stimulus at time ``t``?"
+   (this is what a sensing operation observes), and
+2. *arrival time* -- "when does the stimulus first reach ``p``?"
+   (this is ground truth used by the metrics to compute detection delay).
+
+:class:`~repro.stimulus.base.StimulusModel` fixes that interface.  The package
+provides several concrete models spanning the scenarios the paper motivates
+(liquid pollutant, noxious gas):
+
+* :class:`~repro.stimulus.circular.CircularFrontStimulus` -- isotropic front
+  expanding at constant (or time-varying) radial speed; matches the constant
+  velocity assumption behind the PAS estimation formulas.
+* :class:`~repro.stimulus.anisotropic.AnisotropicFrontStimulus` -- direction
+  dependent spreading speed, producing the irregular alert areas of Fig. 2.
+* :class:`~repro.stimulus.plume.GaussianPlumeStimulus` -- an advected Gaussian
+  concentration plume with a detection threshold (gas-leak style scenario).
+* :class:`~repro.stimulus.advection_diffusion.AdvectionDiffusionStimulus` --
+  a finite-difference advection--diffusion PDE on a grid, thresholded into a
+  coverage field; the "physics heavy" substitute for real pollutant data.
+* :class:`~repro.stimulus.composite.CompositeStimulus` -- union of several
+  sources (multi-leak scenarios).
+
+:mod:`~repro.stimulus.front` extracts the discrete front (boundary) of any
+model by sampling, which the analysis code uses for contour accuracy metrics.
+"""
+
+from repro.stimulus.base import StimulusModel, StaticStimulus
+from repro.stimulus.circular import CircularFrontStimulus
+from repro.stimulus.anisotropic import AnisotropicFrontStimulus
+from repro.stimulus.plume import GaussianPlumeStimulus
+from repro.stimulus.advection_diffusion import AdvectionDiffusionStimulus
+from repro.stimulus.composite import CompositeStimulus
+from repro.stimulus.front import extract_front, front_speed_estimate
+
+__all__ = [
+    "StimulusModel",
+    "StaticStimulus",
+    "CircularFrontStimulus",
+    "AnisotropicFrontStimulus",
+    "GaussianPlumeStimulus",
+    "AdvectionDiffusionStimulus",
+    "CompositeStimulus",
+    "extract_front",
+    "front_speed_estimate",
+]

@@ -1,0 +1,118 @@
+"""Direction-dependent (anisotropic) front stimulus.
+
+Fig. 2 of the paper stresses that the ALERT area "is an irregular shape rather
+than a circle because the spreading rate of the stimulus may vary in different
+directions".  This model makes that concrete: the radial speed is a function
+of the bearing from the source, so the front becomes a star-shaped region.
+It is the stress test for the PAS velocity estimator, which must adapt its
+predictions per direction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.stimulus.base import StimulusModel
+
+DirectionalSpeed = Union[Callable[[float], float], Sequence[float]]
+
+
+class AnisotropicFrontStimulus(StimulusModel):
+    """Star-shaped front whose radial speed depends on the bearing.
+
+    Parameters
+    ----------
+    source:
+        ``(x, y)`` of the release point.
+    directional_speed:
+        Either a callable ``speed(bearing_radians) -> m/s`` or a sequence of
+        per-sector speeds; a sequence of length ``k`` divides the circle into
+        ``k`` equal sectors with linear interpolation between sector centres.
+    start_time:
+        Release time (seconds).
+    initial_radius:
+        Radius already covered at release, applied uniformly in all directions.
+    """
+
+    def __init__(
+        self,
+        source: Sequence[float],
+        directional_speed: DirectionalSpeed,
+        *,
+        start_time: float = 0.0,
+        initial_radius: float = 0.0,
+    ) -> None:
+        if start_time < 0:
+            raise ValueError("start_time must be non-negative")
+        if initial_radius < 0:
+            raise ValueError("initial_radius must be non-negative")
+        self.source = (float(source[0]), float(source[1]))
+        self.start_time = float(start_time)
+        self.initial_radius = float(initial_radius)
+        if callable(directional_speed):
+            self._speed_fn: Callable[[float], float] = directional_speed
+            self._sector_speeds: Optional[np.ndarray] = None
+        else:
+            speeds = np.asarray(list(directional_speed), dtype=float)
+            if speeds.ndim != 1 or len(speeds) < 1:
+                raise ValueError("directional_speed sequence must be 1-D and non-empty")
+            if np.any(speeds <= 0):
+                raise ValueError("all sector speeds must be positive")
+            self._sector_speeds = speeds
+            self._speed_fn = self._interpolated_sector_speed
+
+    # ------------------------------------------------------------- speed law
+    def _interpolated_sector_speed(self, bearing: float) -> float:
+        """Linear interpolation between sector-centre speeds (wraps around)."""
+        speeds = self._sector_speeds
+        assert speeds is not None
+        k = len(speeds)
+        sector_width = 2.0 * math.pi / k
+        # Position in "sector units", with sector centres at 0, 1, 2, ...
+        u = (bearing % (2.0 * math.pi)) / sector_width
+        i0 = int(math.floor(u)) % k
+        i1 = (i0 + 1) % k
+        frac = u - math.floor(u)
+        return float((1.0 - frac) * speeds[i0] + frac * speeds[i1])
+
+    def speed_in_direction(self, bearing: float) -> float:
+        """Spreading speed (m/s) along ``bearing`` (radians from +x axis)."""
+        value = float(self._speed_fn(bearing))
+        if value <= 0:
+            raise ValueError(f"directional speed must stay positive, got {value}")
+        return value
+
+    def front_radius(self, bearing: float, time: float) -> float:
+        """Front distance from the source along ``bearing`` at ``time``."""
+        if time < self.start_time:
+            return 0.0
+        return self.initial_radius + self.speed_in_direction(bearing) * (time - self.start_time)
+
+    # ----------------------------------------------------------------- query
+    def covers(self, point: Sequence[float], time: float) -> bool:
+        if time < self.start_time:
+            return False
+        dx = float(point[0]) - self.source[0]
+        dy = float(point[1]) - self.source[1]
+        dist = math.hypot(dx, dy)
+        if dist <= self.initial_radius:
+            return True
+        bearing = math.atan2(dy, dx)
+        return dist <= self.front_radius(bearing, time) + 1e-12
+
+    def arrival_time(self, point: Sequence[float], *, horizon=None, tolerance=1e-3) -> float:
+        dx = float(point[0]) - self.source[0]
+        dy = float(point[1]) - self.source[1]
+        dist = math.hypot(dx, dy)
+        if dist <= self.initial_radius:
+            return self.start_time
+        bearing = math.atan2(dy, dx)
+        speed = self.speed_in_direction(bearing)
+        return self.start_time + (dist - self.initial_radius) / speed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "callable" if self._sector_speeds is None else f"{len(self._sector_speeds)} sectors"
+        return f"AnisotropicFrontStimulus(source={self.source}, speed={kind})"

@@ -1,0 +1,109 @@
+"""Abstract interface shared by all diffusion-stimulus models."""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+class StimulusModel(abc.ABC):
+    """A spreading phenomenon queried by coverage and arrival time.
+
+    Concrete models must implement :meth:`covers`; :meth:`arrival_time` has a
+    generic bisection fallback (any model whose coverage is monotone in time
+    -- once covered, always covered -- can use it directly), and models with a
+    closed form override it for speed and exactness.
+    """
+
+    #: Horizon used by the generic arrival-time search when the caller gives
+    #: no explicit upper bound (seconds).
+    DEFAULT_HORIZON = 10_000.0
+
+    @abc.abstractmethod
+    def covers(self, point: Sequence[float], time: float) -> bool:
+        """True if ``point`` is inside the stimulus at simulation ``time``."""
+
+    def covers_many(self, points: np.ndarray, time: float) -> np.ndarray:
+        """Vectorised :meth:`covers`; default loops, models may override."""
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise ValueError(f"points must have shape (n, 2), got {pts.shape}")
+        return np.array([self.covers(p, time) for p in pts], dtype=bool)
+
+    def arrival_time(
+        self,
+        point: Sequence[float],
+        *,
+        horizon: Optional[float] = None,
+        tolerance: float = 1e-3,
+    ) -> float:
+        """First time at which the stimulus covers ``point``.
+
+        Returns ``math.inf`` when the point is never covered within
+        ``horizon``.  The generic implementation assumes coverage is monotone
+        in time (a point, once engulfed, stays engulfed) -- true for all the
+        diffusion models in this package -- and bisects on that property.
+        """
+        hi = self.DEFAULT_HORIZON if horizon is None else float(horizon)
+        if hi <= 0:
+            raise ValueError("horizon must be positive")
+        if self.covers(point, 0.0):
+            return 0.0
+        if not self.covers(point, hi):
+            return math.inf
+        lo = 0.0
+        while hi - lo > tolerance:
+            mid = 0.5 * (lo + hi)
+            if self.covers(point, mid):
+                hi = mid
+            else:
+                lo = mid
+        return hi
+
+    def arrival_times(
+        self, points: np.ndarray, *, horizon: Optional[float] = None
+    ) -> np.ndarray:
+        """Vector of :meth:`arrival_time` values for each row of ``points``."""
+        pts = np.asarray(points, dtype=float)
+        return np.array([self.arrival_time(p, horizon=horizon) for p in pts], dtype=float)
+
+    def advance(self, time: float) -> None:
+        """Advance internal state to ``time`` (no-op for closed-form models).
+
+        Grid/PDE based models integrate their field lazily; the world model
+        calls this before issuing coverage queries for the current time step.
+        """
+        # Closed-form models are stateless in time.
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class StaticStimulus(StimulusModel):
+    """A stimulus frozen in a fixed region, covering it for ``t >= onset``.
+
+    Useful in unit tests and as a degenerate case (a spill that has stopped
+    spreading): every covered point has the same arrival time ``onset``.
+    """
+
+    def __init__(self, region, onset: float = 0.0) -> None:
+        if onset < 0:
+            raise ValueError("onset must be non-negative")
+        self.region = region
+        self.onset = float(onset)
+
+    def covers(self, point: Sequence[float], time: float) -> bool:
+        return time >= self.onset and self.region.contains(point)
+
+    def covers_many(self, points: np.ndarray, time: float) -> np.ndarray:
+        pts = np.asarray(points, dtype=float)
+        if time < self.onset:
+            return np.zeros(len(pts), dtype=bool)
+        return self.region.contains_many(pts)
+
+    def arrival_time(self, point: Sequence[float], *, horizon=None, tolerance=1e-3) -> float:
+        return self.onset if self.region.contains(point) else math.inf

@@ -1,0 +1,118 @@
+"""Isotropic circular-front stimulus.
+
+The simplest (and the paper's default-looking) DS model: the stimulus starts
+at a source point at ``start_time`` and its boundary is a circle whose radius
+grows with a radial speed profile.  With a constant speed the model matches
+the constant-velocity assumption behind the PAS estimation formulas exactly,
+which makes it the reference workload for Figs. 4--7.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.stimulus.base import StimulusModel
+
+SpeedProfile = Union[float, Callable[[float], float]]
+
+
+class CircularFrontStimulus(StimulusModel):
+    """Circular front expanding from a point source.
+
+    Parameters
+    ----------
+    source:
+        ``(x, y)`` of the release point.
+    speed:
+        Radial spreading speed in m/s.  Either a positive constant or a
+        callable ``speed(t)`` returning the instantaneous speed at time ``t``
+        (integrated numerically for coverage queries).
+    start_time:
+        Release time of the stimulus (seconds).
+    initial_radius:
+        Radius already covered at ``start_time`` (metres).
+    max_radius:
+        Optional cap after which spreading stops (containment of the spill).
+    """
+
+    def __init__(
+        self,
+        source: Sequence[float],
+        speed: SpeedProfile = 1.0,
+        *,
+        start_time: float = 0.0,
+        initial_radius: float = 0.0,
+        max_radius: Optional[float] = None,
+    ) -> None:
+        if start_time < 0:
+            raise ValueError("start_time must be non-negative")
+        if initial_radius < 0:
+            raise ValueError("initial_radius must be non-negative")
+        if max_radius is not None and max_radius < initial_radius:
+            raise ValueError("max_radius must not be smaller than initial_radius")
+        if not callable(speed) and speed <= 0:
+            raise ValueError("constant speed must be positive")
+        self.source = (float(source[0]), float(source[1]))
+        self.speed = speed
+        self.start_time = float(start_time)
+        self.initial_radius = float(initial_radius)
+        self.max_radius = None if max_radius is None else float(max_radius)
+        # Integration step for callable speed profiles (seconds).
+        self._dt = 0.05
+
+    # ------------------------------------------------------------------ core
+    def radius_at(self, time: float) -> float:
+        """Front radius at ``time`` (0 before the release)."""
+        if time <= self.start_time:
+            return self.initial_radius if time == self.start_time else 0.0
+        elapsed = time - self.start_time
+        if callable(self.speed):
+            # Trapezoidal integration of the speed profile.
+            steps = max(1, int(math.ceil(elapsed / self._dt)))
+            ts = np.linspace(0.0, elapsed, steps + 1)
+            vs = np.array([max(0.0, float(self.speed(t))) for t in ts])
+            # np.trapezoid is the NumPy 2.0 name for np.trapz.
+            trapezoid = getattr(np, "trapezoid", None) or np.trapz
+            radius = self.initial_radius + float(trapezoid(vs, ts))
+        else:
+            radius = self.initial_radius + float(self.speed) * elapsed
+        if self.max_radius is not None:
+            radius = min(radius, self.max_radius)
+        return radius
+
+    def covers(self, point: Sequence[float], time: float) -> bool:
+        if time < self.start_time:
+            return False
+        dx = float(point[0]) - self.source[0]
+        dy = float(point[1]) - self.source[1]
+        r = self.radius_at(time)
+        return dx * dx + dy * dy <= r * r + 1e-12
+
+    def covers_many(self, points: np.ndarray, time: float) -> np.ndarray:
+        pts = np.asarray(points, dtype=float)
+        if time < self.start_time:
+            return np.zeros(len(pts), dtype=bool)
+        r = self.radius_at(time)
+        d2 = (pts[:, 0] - self.source[0]) ** 2 + (pts[:, 1] - self.source[1]) ** 2
+        return d2 <= r * r + 1e-12
+
+    def arrival_time(self, point: Sequence[float], *, horizon=None, tolerance=1e-3) -> float:
+        dist = math.hypot(
+            float(point[0]) - self.source[0], float(point[1]) - self.source[1]
+        )
+        if dist <= self.initial_radius:
+            return self.start_time
+        if self.max_radius is not None and dist > self.max_radius:
+            return math.inf
+        if callable(self.speed):
+            return super().arrival_time(point, horizon=horizon, tolerance=tolerance)
+        return self.start_time + (dist - self.initial_radius) / float(self.speed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CircularFrontStimulus(source={self.source}, speed={self.speed!r}, "
+            f"start_time={self.start_time})"
+        )

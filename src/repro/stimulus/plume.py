@@ -1,0 +1,166 @@
+"""Advected Gaussian plume stimulus (gas-leak style scenario).
+
+The paper motivates PAS with "the spreading of noxious gas in a city is highly
+emergent".  A standard lightweight gas model is a Gaussian puff whose centre
+drifts with the wind and whose spatial spread grows diffusively; a sensor
+"detects the stimulus" when the local concentration exceeds its sensing
+threshold.  The resulting coverage region is an expanding, translating disk,
+so coverage stays monotone near the source but -- unlike the circular model --
+points can also *leave* the plume once it drifts away, which exercises the
+COVERED -> SAFE detection-timeout transition of the PAS state machine.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.stimulus.base import StimulusModel
+
+
+class GaussianPlumeStimulus(StimulusModel):
+    """Drifting, diffusing Gaussian puff thresholded into a coverage region.
+
+    Concentration model (2-D puff, unit-less):
+
+    ``C(p, t) = Q / (2 pi sigma(t)^2) * exp(-|p - c(t)|^2 / (2 sigma(t)^2))``
+
+    with centre ``c(t) = source + wind * (t - start_time)`` and spread
+    ``sigma(t)^2 = sigma0^2 + 2 D (t - start_time)``.
+
+    Parameters
+    ----------
+    source:
+        Release point ``(x, y)``.
+    wind:
+        Wind/advection velocity ``(vx, vy)`` in m/s.
+    diffusivity:
+        Diffusion coefficient ``D`` in m^2/s (must be positive).
+    emission:
+        Source strength ``Q`` (arbitrary units; only the ratio to
+        ``threshold`` matters).
+    threshold:
+        Concentration above which a sensor considers the point covered.
+    sigma0:
+        Initial plume spread (metres), must be positive.
+    start_time:
+        Release time (seconds).
+    """
+
+    def __init__(
+        self,
+        source: Sequence[float],
+        *,
+        wind: Sequence[float] = (0.5, 0.0),
+        diffusivity: float = 0.5,
+        emission: float = 100.0,
+        threshold: float = 0.05,
+        sigma0: float = 1.0,
+        start_time: float = 0.0,
+    ) -> None:
+        if diffusivity <= 0:
+            raise ValueError("diffusivity must be positive")
+        if emission <= 0:
+            raise ValueError("emission must be positive")
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if sigma0 <= 0:
+            raise ValueError("sigma0 must be positive")
+        if start_time < 0:
+            raise ValueError("start_time must be non-negative")
+        self.source = (float(source[0]), float(source[1]))
+        self.wind = (float(wind[0]), float(wind[1]))
+        self.diffusivity = float(diffusivity)
+        self.emission = float(emission)
+        self.threshold = float(threshold)
+        self.sigma0 = float(sigma0)
+        self.start_time = float(start_time)
+
+    # ------------------------------------------------------------------ core
+    def centre_at(self, time: float) -> tuple:
+        """Plume centre at ``time`` (the source before release)."""
+        if time <= self.start_time:
+            return self.source
+        dt = time - self.start_time
+        return (self.source[0] + self.wind[0] * dt, self.source[1] + self.wind[1] * dt)
+
+    def sigma_at(self, time: float) -> float:
+        """Plume spread sigma(t) (metres)."""
+        if time <= self.start_time:
+            return self.sigma0
+        dt = time - self.start_time
+        return math.sqrt(self.sigma0**2 + 2.0 * self.diffusivity * dt)
+
+    def concentration(self, point: Sequence[float], time: float) -> float:
+        """Concentration at ``point`` and ``time`` (0 before release)."""
+        if time < self.start_time:
+            return 0.0
+        cx, cy = self.centre_at(time)
+        sigma = self.sigma_at(time)
+        d2 = (float(point[0]) - cx) ** 2 + (float(point[1]) - cy) ** 2
+        peak = self.emission / (2.0 * math.pi * sigma * sigma)
+        return peak * math.exp(-d2 / (2.0 * sigma * sigma))
+
+    def coverage_radius(self, time: float) -> float:
+        """Radius around the centre where concentration exceeds the threshold.
+
+        Zero once dilution drops the peak concentration below the threshold
+        (the plume has dispersed).
+        """
+        if time < self.start_time:
+            return 0.0
+        sigma = self.sigma_at(time)
+        peak = self.emission / (2.0 * math.pi * sigma * sigma)
+        if peak <= self.threshold:
+            return 0.0
+        return sigma * math.sqrt(2.0 * math.log(peak / self.threshold))
+
+    # ----------------------------------------------------------------- query
+    def covers(self, point: Sequence[float], time: float) -> bool:
+        return self.concentration(point, time) >= self.threshold
+
+    def covers_many(self, points: np.ndarray, time: float) -> np.ndarray:
+        pts = np.asarray(points, dtype=float)
+        if time < self.start_time:
+            return np.zeros(len(pts), dtype=bool)
+        cx, cy = self.centre_at(time)
+        r = self.coverage_radius(time)
+        d2 = (pts[:, 0] - cx) ** 2 + (pts[:, 1] - cy) ** 2
+        return d2 <= r * r + 1e-12
+
+    def arrival_time(
+        self, point: Sequence[float], *, horizon: Optional[float] = None, tolerance: float = 1e-3
+    ) -> float:
+        """First time the concentration at ``point`` crosses the threshold.
+
+        Coverage is *not* monotone for a drifting plume (it can arrive and
+        later leave), so the generic bisection cannot be used; instead we scan
+        forward with a coarse step and refine the first crossing by bisection.
+        """
+        hi = self.DEFAULT_HORIZON if horizon is None else float(horizon)
+        if self.covers(point, self.start_time):
+            return self.start_time
+        step = max(tolerance, 0.25)
+        t_prev = self.start_time
+        t = self.start_time + step
+        while t <= hi:
+            if self.covers(point, t):
+                lo, up = t_prev, t
+                while up - lo > tolerance:
+                    mid = 0.5 * (lo + up)
+                    if self.covers(point, mid):
+                        up = mid
+                    else:
+                        lo = mid
+                return up
+            t_prev = t
+            t += step
+        return math.inf
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GaussianPlumeStimulus(source={self.source}, wind={self.wind}, "
+            f"D={self.diffusivity}, Q={self.emission}, thr={self.threshold})"
+        )

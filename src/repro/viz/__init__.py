@@ -1,0 +1,16 @@
+"""Text-mode visualisation helpers.
+
+The reproduction environment has no plotting stack, so the examples and the
+CLI render spatial snapshots and sweep curves as ASCII:
+
+* :func:`~repro.viz.ascii.render_field` -- a top-down map of the deployment
+  with one glyph per node (safe / alert / covered / failed) and the stimulus
+  front overlaid.
+* :func:`~repro.viz.ascii.render_timeline` -- per-node state timelines.
+* :func:`~repro.viz.ascii.render_series` -- horizontal bar chart of one or
+  more numeric series (used by the figure-sweep example).
+"""
+
+from repro.viz.ascii import render_field, render_series, render_timeline
+
+__all__ = ["render_field", "render_series", "render_timeline"]

@@ -1,0 +1,174 @@
+"""ASCII rendering of deployments, stimulus coverage and result series."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.stimulus.base import StimulusModel
+
+#: Glyph per protocol / power state used by :func:`render_field`.
+STATE_GLYPHS: Dict[str, str] = {
+    "safe": ".",
+    "alert": "!",
+    "covered": "#",
+    "active": "o",
+    "failed": "x",
+}
+
+#: Glyph for grid cells covered by the stimulus but holding no node.
+STIMULUS_GLYPH = "~"
+#: Glyph for empty, uncovered grid cells.
+EMPTY_GLYPH = " "
+
+
+def render_field(
+    positions: np.ndarray,
+    states: Mapping[int, str],
+    *,
+    width: float,
+    height: float,
+    stimulus: Optional[StimulusModel] = None,
+    time: float = 0.0,
+    columns: int = 60,
+    rows: int = 24,
+    legend: bool = True,
+) -> str:
+    """Render a top-down snapshot of the monitored field.
+
+    Parameters
+    ----------
+    positions:
+        ``(n, 2)`` node positions; row index is the node id.
+    states:
+        Mapping node id -> state name (``"safe"``, ``"alert"``, ``"covered"``,
+        ``"active"``, ``"failed"``); unknown names fall back to ``"?"``.
+    width, height:
+        Physical extent of the field in metres.
+    stimulus:
+        Optional stimulus; covered empty cells are drawn with ``~``.
+    time:
+        Snapshot time used for the stimulus coverage query.
+    columns, rows:
+        Character resolution of the rendering.
+    legend:
+        Append a one-line legend.
+    """
+    pts = np.asarray(positions, dtype=float)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise ValueError(f"positions must have shape (n, 2), got {pts.shape}")
+    if width <= 0 or height <= 0:
+        raise ValueError("field extent must be positive")
+    if columns < 2 or rows < 2:
+        raise ValueError("grid must be at least 2x2 characters")
+
+    grid = [[EMPTY_GLYPH for _ in range(columns)] for _ in range(rows)]
+
+    if stimulus is not None:
+        stimulus.advance(time)
+        xs = (np.arange(columns) + 0.5) * width / columns
+        ys = (np.arange(rows) + 0.5) * height / rows
+        cell_centres = np.array([[x, y] for y in ys for x in xs])
+        covered = stimulus.covers_many(cell_centres, time).reshape(rows, columns)
+        for r in range(rows):
+            for c in range(columns):
+                if covered[r, c]:
+                    grid[r][c] = STIMULUS_GLYPH
+
+    for node_id, (x, y) in enumerate(pts):
+        c = min(columns - 1, max(0, int(x / width * columns)))
+        r = min(rows - 1, max(0, int(y / height * rows)))
+        glyph = STATE_GLYPHS.get(states.get(node_id, ""), "?")
+        grid[r][c] = glyph
+
+    # Row 0 of the grid is y=0 (bottom); print top-down.
+    lines = ["".join(row) for row in reversed(grid)]
+    border = "+" + "-" * columns + "+"
+    body = "\n".join(f"|{line}|" for line in lines)
+    output = f"{border}\n{body}\n{border}"
+    if legend:
+        output += (
+            f"\n legend: {STATE_GLYPHS['safe']}=safe {STATE_GLYPHS['alert']}=alert "
+            f"{STATE_GLYPHS['covered']}=covered {STATE_GLYPHS['failed']}=failed "
+            f"{STIMULUS_GLYPH}=stimulus (t={time:.1f}s)"
+        )
+    return output
+
+
+def render_timeline(
+    state_changes: Iterable,
+    *,
+    node_ids: Optional[Sequence[int]] = None,
+    end_time: float = 0.0,
+    resolution_s: float = 5.0,
+) -> str:
+    """Render per-node protocol-state timelines as character strips.
+
+    Parameters
+    ----------
+    state_changes:
+        Iterable of records with ``time``, ``node_id``, ``new_state``
+        attributes (``MetricsRecorder.state_changes``).
+    node_ids:
+        Which nodes to draw (default: every node that appears in the log).
+    end_time:
+        Length of the timeline; defaults to the last recorded change.
+    resolution_s:
+        Seconds per character cell.
+    """
+    if resolution_s <= 0:
+        raise ValueError("resolution_s must be positive")
+    changes = sorted(state_changes, key=lambda r: r.time)
+    if not changes and not node_ids:
+        return "(no state changes recorded)"
+    horizon = max(end_time, changes[-1].time if changes else 0.0)
+    cells = max(1, int(np.ceil(horizon / resolution_s)))
+    ids = sorted(node_ids if node_ids is not None else {r.node_id for r in changes})
+
+    per_node: Dict[int, List[Tuple[float, str]]] = {i: [(0.0, "safe")] for i in ids}
+    for record in changes:
+        if record.node_id in per_node:
+            per_node[record.node_id].append((record.time, record.new_state))
+
+    lines = [f" time cells: {cells} x {resolution_s:.0f}s"]
+    for node_id in ids:
+        strip = []
+        timeline = per_node[node_id]
+        for cell in range(cells):
+            t = cell * resolution_s
+            state = "safe"
+            for change_time, new_state in timeline:
+                if change_time <= t:
+                    state = new_state
+                else:
+                    break
+            strip.append(STATE_GLYPHS.get(state, "?"))
+        lines.append(f" node {node_id:>3d} |{''.join(strip)}|")
+    return "\n".join(lines)
+
+
+def render_series(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 40,
+    value_format: str = "{:.3g}",
+) -> str:
+    """Horizontal bar chart of one or more series on a shared scale."""
+    if width < 1:
+        raise ValueError("width must be at least 1")
+    all_values = [v for values in series.values() for v in values]
+    if not all_values:
+        return "(no data)"
+    top = max(all_values)
+    top = top if top > 0 else 1.0
+    lines = []
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(f"series {name!r} length does not match x_values")
+        lines.append(name)
+        for x, v in zip(x_values, values):
+            bar = "#" * int(round(width * v / top))
+            lines.append(f"  x={x:8.2f} |{bar:<{width}}| " + value_format.format(v))
+    return "\n".join(lines)

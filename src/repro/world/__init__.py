@@ -1,0 +1,29 @@
+"""World orchestration: scenario configuration, building and running.
+
+This is the layer that glues the substrates together:
+
+* :class:`~repro.world.scenario.ScenarioConfig` describes everything *except*
+  the scheduler (deployment, stimulus, transmission range, duration, fault
+  models, seeds),
+* :class:`~repro.world.builder.build_simulation` materialises a scenario and
+  a scheduler into a ready-to-run :class:`~repro.world.simulation.MonitoringSimulation`,
+* :class:`~repro.world.simulation.MonitoringSimulation` drives the run and
+  produces a :class:`~repro.metrics.summary.RunSummary`.
+
+The convenience function :func:`~repro.world.builder.run_scenario` does all
+three steps in one call and is the main entry point for the examples, the
+experiment harness and the CLI.
+"""
+
+from repro.world.scenario import ScenarioConfig, StimulusConfig, FaultConfig
+from repro.world.simulation import MonitoringSimulation
+from repro.world.builder import build_simulation, run_scenario
+
+__all__ = [
+    "ScenarioConfig",
+    "StimulusConfig",
+    "FaultConfig",
+    "MonitoringSimulation",
+    "build_simulation",
+    "run_scenario",
+]

@@ -1,0 +1,250 @@
+"""The monitoring simulation: stimulus + nodes + network + scheduler.
+
+``MonitoringSimulation`` implements the :class:`~repro.core.controller.WorldServices`
+facade the controllers call into, drives the ground-truth stimulus arrival
+events, and assembles the final :class:`~repro.metrics.summary.RunSummary`.
+
+Event model
+-----------
+The true arrival time of the stimulus at every node position is precomputed
+from the stimulus model.  At each node's arrival time an event fires:
+
+* if the node is awake, the controller's ``on_stimulus_arrival`` hook runs
+  immediately -- an always-on (NS) node therefore has exactly zero detection
+  delay, matching §4.1's "there is no delay for active sensors";
+* if the node is asleep, nothing happens -- the node discovers the stimulus
+  on its next wake-up, when its controller calls :meth:`sense`, and the delay
+  is the remaining sleep time.
+
+For stimuli whose coverage can recede (drifting plume), a periodic coverage
+re-check on covered nodes triggers ``on_stimulus_departure`` so the
+COVERED -> SAFE timeout path is exercised.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional
+
+from repro.core.controller import NodeController
+from repro.core.scheduler_base import SleepScheduler
+from repro.metrics.energy import collect_energy_stats
+from repro.metrics.recorder import MetricsRecorder, OccupancySample
+from repro.metrics.summary import RunSummary
+from repro.network.medium import BroadcastMedium
+from repro.network.messages import Message
+from repro.network.topology import Topology
+from repro.node.sensing import SensingModel
+from repro.node.sensor import SensorNode
+from repro.sim.engine import Simulator
+from repro.sim.events import EventHandle
+from repro.sim.timers import PeriodicTimer
+from repro.stimulus.base import StimulusModel
+
+
+class MonitoringSimulation:
+    """One fully assembled, runnable monitoring scenario.
+
+    Built by :func:`repro.world.builder.build_simulation`; most users call
+    :func:`repro.world.builder.run_scenario` instead of constructing this
+    directly.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nodes: Dict[int, SensorNode],
+        topology: Topology,
+        medium: BroadcastMedium,
+        stimulus: StimulusModel,
+        sensing: SensingModel,
+        scheduler: SleepScheduler,
+        duration: float,
+        *,
+        scenario_description: Optional[Dict] = None,
+        true_arrival_times: Optional[Dict[int, float]] = None,
+        coverage_recheck_interval: float = 1.0,
+        occupancy_sample_interval: Optional[float] = None,
+    ) -> None:
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        self.sim = sim
+        self.nodes = nodes
+        self.topology = topology
+        self.medium = medium
+        self.stimulus = stimulus
+        self.sensing = sensing
+        self.scheduler = scheduler
+        self.duration = float(duration)
+        self.scenario_description = dict(scenario_description or {})
+        self.metrics_interval = occupancy_sample_interval
+
+        # Ground-truth arrival times (per node id).
+        if true_arrival_times is None:
+            positions = {nid: (n.position.x, n.position.y) for nid, n in nodes.items()}
+            true_arrival_times = {
+                nid: stimulus.arrival_time(pos, horizon=duration * 2.0)
+                for nid, pos in positions.items()
+            }
+        self.true_arrival_times = true_arrival_times
+        self.metrics = MetricsRecorder(true_arrival_times)
+
+        # Per-node controllers.
+        self.controllers: Dict[int, NodeController] = {}
+        for node_id, node in nodes.items():
+            controller = scheduler.create_controller(node, self)
+            self.controllers[node_id] = controller
+            medium.register_handler(node_id, self._deliver_to_controller)
+
+        self._coverage_recheck = PeriodicTimer(
+            sim, coverage_recheck_interval, self._recheck_covered_nodes, name="coverage-recheck"
+        )
+        self._occupancy_timer: Optional[PeriodicTimer] = None
+        if occupancy_sample_interval is not None:
+            self._occupancy_timer = PeriodicTimer(
+                sim, occupancy_sample_interval, self._sample_occupancy, name="occupancy"
+            )
+        self._started = False
+        self._finalized = False
+
+    # ===================================================== WorldServices API
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.sim.now
+
+    def sense(self, node_id: int) -> bool:
+        """Sample the node's sensor through the configured sensing model."""
+        node = self.nodes[node_id]
+        self.stimulus.advance(self.sim.now)
+        return self.sensing.sense(self.stimulus, node.position.to_tuple(), self.sim.now)
+
+    def broadcast(self, node_id: int, message: Message) -> int:
+        """Broadcast on behalf of a controller."""
+        return self.medium.broadcast(node_id, message)
+
+    def schedule_in(self, delay: float, callback: Callable[[], None], *, name: str = "") -> EventHandle:
+        """Schedule a controller callback."""
+        return self.sim.schedule_in(delay, callback, name=name)
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a controller callback."""
+        self.sim.cancel(handle)
+
+    def notify_detection(self, node_id: int, time: float) -> None:
+        """Metrics hook: a node detected the stimulus for the first time."""
+        self.metrics.record_detection(node_id, time)
+
+    def notify_state_change(self, node_id: int, time: float, old: str, new: str) -> None:
+        """Metrics hook: a controller changed protocol state."""
+        self.metrics.record_state_change(node_id, time, old, new)
+
+    # ================================================================ running
+    def start(self) -> None:
+        """Schedule controller start-up and ground-truth arrival events."""
+        if self._started:
+            raise RuntimeError("simulation already started")
+        self._started = True
+        for node_id, controller in self.controllers.items():
+            # Start events use priority over arrivals at t=0 via insertion order.
+            self.sim.schedule_at(self.sim.now, controller.start, name=f"node{node_id}:start")
+        for node_id, arrival in self.true_arrival_times.items():
+            if math.isfinite(arrival) and arrival <= self.duration:
+                self.sim.schedule_at(
+                    max(arrival, self.sim.now),
+                    self._make_arrival_event(node_id),
+                    name=f"node{node_id}:arrival",
+                )
+        self._coverage_recheck.start()
+        if self._occupancy_timer is not None:
+            self._occupancy_timer.start(first_delay=0.0)
+
+    def run(self) -> RunSummary:
+        """Run the scenario to completion and return its summary."""
+        if not self._started:
+            self.start()
+        self.sim.run(until=self.duration)
+        return self.finalize()
+
+    def finalize(self) -> RunSummary:
+        """Settle energy, stop timers and build the :class:`RunSummary`."""
+        if self._finalized:
+            return self._summary
+        self._finalized = True
+        self._coverage_recheck.stop()
+        if self._occupancy_timer is not None:
+            self._occupancy_timer.stop()
+        end_time = max(self.sim.now, self.duration)
+        for controller in self.controllers.values():
+            controller.finalize(end_time)
+        delay_stats = self.metrics.delay_stats(end_time)
+        energy_stats = collect_energy_stats(self.nodes.values())
+        messages = {
+            "tx_messages": sum(n.radio.stats.tx_messages for n in self.nodes.values()),
+            "rx_messages": sum(n.radio.stats.rx_messages for n in self.nodes.values()),
+            "broadcasts": self.medium.stats.broadcasts,
+            "deliveries": self.medium.stats.deliveries,
+            "losses": self.medium.stats.losses,
+        }
+        self._summary = RunSummary(
+            scheduler=self.scheduler.name,
+            scenario=self.scenario_description,
+            duration_s=end_time,
+            delay=delay_stats,
+            energy=energy_stats,
+            messages=messages,
+            extra={
+                "events_processed": self.sim.events_processed,
+                "average_degree": self.topology.average_degree(),
+            },
+        )
+        return self._summary
+
+    # ============================================================== internals
+    def _deliver_to_controller(self, receiver_id: int, message: Message) -> None:
+        controller = self.controllers.get(receiver_id)
+        if controller is not None:
+            controller.on_message(message)
+
+    def _make_arrival_event(self, node_id: int) -> Callable[[], None]:
+        def fire() -> None:
+            node = self.nodes[node_id]
+            if node.is_failed:
+                return
+            if node.is_awake:
+                self.controllers[node_id].on_stimulus_arrival()
+
+        return fire
+
+    def _recheck_covered_nodes(self) -> None:
+        """Detect stimulus recession for covered nodes (plume-style stimuli)."""
+        now = self.sim.now
+        self.stimulus.advance(now)
+        for node_id, controller in self.controllers.items():
+            node = self.nodes[node_id]
+            if node.is_failed or not node.is_awake:
+                continue
+            state_name = controller.state_name
+            if state_name == "covered" and not self.sense(node_id):
+                controller.on_stimulus_departure()
+
+    def _sample_occupancy(self) -> None:
+        counts: Dict[str, int] = {}
+        awake = 0
+        asleep = 0
+        for node_id, controller in self.controllers.items():
+            node = self.nodes[node_id]
+            counts[controller.state_name] = counts.get(controller.state_name, 0) + 1
+            if node.is_awake:
+                awake += 1
+            elif not node.is_failed:
+                asleep += 1
+        self.metrics.record_occupancy(
+            OccupancySample(time=self.sim.now, counts=counts, awake=awake, asleep=asleep)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MonitoringSimulation(scheduler={self.scheduler.name}, "
+            f"nodes={len(self.nodes)}, duration={self.duration})"
+        )

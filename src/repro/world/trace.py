@@ -1,0 +1,125 @@
+"""Event tracing: per-node timelines of everything that happened in a run.
+
+``MetricsRecorder`` keeps only what the headline metrics need; ``TraceRecorder``
+is the debugging/analysis companion that captures a chronological log of
+
+* protocol state changes,
+* message deliveries (sender, receiver, type),
+* stimulus detections,
+
+and can slice it per node, filter by kind and export it as plain dict rows
+(which :mod:`repro.experiments.reporting` can then write to CSV/JSON).
+Attach it to a built simulation with :meth:`TraceRecorder.attach` *before*
+calling ``run()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.network.messages import Message
+from repro.world.simulation import MonitoringSimulation
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One entry in the trace."""
+
+    time: float
+    kind: str
+    node_id: int
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def as_row(self) -> Dict[str, Any]:
+        """Flatten for CSV export."""
+        row: Dict[str, Any] = {"time": self.time, "kind": self.kind, "node_id": self.node_id}
+        row.update({f"detail.{k}": v for k, v in self.detail.items()})
+        return row
+
+
+class TraceRecorder:
+    """Chronological event log of one simulation run."""
+
+    #: trace-event kinds produced by :meth:`attach`
+    KIND_STATE = "state_change"
+    KIND_DELIVERY = "message_delivery"
+    KIND_DETECTION = "detection"
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+        self._attached: Optional[MonitoringSimulation] = None
+
+    # ----------------------------------------------------------------- wiring
+    def attach(self, simulation: MonitoringSimulation) -> "TraceRecorder":
+        """Hook into a simulation's medium and metrics callbacks.
+
+        Returns ``self`` so the call can be chained at construction sites.
+        """
+        if self._attached is not None:
+            raise RuntimeError("TraceRecorder is already attached to a simulation")
+        self._attached = simulation
+
+        simulation.medium.add_tap(self._on_delivery)
+
+        original_detection = simulation.notify_detection
+        original_state_change = simulation.notify_state_change
+
+        def traced_detection(node_id: int, time: float) -> None:
+            self.record(time, self.KIND_DETECTION, node_id)
+            original_detection(node_id, time)
+
+        def traced_state_change(node_id: int, time: float, old: str, new: str) -> None:
+            self.record(time, self.KIND_STATE, node_id, {"old": old, "new": new})
+            original_state_change(node_id, time, old, new)
+
+        simulation.notify_detection = traced_detection  # type: ignore[method-assign]
+        simulation.notify_state_change = traced_state_change  # type: ignore[method-assign]
+        return self
+
+    def _on_delivery(self, sender_id: int, receiver_id: int, message: Message) -> None:
+        time = self._attached.now if self._attached is not None else 0.0
+        self.record(
+            time,
+            self.KIND_DELIVERY,
+            receiver_id,
+            {"sender": sender_id, "message": type(message).__name__},
+        )
+
+    # ------------------------------------------------------------------ write
+    def record(
+        self, time: float, kind: str, node_id: int, detail: Optional[Dict[str, Any]] = None
+    ) -> TraceEvent:
+        """Append one event (also usable directly from tests and tools)."""
+        event = TraceEvent(time=float(time), kind=kind, node_id=int(node_id), detail=detail or {})
+        self.events.append(event)
+        return event
+
+    # ------------------------------------------------------------------- read
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        """All events of one kind, in chronological order of recording."""
+        return [e for e in self.events if e.kind == kind]
+
+    def for_node(self, node_id: int) -> List[TraceEvent]:
+        """All events touching one node."""
+        return [e for e in self.events if e.node_id == node_id]
+
+    def between(self, start: float, end: float) -> List[TraceEvent]:
+        """Events with ``start <= time <= end``."""
+        if end < start:
+            raise ValueError("end must not be earlier than start")
+        return [e for e in self.events if start <= e.time <= end]
+
+    def as_rows(self) -> List[Dict[str, Any]]:
+        """Flatten the whole trace for CSV/JSON export."""
+        return [e.as_row() for e in self.events]
+
+    def summary(self) -> Dict[str, int]:
+        """Event counts per kind."""
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts

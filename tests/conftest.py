@@ -1,0 +1,110 @@
+"""Shared fixtures and fakes for the test suite."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+import numpy as np
+import pytest
+
+from repro.core.controller import WorldServices
+from repro.geometry.vec import Vec2
+from repro.network.messages import Message
+from repro.node.sensor import SensorNode
+from repro.sim.engine import Simulator
+from repro.sim.events import EventHandle
+
+
+class FakeWorld:
+    """Minimal :class:`WorldServices` implementation for controller unit tests.
+
+    * ``coverage`` maps node id -> arrival time; :meth:`sense` compares it to
+      the current simulation time.
+    * broadcasts are recorded (and optionally looped back to registered
+      peers) instead of going through the full medium.
+    """
+
+    def __init__(self, sim: Optional[Simulator] = None) -> None:
+        self.sim = sim or Simulator()
+        self.coverage: Dict[int, float] = {}
+        self.broadcasts: List[Message] = []
+        self.detections: List[tuple] = []
+        self.state_changes: List[tuple] = []
+        #: optional mapping node_id -> controller for loopback delivery
+        self.peers: Dict[int, object] = {}
+        #: ids of peers that receive each broadcast (defaults to all others)
+        self.loopback = False
+
+    # ------------------------------------------------------- WorldServices
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def sense(self, node_id: int) -> bool:
+        arrival = self.coverage.get(node_id, math.inf)
+        return self.sim.now >= arrival
+
+    def broadcast(self, node_id: int, message: Message) -> int:
+        self.broadcasts.append(message)
+        delivered = 0
+        if self.loopback:
+            for peer_id, controller in self.peers.items():
+                if peer_id == node_id:
+                    continue
+                node = getattr(controller, "node", None)
+                if node is not None and not node.is_awake:
+                    continue
+                self.sim.schedule_in(
+                    1e-3, lambda c=controller, m=message: c.on_message(m), name="loopback"
+                )
+                delivered += 1
+        return delivered
+
+    def schedule_in(self, delay: float, callback, *, name: str = "") -> EventHandle:
+        return self.sim.schedule_in(delay, callback, name=name)
+
+    def cancel(self, handle: EventHandle) -> None:
+        self.sim.cancel(handle)
+
+    def notify_detection(self, node_id: int, time: float) -> None:
+        self.detections.append((node_id, time))
+
+    def notify_state_change(self, node_id: int, time: float, old: str, new: str) -> None:
+        self.state_changes.append((node_id, time, old, new))
+
+    # ------------------------------------------------------------- helpers
+    def set_arrival(self, node_id: int, time: float) -> None:
+        """Declare when the stimulus reaches a node."""
+        self.coverage[node_id] = time
+
+    def run(self, until: float) -> None:
+        """Advance the underlying simulator."""
+        self.sim.run(until=until)
+
+
+@pytest.fixture
+def fake_world() -> FakeWorld:
+    """A fresh fake world with its own simulator."""
+    return FakeWorld()
+
+
+@pytest.fixture
+def make_node():
+    """Factory fixture for sensor nodes at given positions."""
+
+    def _make(node_id: int = 0, x: float = 0.0, y: float = 0.0, **kwargs) -> SensorNode:
+        return SensorNode(node_id, Vec2(x, y), **kwargs)
+
+    return _make
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic NumPy generator for tests."""
+    return np.random.default_rng(12345)
+
+
+def assert_world_services(obj) -> None:
+    """Helper asserting an object satisfies the WorldServices protocol."""
+    assert isinstance(obj, WorldServices)

@@ -1,0 +1,147 @@
+"""Unit tests for the analysis helpers (coverage, contour, statistics)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.contour import contour_error, covered_hull_points
+from repro.analysis.coverage import coverage_timeline, detection_quality
+from repro.analysis.statistics import (
+    SweepSeries,
+    confidence_interval,
+    is_monotonic,
+    relative_change,
+)
+from repro.stimulus.circular import CircularFrontStimulus
+
+
+class TestDetectionQuality:
+    def setup_method(self):
+        self.positions = np.array([[1.0, 0.0], [3.0, 0.0], [10.0, 0.0]])
+        self.stimulus = CircularFrontStimulus((0, 0), speed=1.0)
+
+    def test_perfect_detection(self):
+        detections = {0: 1.0, 1: 3.0}
+        snap = detection_quality(self.positions, detections, self.stimulus, time=4.0)
+        assert snap.true_covered == 2
+        assert snap.detected == 2
+        assert snap.precision == 1.0
+        assert snap.recall == 1.0
+
+    def test_recall_penalised_by_missing_detection(self):
+        snap = detection_quality(self.positions, {0: 1.0}, self.stimulus, time=4.0)
+        assert snap.recall == pytest.approx(0.5)
+        assert snap.precision == 1.0
+
+    def test_precision_penalised_by_false_alarm(self):
+        # Node 2 "detects" although the front never reached it.
+        snap = detection_quality(self.positions, {0: 1.0, 2: 2.0}, self.stimulus, time=4.0)
+        assert snap.precision == pytest.approx(0.5)
+
+    def test_empty_cases_default_to_one(self):
+        snap = detection_quality(self.positions, {}, self.stimulus, time=0.5)
+        assert snap.recall == 1.0  # nothing truly covered except near-source
+        snap2 = detection_quality(self.positions, {}, self.stimulus, time=4.0)
+        assert snap2.precision == 1.0  # nothing detected -> vacuous precision
+
+    def test_timeline_is_sorted_and_recall_monotone_for_static_detections(self):
+        detections = {0: 1.0, 1: 3.0}
+        snaps = coverage_timeline(self.positions, detections, self.stimulus, [6.0, 2.0, 4.0])
+        assert [s.time for s in snaps] == [2.0, 4.0, 6.0]
+
+
+class TestCoveredHull:
+    def test_hull_of_square(self):
+        positions = np.array(
+            [[0.0, 0.0], [4.0, 0.0], [4.0, 4.0], [0.0, 4.0], [2.0, 2.0]]
+        )
+        detections = {i: 1.0 for i in range(5)}
+        hull = covered_hull_points(positions, detections, time=2.0)
+        # The interior point must not be a hull vertex.
+        assert len(hull) == 4
+        assert not any(np.allclose(v, [2.0, 2.0]) for v in hull)
+
+    def test_fewer_than_three_points_returned_as_is(self):
+        positions = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+        hull = covered_hull_points(positions, {0: 1.0, 1: 1.0}, time=2.0)
+        assert hull.shape == (2, 2)
+        assert covered_hull_points(positions, {}, time=2.0).shape[0] == 0
+
+    def test_only_detections_before_time_counted(self):
+        positions = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        detections = {0: 1.0, 1: 1.0, 2: 1.0, 3: 99.0}
+        hull = covered_hull_points(positions, detections, time=2.0)
+        assert len(hull) == 3
+
+
+class TestContourError:
+    def test_error_small_when_sensors_ring_the_front(self):
+        stimulus = CircularFrontStimulus((0, 0), speed=1.0)
+        # Sensors on a circle of radius 5 detected exactly at t=5.
+        angles = np.linspace(0, 2 * math.pi, 16, endpoint=False)
+        positions = np.column_stack([5 * np.cos(angles), 5 * np.sin(angles)])
+        detections = {i: 5.0 for i in range(len(positions))}
+        error = contour_error(positions, detections, stimulus, (0, 0), time=5.0)
+        assert error < 1.5
+
+    def test_error_inf_when_nothing_detected(self):
+        stimulus = CircularFrontStimulus((0, 0), speed=1.0)
+        positions = np.array([[1.0, 0.0]])
+        assert math.isinf(contour_error(positions, {}, stimulus, (0, 0), time=5.0))
+
+    def test_error_grows_when_hull_lags_front(self):
+        stimulus = CircularFrontStimulus((0, 0), speed=1.0)
+        angles = np.linspace(0, 2 * math.pi, 12, endpoint=False)
+        near = np.column_stack([2 * np.cos(angles), 2 * np.sin(angles)])
+        detections = {i: 2.0 for i in range(len(near))}
+        error_close = contour_error(near, detections, stimulus, (0, 0), time=3.0)
+        error_far = contour_error(near, detections, stimulus, (0, 0), time=10.0)
+        assert error_far > error_close
+
+
+class TestStatistics:
+    def test_confidence_interval_single_sample(self):
+        mean, lo, hi = confidence_interval([5.0])
+        assert mean == lo == hi == 5.0
+
+    def test_confidence_interval_contains_mean(self):
+        mean, lo, hi = confidence_interval([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert lo < mean < hi
+        assert mean == pytest.approx(3.0)
+
+    def test_confidence_interval_wider_at_higher_confidence(self):
+        samples = [1.0, 2.0, 3.0, 4.0, 5.0]
+        _, lo95, hi95 = confidence_interval(samples, 0.95)
+        _, lo50, hi50 = confidence_interval(samples, 0.50)
+        assert (hi95 - lo95) > (hi50 - lo50)
+
+    def test_confidence_interval_validation(self):
+        with pytest.raises(ValueError):
+            confidence_interval([])
+        with pytest.raises(ValueError):
+            confidence_interval([1.0], confidence=1.5)
+
+    def test_is_monotonic(self):
+        assert is_monotonic([1, 2, 3])
+        assert not is_monotonic([1, 3, 2])
+        assert is_monotonic([3, 2, 1], increasing=False)
+        assert is_monotonic([1, 0.95, 2], tolerance=0.1)
+        assert is_monotonic([5])
+
+    def test_relative_change(self):
+        assert relative_change(10.0, 15.0) == pytest.approx(0.5)
+        assert relative_change(10.0, 5.0) == pytest.approx(-0.5)
+        assert relative_change(0.0, 0.0) == 0.0
+        assert math.isinf(relative_change(0.0, 1.0))
+
+    def test_sweep_series_rows_and_means(self):
+        series = SweepSeries("delay")
+        series.add(1.0, 2.0)
+        series.add(1.0, 4.0)
+        series.add(2.0, 6.0)
+        assert series.sorted_x() == [1.0, 2.0]
+        assert series.means() == [3.0, 6.0]
+        rows = series.as_rows()
+        assert rows[0]["n"] == 2
+        assert rows[1]["mean"] == 6.0

@@ -1,0 +1,95 @@
+"""Unit tests for network-lifetime projection."""
+
+import math
+
+import pytest
+
+from repro.analysis.lifetime import (
+    LifetimeProjection,
+    compare_lifetimes,
+    project_lifetime,
+    project_node_lifetime,
+)
+from repro.core.config import PASConfig, SchedulerConfig
+from repro.core.baselines import NoSleepScheduler
+from repro.core.pas import PASScheduler
+from repro.experiments.runner import default_scenario
+from repro.node.battery import DEFAULT_CAPACITY_J
+from repro.world.builder import run_scenario
+
+
+class TestNodeProjection:
+    def test_lifetime_is_capacity_over_average_power(self):
+        # 1 J over 100 s = 10 mW; a 100 J battery then lasts 10_000 s.
+        assert project_node_lifetime(1.0, 100.0, capacity_j=100.0) == pytest.approx(10_000.0)
+
+    def test_zero_energy_means_infinite_lifetime(self):
+        assert math.isinf(project_node_lifetime(0.0, 100.0))
+
+    def test_default_capacity_is_two_aa(self):
+        lifetime = project_node_lifetime(1.0, 100.0)
+        assert lifetime == pytest.approx(DEFAULT_CAPACITY_J / 0.01)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"energy_j": -1.0, "window_s": 10.0},
+            {"energy_j": 1.0, "window_s": 0.0},
+            {"energy_j": 1.0, "window_s": 10.0, "capacity_j": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            project_node_lifetime(**kwargs)
+
+
+@pytest.fixture(scope="module")
+def pas_summary():
+    scenario = default_scenario(num_nodes=10, area=30.0, duration=30.0, seed=2)
+    return run_scenario(scenario, PASScheduler(PASConfig()))
+
+
+@pytest.fixture(scope="module")
+def ns_summary():
+    scenario = default_scenario(num_nodes=10, area=30.0, duration=30.0, seed=2)
+    return run_scenario(scenario, NoSleepScheduler(SchedulerConfig()))
+
+
+class TestFleetProjection:
+    def test_projection_structure(self, pas_summary):
+        projection = project_lifetime(pas_summary)
+        assert isinstance(projection, LifetimeProjection)
+        assert len(projection.per_node_s) == 10
+        assert projection.first_death_s <= projection.median_s
+        assert projection.first_death_s <= projection.p90_survival_s
+        assert projection.first_death_days == pytest.approx(projection.first_death_s / 86_400.0)
+        assert set(projection.as_dict()) == {
+            "first_death_s",
+            "median_s",
+            "p90_survival_s",
+            "mean_s",
+        }
+
+    def test_pas_outlives_ns(self, pas_summary, ns_summary):
+        pas = project_lifetime(pas_summary)
+        ns = project_lifetime(ns_summary)
+        assert pas.median_s > ns.median_s
+        assert pas.first_death_s > ns.first_death_s * 0.9
+
+    def test_ns_lifetime_matches_closed_form(self, ns_summary):
+        # NS nodes draw ~41 mW continuously (plus negligible radio), so the
+        # projected lifetime must be close to capacity / 41 mW.
+        projection = project_lifetime(ns_summary)
+        expected = DEFAULT_CAPACITY_J / 41e-3
+        assert projection.median_s == pytest.approx(expected, rel=0.05)
+
+    def test_survival_fraction_validation(self, pas_summary):
+        with pytest.raises(ValueError):
+            project_lifetime(pas_summary, survival_fraction=0.0)
+
+    def test_compare_lifetimes_rows(self, pas_summary, ns_summary):
+        rows = compare_lifetimes({"PAS": pas_summary, "NS": ns_summary})
+        assert {r["scheduler"] for r in rows} == {"PAS", "NS"}
+        pas_row = next(r for r in rows if r["scheduler"] == "PAS")
+        ns_row = next(r for r in rows if r["scheduler"] == "NS")
+        assert pas_row["median_days"] > ns_row["median_days"]

@@ -1,0 +1,78 @@
+"""Unit tests for the pas-sim command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.scheduler == "PAS"
+        assert args.nodes == 30
+        assert args.range == 10.0
+
+    def test_figure_number_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "9"])
+
+
+class TestCommands:
+    def test_table1_command(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Telos" in out
+        assert "250" in out
+
+    def test_run_command_small_scenario(self, capsys):
+        code = main(
+            [
+                "run",
+                "--nodes",
+                "8",
+                "--area",
+                "25",
+                "--duration",
+                "25",
+                "--scheduler",
+                "PAS",
+                "--seed",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "average detection delay" in out
+        assert "average energy" in out
+
+    def test_run_command_ns_scheduler(self, capsys):
+        code = main(
+            ["run", "--nodes", "6", "--area", "20", "--duration", "20", "--scheduler", "NS"]
+        )
+        assert code == 0
+        assert "NS" in capsys.readouterr().out
+
+    def test_run_command_unknown_scheduler_fails(self):
+        with pytest.raises(ValueError):
+            main(["run", "--nodes", "6", "--duration", "10", "--scheduler", "FOO"])
+
+    def test_compare_command(self, capsys):
+        code = main(
+            ["compare", "--nodes", "8", "--area", "25", "--duration", "25", "--seed", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("NS", "PAS", "SAS"):
+            assert name in out
+
+    def test_figure_command_small(self, capsys):
+        code = main(["figure", "5", "--repetitions", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "alert_threshold_s" in out

@@ -1,0 +1,148 @@
+"""Unit tests for the expected-arrival-time prediction of §3.3."""
+
+import math
+
+import pytest
+
+from repro.core.arrival import (
+    arrival_time_from_neighbor,
+    expected_arrival_time,
+    sas_arrival_time,
+    time_to_arrival,
+)
+from repro.core.neighbors import NeighborInfo
+from repro.core.states import ProtocolState
+from repro.geometry.vec import Vec2
+
+
+def covered_info(node_id, x, y, velocity, detection_time):
+    return NeighborInfo(
+        node_id=node_id,
+        position=Vec2(x, y),
+        state=ProtocolState.COVERED,
+        velocity=velocity,
+        detection_time=detection_time,
+        report_time=detection_time,
+    )
+
+
+def alert_info(node_id, x, y, velocity, predicted_arrival):
+    return NeighborInfo(
+        node_id=node_id,
+        position=Vec2(x, y),
+        state=ProtocolState.ALERT,
+        velocity=velocity,
+        predicted_arrival=predicted_arrival,
+        report_time=0.0,
+    )
+
+
+class TestPerNeighborEstimate:
+    def test_head_on_approach(self):
+        # Neighbour at origin, front moving along +x at 2 m/s, we are at (10, 0).
+        info = covered_info(1, 0, 0, Vec2(2, 0), detection_time=4.0)
+        estimate = arrival_time_from_neighbor(Vec2(10, 0), info, now=5.0)
+        assert estimate == pytest.approx(4.0 + 10.0 / 2.0)
+
+    def test_oblique_approach_uses_cosine_projection(self):
+        # We are at 45 degrees from the velocity direction: travel distance is
+        # |IX| cos(45) = 10 * sqrt(2)/2.
+        info = covered_info(1, 0, 0, Vec2(1, 0), detection_time=0.0)
+        estimate = arrival_time_from_neighbor(Vec2(10, 10), info, now=0.0)
+        expected = math.hypot(10, 10) * math.cos(math.pi / 4) / 1.0
+        assert estimate == pytest.approx(expected)
+
+    def test_receding_front_gives_inf(self):
+        info = covered_info(1, 0, 0, Vec2(-1, 0), detection_time=0.0)
+        assert math.isinf(arrival_time_from_neighbor(Vec2(10, 0), info, now=0.0))
+
+    def test_perpendicular_motion_gives_inf(self):
+        info = covered_info(1, 0, 0, Vec2(0, 1), detection_time=0.0)
+        assert math.isinf(arrival_time_from_neighbor(Vec2(10, 0), info, now=0.0))
+
+    def test_no_velocity_gives_inf(self):
+        info = covered_info(1, 0, 0, None, detection_time=0.0)
+        assert math.isinf(arrival_time_from_neighbor(Vec2(10, 0), info, now=0.0))
+
+    def test_zero_speed_gives_inf(self):
+        info = covered_info(1, 0, 0, Vec2(0, 0), detection_time=0.0)
+        assert math.isinf(arrival_time_from_neighbor(Vec2(10, 0), info, now=0.0))
+
+    def test_alert_neighbor_anchors_on_its_prediction(self):
+        info = alert_info(1, 0, 0, Vec2(1, 0), predicted_arrival=20.0)
+        estimate = arrival_time_from_neighbor(Vec2(5, 0), info, now=0.0)
+        assert estimate == pytest.approx(25.0)
+
+    def test_alert_neighbor_without_prediction_gives_inf(self):
+        info = alert_info(1, 0, 0, Vec2(1, 0), predicted_arrival=math.inf)
+        assert math.isinf(arrival_time_from_neighbor(Vec2(5, 0), info, now=0.0))
+
+    def test_colocated_neighbor_returns_its_reference_time(self):
+        info = covered_info(1, 5, 5, Vec2(1, 0), detection_time=7.0)
+        assert arrival_time_from_neighbor(Vec2(5, 5), info, now=8.0) == 7.0
+
+
+class TestExpectedArrivalTime:
+    def test_minimum_over_neighbors(self):
+        neighbors = [
+            covered_info(1, 0, 0, Vec2(1, 0), detection_time=0.0),   # arrives at 10
+            covered_info(2, 5, 0, Vec2(1, 0), detection_time=3.0),   # arrives at 8
+        ]
+        estimate = expected_arrival_time(Vec2(10, 0), neighbors, now=4.0)
+        assert estimate == pytest.approx(8.0)
+
+    def test_clamped_to_now(self):
+        # The per-neighbour estimate says the front should already be here.
+        neighbors = [covered_info(1, 0, 0, Vec2(5, 0), detection_time=0.0)]
+        estimate = expected_arrival_time(Vec2(1, 0), neighbors, now=10.0)
+        assert estimate == 10.0
+
+    def test_inf_when_no_informative_neighbors(self):
+        assert math.isinf(expected_arrival_time(Vec2(0, 0), [], now=0.0))
+        receding = [covered_info(1, 0, 0, Vec2(-1, 0), detection_time=0.0)]
+        assert math.isinf(expected_arrival_time(Vec2(10, 0), receding, now=0.0))
+
+    def test_min_reports_threshold(self):
+        neighbors = [covered_info(1, 0, 0, Vec2(1, 0), detection_time=0.0)]
+        assert math.isfinite(expected_arrival_time(Vec2(5, 0), neighbors, now=0.0, min_reports=1))
+        assert math.isinf(expected_arrival_time(Vec2(5, 0), neighbors, now=0.0, min_reports=2))
+
+    def test_min_reports_validation(self):
+        with pytest.raises(ValueError):
+            expected_arrival_time(Vec2(0, 0), [], now=0.0, min_reports=0)
+
+
+class TestSASArrivalTime:
+    def test_straight_line_distance_over_speed(self):
+        neighbors = [covered_info(1, 0, 0, Vec2(2, 0), detection_time=4.0)]
+        estimate = sas_arrival_time(Vec2(3, 4), neighbors, now=4.0)
+        assert estimate == pytest.approx(4.0 + 5.0 / 2.0)
+
+    def test_minimum_over_covered_neighbors(self):
+        neighbors = [
+            covered_info(1, 0, 0, Vec2(1, 0), detection_time=0.0),
+            covered_info(2, 4, 0, Vec2(1, 0), detection_time=0.0),
+        ]
+        estimate = sas_arrival_time(Vec2(5, 0), neighbors, now=0.0)
+        assert estimate == pytest.approx(1.0)
+
+    def test_fallback_speed_used_when_no_velocity(self):
+        neighbors = [covered_info(1, 0, 0, None, detection_time=0.0)]
+        assert math.isinf(sas_arrival_time(Vec2(4, 0), neighbors, now=0.0))
+        estimate = sas_arrival_time(Vec2(4, 0), neighbors, now=0.0, fallback_speed=2.0)
+        assert estimate == pytest.approx(2.0)
+
+    def test_ignores_neighbors_without_detection_time(self):
+        neighbors = [alert_info(1, 0, 0, Vec2(1, 0), predicted_arrival=5.0)]
+        assert math.isinf(sas_arrival_time(Vec2(4, 0), neighbors, now=0.0))
+
+    def test_clamped_to_now(self):
+        neighbors = [covered_info(1, 0, 0, Vec2(10, 0), detection_time=0.0)]
+        assert sas_arrival_time(Vec2(1, 0), neighbors, now=50.0) == 50.0
+
+
+class TestTimeToArrival:
+    def test_relative_time(self):
+        assert time_to_arrival(15.0, now=10.0) == 5.0
+        assert time_to_arrival(5.0, now=10.0) == 0.0
+        assert math.isinf(time_to_arrival(math.inf, now=10.0))

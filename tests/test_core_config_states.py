@@ -1,0 +1,137 @@
+"""Unit tests for scheduler configs and the protocol state machine."""
+
+import pytest
+
+from repro.core.config import BaselineConfig, PASConfig, SASConfig, SchedulerConfig
+from repro.core.states import InvalidTransition, ProtocolState, StateMachine
+
+
+class TestSchedulerConfig:
+    def test_defaults_are_valid(self):
+        config = SchedulerConfig()
+        assert config.base_sleep_interval > 0
+        assert config.max_sleep_interval >= config.base_sleep_interval
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"base_sleep_interval": 0.0},
+            {"sleep_increment": -1.0},
+            {"base_sleep_interval": 5.0, "max_sleep_interval": 1.0},
+            {"listen_window": 0.0},
+            {"detection_timeout": -1.0},
+            {"sleep_policy": "quadratic"},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SchedulerConfig(**kwargs)
+
+    def test_with_overrides_creates_copy(self):
+        base = SchedulerConfig(max_sleep_interval=10.0)
+        changed = base.with_overrides(max_sleep_interval=20.0)
+        assert changed.max_sleep_interval == 20.0
+        assert base.max_sleep_interval == 10.0
+
+    def test_as_dict_round_trip(self):
+        config = SchedulerConfig()
+        d = config.as_dict()
+        assert d["base_sleep_interval"] == config.base_sleep_interval
+        assert "sleep_policy" in d
+
+
+class TestPASConfig:
+    def test_defaults(self):
+        config = PASConfig()
+        assert config.alert_threshold > 0
+        assert 0 <= config.significant_change <= 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"alert_threshold": 0.0},
+            {"significant_change": 1.5},
+            {"min_neighbors_for_estimate": 0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            PASConfig(**kwargs)
+
+    def test_sas_has_small_default_threshold(self):
+        # The paper: SAS behaves like PAS with a sharply reduced alert time.
+        assert SASConfig().alert_threshold < PASConfig().alert_threshold
+
+    def test_baseline_duty_cycle_validation(self):
+        assert BaselineConfig(duty_cycle=0.5).duty_cycle == 0.5
+        with pytest.raises(ValueError):
+            BaselineConfig(duty_cycle=0.0)
+        with pytest.raises(ValueError):
+            BaselineConfig(duty_cycle=1.5)
+
+
+class TestStateMachine:
+    def test_initial_state_is_safe(self):
+        assert StateMachine().state is ProtocolState.SAFE
+
+    @pytest.mark.parametrize(
+        "path",
+        [
+            [ProtocolState.COVERED],
+            [ProtocolState.ALERT, ProtocolState.COVERED],
+            [ProtocolState.ALERT, ProtocolState.SAFE],
+            [ProtocolState.COVERED, ProtocolState.SAFE],
+            [ProtocolState.ALERT, ProtocolState.COVERED, ProtocolState.SAFE, ProtocolState.ALERT],
+        ],
+    )
+    def test_legal_paths(self, path):
+        machine = StateMachine()
+        t = 0.0
+        for target in path:
+            t += 1.0
+            machine.transition(target, t)
+        assert machine.state is path[-1]
+
+    def test_illegal_safe_to_safe_is_noop_not_error(self):
+        machine = StateMachine()
+        changed = machine.transition(ProtocolState.SAFE, 1.0)
+        assert changed is False
+        assert machine.state is ProtocolState.SAFE
+
+    def test_illegal_covered_to_alert_raises(self):
+        machine = StateMachine()
+        machine.transition(ProtocolState.COVERED, 1.0)
+        with pytest.raises(InvalidTransition):
+            machine.transition(ProtocolState.ALERT, 2.0)
+
+    def test_can_transition_reflects_rules(self):
+        machine = StateMachine()
+        assert machine.can_transition(ProtocolState.ALERT)
+        assert machine.can_transition(ProtocolState.COVERED)
+        machine.transition(ProtocolState.COVERED, 1.0)
+        assert machine.can_transition(ProtocolState.SAFE)
+        assert not machine.can_transition(ProtocolState.ALERT)
+
+    def test_history_records_transitions_and_noops(self):
+        machine = StateMachine()
+        machine.transition(ProtocolState.ALERT, 1.0, "test")
+        machine.transition(ProtocolState.ALERT, 2.0)
+        assert len(machine.history) == 2
+        assert machine.history[0].reason == "test"
+        assert machine.history[1].reason == "noop"
+
+    def test_on_change_hook_called_for_effective_transitions_only(self):
+        calls = []
+        machine = StateMachine(
+            on_change=lambda t, old, new, reason: calls.append((t, old, new))
+        )
+        machine.transition(ProtocolState.ALERT, 1.0)
+        machine.transition(ProtocolState.ALERT, 2.0)  # no-op
+        assert len(calls) == 1
+        assert calls[0] == (1.0, ProtocolState.SAFE, ProtocolState.ALERT)
+
+    def test_time_in_state(self):
+        machine = StateMachine()
+        machine.transition(ProtocolState.ALERT, 5.0)
+        assert machine.time_in_state(ProtocolState.ALERT, 8.0) == pytest.approx(3.0)
+        assert machine.time_in_state(ProtocolState.COVERED, 8.0) == 0.0

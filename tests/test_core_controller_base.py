@@ -1,0 +1,109 @@
+"""Unit tests for the NodeController base class and SleepScheduler base."""
+
+import pytest
+
+from repro.core.controller import NodeController
+from repro.core.scheduler_base import SleepScheduler
+from repro.core.config import SchedulerConfig
+from repro.network.messages import Message
+from repro.node.sensor import PowerState
+
+
+class RecordingController(NodeController):
+    """Minimal concrete controller used to exercise the base-class helpers."""
+
+    def __init__(self, node, world):
+        super().__init__(node, world)
+        self.wakes = 0
+        self.messages = []
+        self.arrivals = 0
+
+    def start(self):
+        self.wake_node()
+
+    def on_message(self, message: Message):
+        self.messages.append(message)
+
+    def on_stimulus_arrival(self):
+        self.arrivals += 1
+
+
+class RecordingScheduler(SleepScheduler):
+    name = "RECORDING"
+
+    def create_controller(self, node, world):
+        return RecordingController(node, world)
+
+
+class TestSleepWakeHelpers:
+    def test_sleep_node_schedules_wake_and_calls_back(self, fake_world, make_node):
+        controller = RecordingController(make_node(0), fake_world)
+        called = []
+        controller.sleep_node(5.0, lambda: called.append(fake_world.now))
+        assert controller.node.power_state is PowerState.ASLEEP
+        fake_world.run(until=10.0)
+        assert called == [5.0]
+        assert controller.node.is_awake
+
+    def test_sleep_node_replaces_previous_wake(self, fake_world, make_node):
+        controller = RecordingController(make_node(0), fake_world)
+        first, second = [], []
+        controller.sleep_node(5.0, lambda: first.append(fake_world.now))
+        controller.sleep_node(2.0, lambda: second.append(fake_world.now))
+        fake_world.run(until=10.0)
+        assert first == []
+        assert second == [2.0]
+
+    def test_cancel_pending_wake(self, fake_world, make_node):
+        controller = RecordingController(make_node(0), fake_world)
+        called = []
+        controller.sleep_node(3.0, lambda: called.append(True))
+        controller.cancel_pending_wake()
+        fake_world.run(until=10.0)
+        assert called == []
+        # The node stays asleep because nothing woke it.
+        assert controller.node.power_state is PowerState.ASLEEP
+
+    def test_sleep_rejects_non_positive_duration(self, fake_world, make_node):
+        controller = RecordingController(make_node(0), fake_world)
+        with pytest.raises(ValueError):
+            controller.sleep_node(0.0, lambda: None)
+
+    def test_failed_node_never_wakes(self, fake_world, make_node):
+        controller = RecordingController(make_node(0), fake_world)
+        called = []
+        controller.sleep_node(2.0, lambda: called.append(True))
+        controller.node.fail(fake_world.now)
+        fake_world.run(until=10.0)
+        assert called == []
+        assert controller.node.is_failed
+
+    def test_finalize_settles_energy_to_end_time(self, fake_world, make_node):
+        controller = RecordingController(make_node(0), fake_world)
+        controller.start()
+        fake_world.run(until=7.0)
+        controller.finalize(7.0)
+        assert controller.node.awake_time_s == pytest.approx(7.0)
+
+    def test_default_state_name(self, fake_world, make_node):
+        controller = RecordingController(make_node(0), fake_world)
+        assert controller.state_name == "active"
+
+    def test_default_departure_hook_is_noop(self, fake_world, make_node):
+        controller = RecordingController(make_node(0), fake_world)
+        controller.on_stimulus_departure()  # must not raise
+
+
+class TestSchedulerBase:
+    def test_describe_merges_name_and_config(self):
+        scheduler = RecordingScheduler(SchedulerConfig(max_sleep_interval=7.0))
+        description = scheduler.describe()
+        assert description["scheduler"] == "RECORDING"
+        assert description["max_sleep_interval"] == 7.0
+
+    def test_create_controller_binds_node_and_world(self, fake_world, make_node):
+        scheduler = RecordingScheduler(SchedulerConfig())
+        node = make_node(4)
+        controller = scheduler.create_controller(node, fake_world)
+        assert controller.node is node
+        assert controller.world is fake_world

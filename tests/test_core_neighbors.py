@@ -1,0 +1,136 @@
+"""Unit tests for the neighbour-information cache."""
+
+import math
+
+import pytest
+
+from repro.core.neighbors import NeighborInfo, NeighborTable
+from repro.core.states import ProtocolState
+from repro.geometry.vec import Vec2
+from repro.network.messages import Response
+
+
+def make_info(node_id=1, state=ProtocolState.COVERED, velocity=Vec2(1, 0), **kwargs):
+    defaults = dict(
+        node_id=node_id,
+        position=Vec2(0, 0),
+        state=state,
+        velocity=velocity,
+        predicted_arrival=math.inf,
+        detection_time=None,
+        report_time=0.0,
+    )
+    defaults.update(kwargs)
+    return NeighborInfo(**defaults)
+
+
+class TestNeighborInfo:
+    def test_is_covered(self):
+        assert make_info(state=ProtocolState.COVERED).is_covered
+        assert not make_info(state=ProtocolState.ALERT).is_covered
+
+    def test_is_informative_variants(self):
+        assert make_info(velocity=Vec2(1, 0)).is_informative
+        assert make_info(velocity=None, detection_time=3.0).is_informative
+        assert make_info(velocity=None, predicted_arrival=5.0).is_informative
+        assert not make_info(velocity=None).is_informative
+
+    def test_from_response_conversion(self):
+        resp = Response(
+            sender_id=7,
+            timestamp=4.0,
+            position=(3.0, 4.0),
+            state="alert",
+            velocity=(0.5, 0.5),
+            predicted_arrival=9.0,
+            detection_time=None,
+        )
+        info = NeighborInfo.from_response(resp, report_time=4.5)
+        assert info.node_id == 7
+        assert info.position == Vec2(3.0, 4.0)
+        assert info.state is ProtocolState.ALERT
+        assert info.velocity == Vec2(0.5, 0.5)
+        assert info.predicted_arrival == 9.0
+        assert info.report_time == 4.5
+
+    def test_from_response_without_velocity(self):
+        resp = Response(sender_id=1, timestamp=0.0, state="covered", detection_time=1.0)
+        info = NeighborInfo.from_response(resp, report_time=1.0)
+        assert info.velocity is None
+        assert info.detection_time == 1.0
+
+
+class TestNeighborTable:
+    def test_update_and_get(self):
+        table = NeighborTable()
+        info = make_info(node_id=3)
+        table.update(info)
+        assert table.get(3) is info
+        assert 3 in table
+        assert len(table) == 1
+
+    def test_newer_report_overwrites_older(self):
+        table = NeighborTable()
+        old = make_info(node_id=1, report_time=1.0, velocity=Vec2(1, 0))
+        new = make_info(node_id=1, report_time=2.0, velocity=Vec2(2, 0))
+        table.update(old)
+        table.update(new)
+        assert table.get(1).velocity == Vec2(2, 0)
+
+    def test_older_report_does_not_overwrite(self):
+        table = NeighborTable()
+        new = make_info(node_id=1, report_time=2.0, velocity=Vec2(2, 0))
+        old = make_info(node_id=1, report_time=1.0, velocity=Vec2(1, 0))
+        table.update(new)
+        table.update(old)
+        assert table.get(1).velocity == Vec2(2, 0)
+
+    def test_update_from_response(self):
+        table = NeighborTable()
+        resp = Response(sender_id=5, timestamp=1.0, state="covered", detection_time=1.0)
+        info = table.update_from_response(resp, report_time=1.1)
+        assert table.get(5) is info
+
+    def test_staleness_filtering(self):
+        table = NeighborTable(staleness_limit=10.0)
+        table.update(make_info(node_id=1, report_time=0.0))
+        table.update(make_info(node_id=2, report_time=8.0))
+        fresh = table.fresh_records(now=12.0)
+        assert {r.node_id for r in fresh} == {2}
+
+    def test_no_staleness_limit_keeps_everything(self):
+        table = NeighborTable()
+        table.update(make_info(node_id=1, report_time=0.0))
+        assert len(table.fresh_records(now=1e9)) == 1
+
+    def test_covered_neighbors_filter(self):
+        table = NeighborTable()
+        table.update(make_info(node_id=1, state=ProtocolState.COVERED, detection_time=1.0))
+        table.update(make_info(node_id=2, state=ProtocolState.ALERT))
+        covered = table.covered_neighbors(now=5.0)
+        assert [r.node_id for r in covered] == [1]
+
+    def test_informative_neighbors_excludes_safe_and_uninformative(self):
+        table = NeighborTable()
+        table.update(make_info(node_id=1, state=ProtocolState.COVERED, detection_time=1.0))
+        table.update(make_info(node_id=2, state=ProtocolState.ALERT, velocity=Vec2(1, 1)))
+        table.update(make_info(node_id=3, state=ProtocolState.SAFE, velocity=Vec2(1, 1)))
+        table.update(make_info(node_id=4, state=ProtocolState.ALERT, velocity=None))
+        informative = {r.node_id for r in table.informative_neighbors(now=5.0)}
+        assert informative == {1, 2}
+
+    def test_clear(self):
+        table = NeighborTable()
+        table.update(make_info(node_id=1))
+        table.clear()
+        assert len(table) == 0
+
+    def test_invalid_staleness_limit(self):
+        with pytest.raises(ValueError):
+            NeighborTable(staleness_limit=0.0)
+
+    def test_iteration(self):
+        table = NeighborTable()
+        table.update(make_info(node_id=1))
+        table.update(make_info(node_id=2))
+        assert {info.node_id for info in table} == {1, 2}

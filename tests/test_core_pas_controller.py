@@ -1,0 +1,263 @@
+"""Unit tests for the PAS per-node controller, driven through a fake world."""
+
+import math
+
+import pytest
+
+from repro.core.config import PASConfig
+from repro.core.pas import PASController, PASScheduler
+from repro.core.states import ProtocolState
+from repro.geometry.vec import Vec2
+from repro.network.messages import Request, Response
+from repro.node.sensor import SensorNode
+
+
+def make_controller(fake_world, node_id=0, x=0.0, y=0.0, config=None):
+    node = SensorNode(node_id, Vec2(x, y))
+    controller = PASController(node, fake_world, config or PASConfig())
+    fake_world.peers[node_id] = controller
+    return controller
+
+
+def covered_response(sender_id, x, y, velocity, detection_time, timestamp=0.0):
+    return Response(
+        sender_id=sender_id,
+        timestamp=timestamp,
+        position=(x, y),
+        state="covered",
+        velocity=velocity,
+        predicted_arrival=detection_time,
+        detection_time=detection_time,
+    )
+
+
+class TestStartup:
+    def test_starts_safe_and_sleeping(self, fake_world):
+        controller = make_controller(fake_world)
+        controller.start()
+        assert controller.state is ProtocolState.SAFE
+        assert not controller.node.is_awake
+
+    def test_starts_covered_if_stimulus_already_present(self, fake_world):
+        controller = make_controller(fake_world)
+        fake_world.set_arrival(0, 0.0)
+        controller.start()
+        assert controller.state is ProtocolState.COVERED
+        assert fake_world.detections == [(0, 0.0)]
+
+    def test_initial_phase_differs_between_nodes(self, fake_world):
+        a = make_controller(fake_world, node_id=0)
+        b = make_controller(fake_world, node_id=1)
+        assert a._initial_phase() != b._initial_phase()
+        assert 0 < a._initial_phase() <= a.config.base_sleep_interval
+        assert 0 < b._initial_phase() <= b.config.base_sleep_interval
+
+    def test_initial_phase_deterministic_per_node(self, fake_world):
+        a1 = make_controller(fake_world, node_id=3)
+        a2 = make_controller(fake_world, node_id=3)
+        assert a1._initial_phase() == a2._initial_phase()
+
+
+class TestSafeWakeCycle:
+    def test_safe_wake_sends_request_then_sleeps_longer(self, fake_world):
+        config = PASConfig(base_sleep_interval=1.0, sleep_increment=1.0, max_sleep_interval=10.0)
+        controller = make_controller(fake_world, config=config)
+        controller.start()
+        # Run long enough for a couple of wake/probe/sleep cycles.
+        fake_world.run(until=5.0)
+        requests = [m for m in fake_world.broadcasts if isinstance(m, Request)]
+        assert len(requests) >= 2
+        assert controller.state is ProtocolState.SAFE
+        assert not controller.node.is_awake
+
+    def test_sleep_interval_grows_up_to_max(self, fake_world):
+        config = PASConfig(base_sleep_interval=1.0, sleep_increment=2.0, max_sleep_interval=5.0)
+        controller = make_controller(fake_world, config=config)
+        controller.start()
+        fake_world.run(until=30.0)
+        # After several uneventful wake-ups the policy must be capped.
+        assert controller.sleep_policy.current_interval == 5.0
+
+    def test_detects_stimulus_on_wake(self, fake_world):
+        config = PASConfig(base_sleep_interval=1.0, max_sleep_interval=1.0)
+        controller = make_controller(fake_world, config=config)
+        fake_world.set_arrival(0, 0.5)  # arrives while the node is asleep
+        controller.start()
+        fake_world.run(until=3.0)
+        assert controller.state is ProtocolState.COVERED
+        assert fake_world.detections
+        node_id, t_detect = fake_world.detections[0]
+        assert t_detect >= 0.5  # detection happens at the wake-up, not before
+
+
+class TestAlertTransition:
+    def test_safe_node_goes_alert_on_imminent_arrival_report(self, fake_world):
+        config = PASConfig(
+            base_sleep_interval=1.0, max_sleep_interval=10.0, alert_threshold=20.0, listen_window=0.1
+        )
+        controller = make_controller(fake_world, node_id=0, x=10.0, y=0.0, config=config)
+        controller.start()
+        fake_world.loopback = False
+
+        # Deliver a covered neighbour's report while the node is awake in its
+        # listen window: the neighbour at the origin saw the front at t=0
+        # moving towards us at 1 m/s -> arrival ~ 10 s < threshold.
+        def deliver_report():
+            if controller.node.is_awake:
+                controller.on_message(covered_response(1, 0.0, 0.0, (1.0, 0.0), 0.0))
+
+        # The first wake happens at the node's phase offset (< 1 s); probe a few times.
+        for t in (0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0, 1.1):
+            fake_world.sim.schedule_at(t, deliver_report)
+        fake_world.run(until=3.0)
+        assert controller.state is ProtocolState.ALERT
+        assert controller.node.is_awake
+        assert math.isfinite(controller.predicted_arrival)
+
+    def test_alert_node_detects_immediately_on_arrival(self, fake_world):
+        config = PASConfig(alert_threshold=100.0)
+        controller = make_controller(fake_world, node_id=0, x=5.0, y=0.0, config=config)
+        controller.start()
+        # Force the node awake and alert via a report, then fire the arrival.
+        controller.wake_node()
+        controller.machine.transition(ProtocolState.ALERT, fake_world.now, "test")
+        fake_world.set_arrival(0, 2.0)
+        fake_world.sim.schedule_at(2.0, controller.on_stimulus_arrival)
+        fake_world.run(until=3.0)
+        assert controller.state is ProtocolState.COVERED
+        assert fake_world.detections[0][1] == pytest.approx(2.0)
+
+    def test_alert_falls_back_to_safe_when_arrival_recedes(self, fake_world):
+        config = PASConfig(alert_threshold=5.0)
+        controller = make_controller(fake_world, node_id=0, x=10.0, y=0.0, config=config)
+        controller.start()
+        controller.wake_node()
+        controller.machine.transition(ProtocolState.ALERT, fake_world.now, "test")
+        controller.predicted_arrival = fake_world.now + 2.0
+        # A response that implies a much later arrival (slow, far front).
+        late_report = covered_response(1, -100.0, 0.0, (0.5, 0.0), 0.0)
+        controller.on_message(late_report)
+        assert controller.state is ProtocolState.SAFE
+
+
+class TestCoveredBehaviour:
+    def test_detection_sends_request_then_response(self, fake_world):
+        controller = make_controller(fake_world, node_id=0, x=2.0, y=0.0)
+        controller.start()
+        controller.wake_node()
+        fake_world.set_arrival(0, 1.0)
+        fake_world.sim.schedule_at(1.0, controller.on_stimulus_arrival)
+        fake_world.run(until=2.0)
+        kinds = [type(m).__name__ for m in fake_world.broadcasts]
+        assert "Request" in kinds
+        assert "Response" in kinds
+        # The REQUEST precedes the RESPONSE (ask neighbours, then announce).
+        assert kinds.index("Request") < kinds.index("Response")
+
+    def test_actual_velocity_estimated_from_covered_neighbor(self, fake_world):
+        config = PASConfig(listen_window=0.1)
+        controller = make_controller(fake_world, node_id=0, x=4.0, y=0.0, config=config)
+        controller.start()
+        controller.wake_node()
+        fake_world.set_arrival(0, 2.0)
+        fake_world.sim.schedule_at(2.0, controller.on_stimulus_arrival)
+        # The covered neighbour at the origin detected at t=0.
+        fake_world.sim.schedule_at(
+            2.05, lambda: controller.on_message(covered_response(1, 0.0, 0.0, None, 0.0))
+        )
+        fake_world.run(until=3.0)
+        assert controller.velocity is not None
+        assert controller.velocity.x == pytest.approx(2.0)  # 4 m in 2 s
+
+    def test_covered_node_answers_requests(self, fake_world):
+        controller = make_controller(fake_world, node_id=0)
+        fake_world.set_arrival(0, 0.0)
+        controller.start()
+        fake_world.run(until=1.0)
+        before = len([m for m in fake_world.broadcasts if isinstance(m, Response)])
+        controller.on_message(Request(sender_id=9, timestamp=fake_world.now))
+        after = len([m for m in fake_world.broadcasts if isinstance(m, Response)])
+        assert after == before + 1
+
+    def test_covered_to_safe_after_detection_timeout(self, fake_world):
+        config = PASConfig(detection_timeout=2.0, base_sleep_interval=1.0)
+        controller = make_controller(fake_world, node_id=0, config=config)
+        fake_world.set_arrival(0, 0.0)
+        controller.start()
+        fake_world.run(until=1.0)
+        assert controller.state is ProtocolState.COVERED
+        # The stimulus recedes: coverage is removed and the departure hook fires.
+        fake_world.coverage[0] = math.inf
+        controller.on_stimulus_departure()
+        fake_world.run(until=5.0)
+        assert controller.state is ProtocolState.SAFE
+
+    def test_repeated_departure_reports_do_not_reset_timeout(self, fake_world):
+        # The world re-checks covered nodes periodically, so the departure
+        # hook fires many times; the countdown must still complete on time.
+        config = PASConfig(detection_timeout=3.0, base_sleep_interval=1.0)
+        controller = make_controller(fake_world, node_id=0, config=config)
+        fake_world.set_arrival(0, 0.0)
+        controller.start()
+        fake_world.run(until=1.0)
+        fake_world.coverage[0] = math.inf
+        for t in (1.0, 2.0, 3.0, 3.5):
+            fake_world.sim.schedule_at(t, controller.on_stimulus_departure)
+        fake_world.run(until=4.5)
+        # First departure at t=1.0 + 3.0 s timeout = 4.0 s -> already safe.
+        assert controller.state is ProtocolState.SAFE
+
+    def test_timeout_cancelled_if_stimulus_returns(self, fake_world):
+        config = PASConfig(detection_timeout=2.0)
+        controller = make_controller(fake_world, node_id=0, config=config)
+        fake_world.set_arrival(0, 0.0)
+        controller.start()
+        fake_world.run(until=1.0)
+        controller.on_stimulus_departure()
+        # Coverage still present at timeout evaluation -> stays covered.
+        fake_world.run(until=5.0)
+        assert controller.state is ProtocolState.COVERED
+
+
+class TestMessagesWhileUnavailable:
+    def test_messages_ignored_while_asleep(self, fake_world):
+        controller = make_controller(fake_world)
+        controller.start()  # immediately sleeping
+        controller.on_message(covered_response(1, 0.0, 0.0, (1.0, 0.0), 0.0))
+        assert len(controller.neighbors) == 0
+
+    def test_messages_ignored_after_failure(self, fake_world):
+        controller = make_controller(fake_world)
+        controller.start()
+        controller.node.fail(fake_world.now)
+        controller.on_message(Request(sender_id=1, timestamp=0.0))
+        assert not [m for m in fake_world.broadcasts if isinstance(m, Response)]
+
+    def test_safe_node_without_knowledge_stays_quiet_on_request(self, fake_world):
+        controller = make_controller(fake_world)
+        controller.start()
+        controller.wake_node()
+        controller.on_message(Request(sender_id=1, timestamp=0.0))
+        assert not [m for m in fake_world.broadcasts if isinstance(m, Response)]
+
+
+class TestScheduler:
+    def test_scheduler_creates_pas_controllers(self, fake_world, make_node):
+        scheduler = PASScheduler()
+        controller = scheduler.create_controller(make_node(0), fake_world)
+        assert isinstance(controller, PASController)
+        assert scheduler.name == "PAS"
+
+    def test_describe_includes_config(self):
+        scheduler = PASScheduler(PASConfig(alert_threshold=42.0))
+        description = scheduler.describe()
+        assert description["scheduler"] == "PAS"
+        assert description["alert_threshold"] == 42.0
+
+    def test_finalize_settles_energy(self, fake_world):
+        controller = make_controller(fake_world)
+        controller.start()
+        fake_world.run(until=10.0)
+        controller.finalize(10.0)
+        total_time = controller.node.awake_time_s + controller.node.asleep_time_s
+        assert total_time == pytest.approx(10.0)

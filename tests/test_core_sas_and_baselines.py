@@ -1,0 +1,215 @@
+"""Unit tests for the SAS baseline controller and the non-predictive baselines."""
+
+import math
+
+import pytest
+
+from repro.core.baselines import (
+    NoSleepController,
+    NoSleepScheduler,
+    PeriodicDutyCycleController,
+    PeriodicDutyCycleScheduler,
+    RandomDutyCycleScheduler,
+)
+from repro.core.config import BaselineConfig, PASConfig, SASConfig, SchedulerConfig
+from repro.core.sas import SASController, SASScheduler
+from repro.core.states import ProtocolState
+from repro.geometry.vec import Vec2
+from repro.network.messages import Request, Response
+from repro.node.sensor import SensorNode
+
+
+def make_sas(fake_world, node_id=0, x=0.0, y=0.0, config=None):
+    node = SensorNode(node_id, Vec2(x, y))
+    controller = SASController(node, fake_world, config or SASConfig())
+    fake_world.peers[node_id] = controller
+    return controller
+
+
+def covered_response(sender_id, x, y, velocity, detection_time):
+    return Response(
+        sender_id=sender_id,
+        timestamp=detection_time,
+        position=(x, y),
+        state="covered",
+        velocity=velocity,
+        predicted_arrival=detection_time,
+        detection_time=detection_time,
+    )
+
+
+def alert_response(sender_id, x, y, velocity, predicted_arrival):
+    return Response(
+        sender_id=sender_id,
+        timestamp=0.0,
+        position=(x, y),
+        state="alert",
+        velocity=velocity,
+        predicted_arrival=predicted_arrival,
+        detection_time=None,
+    )
+
+
+class TestSASController:
+    def test_uses_only_covered_neighbors_for_prediction(self, fake_world):
+        controller = make_sas(fake_world, node_id=0, x=10.0, y=0.0)
+        controller.start()
+        controller.wake_node()
+        # An alert neighbour carrying a velocity + prediction must be ignored...
+        controller.on_message(alert_response(1, 5.0, 0.0, (1.0, 0.0), 8.0))
+        controller._recompute_prediction()
+        assert math.isinf(controller.predicted_arrival)
+        # ...while a covered neighbour is used (straight-line / speed).
+        controller.on_message(covered_response(2, 0.0, 0.0, (2.0, 0.0), 0.0))
+        controller._recompute_prediction()
+        assert controller.predicted_arrival == pytest.approx(10.0 / 2.0, abs=1e-6)
+
+    def test_only_covered_nodes_answer_requests(self, fake_world):
+        controller = make_sas(fake_world)
+        controller.start()
+        controller.wake_node()
+        controller.machine.transition(ProtocolState.ALERT, fake_world.now, "test")
+        controller.on_message(Request(sender_id=9, timestamp=0.0))
+        assert not [m for m in fake_world.broadcasts if isinstance(m, Response)]
+
+        fake_world.set_arrival(0, 0.0)
+        controller.on_stimulus_arrival()
+        fake_world.run(until=1.0)
+        before = len([m for m in fake_world.broadcasts if isinstance(m, Response)])
+        controller.on_message(Request(sender_id=9, timestamp=fake_world.now))
+        after = len([m for m in fake_world.broadcasts if isinstance(m, Response)])
+        assert after == before + 1
+
+    def test_alert_state_does_not_rebroadcast_estimates(self, fake_world):
+        controller = make_sas(fake_world, node_id=0, x=10.0, y=0.0)
+        controller.start()
+        controller.wake_node()
+        controller.machine.transition(ProtocolState.ALERT, fake_world.now, "test")
+        before = len(fake_world.broadcasts)
+        controller.on_message(covered_response(2, 0.0, 0.0, (5.0, 0.0), 0.0))
+        # SAS may fall back to safe but must not emit a RESPONSE relay.
+        responses = [m for m in fake_world.broadcasts[before:] if isinstance(m, Response)]
+        assert responses == []
+
+    def test_scalar_velocity_encoded_on_detection(self, fake_world):
+        config = SASConfig(listen_window=0.1)
+        controller = make_sas(fake_world, node_id=0, x=4.0, y=0.0, config=config)
+        controller.start()
+        controller.wake_node()
+        fake_world.set_arrival(0, 2.0)
+        fake_world.sim.schedule_at(2.0, controller.on_stimulus_arrival)
+        fake_world.sim.schedule_at(
+            2.05, lambda: controller.on_message(covered_response(1, 0.0, 0.0, None, 0.0))
+        )
+        fake_world.run(until=3.0)
+        assert controller.velocity is not None
+        assert controller.velocity.norm() == pytest.approx(2.0)
+
+    def test_scheduler_factory(self, fake_world, make_node):
+        scheduler = SASScheduler()
+        controller = scheduler.create_controller(make_node(0), fake_world)
+        assert isinstance(controller, SASController)
+        assert scheduler.name == "SAS"
+
+    def test_default_threshold_smaller_than_pas(self):
+        assert SASScheduler().config.alert_threshold < PASConfig().alert_threshold
+
+
+class TestNoSleepController:
+    def test_always_awake(self, fake_world, make_node):
+        controller = NoSleepController(make_node(0), fake_world)
+        controller.start()
+        fake_world.run(until=50.0)
+        assert controller.node.is_awake
+
+    def test_zero_delay_detection(self, fake_world, make_node):
+        controller = NoSleepController(make_node(0), fake_world)
+        controller.start()
+        fake_world.set_arrival(0, 7.0)
+        fake_world.sim.schedule_at(7.0, controller.on_stimulus_arrival)
+        fake_world.run(until=10.0)
+        assert fake_world.detections == [(0, 7.0)]
+
+    def test_detects_at_start_if_already_covered(self, fake_world, make_node):
+        fake_world.set_arrival(0, 0.0)
+        controller = NoSleepController(make_node(0), fake_world)
+        controller.start()
+        assert fake_world.detections == [(0, 0.0)]
+
+    def test_answers_requests(self, fake_world, make_node):
+        controller = NoSleepController(make_node(0), fake_world)
+        controller.start()
+        controller.on_message(Request(sender_id=1, timestamp=0.0))
+        assert any(isinstance(m, Response) for m in fake_world.broadcasts)
+
+    def test_repeated_arrival_not_double_counted(self, fake_world, make_node):
+        controller = NoSleepController(make_node(0), fake_world)
+        controller.start()
+        controller.on_stimulus_arrival()
+        controller.on_stimulus_arrival()
+        assert len(fake_world.detections) == 1
+
+    def test_state_name(self, fake_world, make_node):
+        controller = NoSleepController(make_node(0), fake_world)
+        controller.start()
+        assert controller.state_name == "active"
+        controller.on_stimulus_arrival()
+        assert controller.state_name == "covered"
+
+    def test_scheduler(self, fake_world, make_node):
+        scheduler = NoSleepScheduler()
+        assert scheduler.name == "NS"
+        assert isinstance(scheduler.create_controller(make_node(0), fake_world), NoSleepController)
+
+
+class TestPeriodicDutyCycle:
+    def test_alternates_awake_and_asleep(self, fake_world, make_node):
+        config = BaselineConfig(max_sleep_interval=10.0, duty_cycle=0.2)
+        controller = PeriodicDutyCycleController(make_node(0), fake_world, config)
+        controller.start()
+        fake_world.run(until=1.0)
+        assert controller.node.is_awake
+        fake_world.run(until=5.0)
+        assert not controller.node.is_awake
+        fake_world.run(until=10.5)
+        assert controller.node.is_awake
+
+    def test_detects_on_wake_if_covered(self, fake_world, make_node):
+        config = BaselineConfig(max_sleep_interval=4.0, duty_cycle=0.25)
+        controller = PeriodicDutyCycleController(make_node(0), fake_world, config)
+        controller.start()
+        fake_world.set_arrival(0, 2.0)  # arrives while asleep
+        fake_world.run(until=10.0)
+        assert fake_world.detections
+        assert fake_world.detections[0][1] >= 2.0
+
+    def test_stays_awake_after_detection(self, fake_world, make_node):
+        config = BaselineConfig(max_sleep_interval=4.0, duty_cycle=0.5)
+        controller = PeriodicDutyCycleController(make_node(0), fake_world, config)
+        fake_world.set_arrival(0, 0.0)
+        controller.start()
+        fake_world.run(until=20.0)
+        assert controller.node.is_awake
+        assert controller.state_name == "covered"
+
+    def test_phase_offset_shifts_first_sleep(self, fake_world, make_node):
+        config = BaselineConfig(max_sleep_interval=10.0, duty_cycle=0.5)
+        early = PeriodicDutyCycleController(make_node(0), fake_world, config, phase_offset=0.0)
+        late = PeriodicDutyCycleController(make_node(1, 1.0), fake_world, config, phase_offset=4.0)
+        early.start()
+        late.start()
+        fake_world.run(until=2.0)
+        assert early.node.is_awake
+        assert not late.node.is_awake
+
+    def test_schedulers_build_controllers(self, fake_world, make_node):
+        periodic = PeriodicDutyCycleScheduler()
+        random_sched = RandomDutyCycleScheduler()
+        assert isinstance(
+            periodic.create_controller(make_node(0), fake_world), PeriodicDutyCycleController
+        )
+        c1 = random_sched.create_controller(make_node(1, 1.0), fake_world)
+        c2 = random_sched.create_controller(make_node(2, 2.0), fake_world)
+        assert isinstance(c1, PeriodicDutyCycleController)
+        # Random scheduler draws different phases for different nodes (overwhelmingly likely).
+        assert c1.phase_offset != c2.phase_offset

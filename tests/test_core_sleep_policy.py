@@ -1,0 +1,109 @@
+"""Unit tests for the safe-state sleep-interval policies."""
+
+import pytest
+
+from repro.core.config import SchedulerConfig
+from repro.core.sleep_policy import (
+    ExponentialSleepPolicy,
+    FixedSleepPolicy,
+    LinearSleepPolicy,
+    make_sleep_policy,
+)
+
+
+class TestLinearSleepPolicy:
+    def test_grows_by_increment_per_wake(self):
+        policy = LinearSleepPolicy(base_interval=1.0, max_interval=10.0, increment=2.0)
+        assert policy.next_interval() == 1.0
+        assert policy.next_interval() == 3.0
+        assert policy.next_interval() == 5.0
+
+    def test_capped_at_max(self):
+        policy = LinearSleepPolicy(base_interval=1.0, max_interval=4.0, increment=2.0)
+        values = [policy.next_interval() for _ in range(5)]
+        assert values == [1.0, 3.0, 4.0, 4.0, 4.0]
+
+    def test_reset_returns_to_base(self):
+        policy = LinearSleepPolicy(base_interval=1.0, max_interval=10.0, increment=1.0)
+        for _ in range(5):
+            policy.next_interval()
+        policy.reset()
+        assert policy.next_interval() == 1.0
+
+    def test_zero_increment_never_grows(self):
+        policy = LinearSleepPolicy(base_interval=2.0, max_interval=10.0, increment=0.0)
+        assert [policy.next_interval() for _ in range(3)] == [2.0, 2.0, 2.0]
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            LinearSleepPolicy(1.0, 10.0, -1.0)
+
+
+class TestExponentialSleepPolicy:
+    def test_doubles_each_wake_by_default(self):
+        policy = ExponentialSleepPolicy(base_interval=1.0, max_interval=100.0)
+        assert [policy.next_interval() for _ in range(4)] == [1.0, 2.0, 4.0, 8.0]
+
+    def test_capped_at_max(self):
+        policy = ExponentialSleepPolicy(base_interval=1.0, max_interval=5.0)
+        values = [policy.next_interval() for _ in range(5)]
+        assert values[-1] == 5.0
+        assert max(values) <= 5.0
+
+    def test_factor_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            ExponentialSleepPolicy(1.0, 10.0, factor=0.5)
+
+
+class TestFixedSleepPolicy:
+    def test_always_returns_max(self):
+        policy = FixedSleepPolicy(base_interval=1.0, max_interval=7.0)
+        assert [policy.next_interval() for _ in range(3)] == [7.0, 7.0, 7.0]
+
+    def test_reset_keeps_max(self):
+        policy = FixedSleepPolicy(base_interval=1.0, max_interval=7.0)
+        policy.next_interval()
+        policy.reset()
+        assert policy.next_interval() == 7.0
+
+
+class TestCommonValidationAndFactory:
+    def test_invalid_base_and_max(self):
+        with pytest.raises(ValueError):
+            LinearSleepPolicy(0.0, 10.0, 1.0)
+        with pytest.raises(ValueError):
+            LinearSleepPolicy(5.0, 2.0, 1.0)
+
+    def test_current_interval_inspection(self):
+        policy = LinearSleepPolicy(1.0, 10.0, 1.0)
+        assert policy.current_interval == 1.0
+        policy.next_interval()
+        assert policy.current_interval == 2.0
+
+    def test_factory_builds_from_config(self):
+        config = SchedulerConfig(base_sleep_interval=2.0, max_sleep_interval=8.0, sleep_increment=3.0)
+        linear = make_sleep_policy(config)
+        assert isinstance(linear, LinearSleepPolicy)
+        assert linear.increment == 3.0
+
+        exp = make_sleep_policy(config, kind="exponential")
+        assert isinstance(exp, ExponentialSleepPolicy)
+
+        fixed = make_sleep_policy(config, kind="fixed")
+        assert isinstance(fixed, FixedSleepPolicy)
+
+    def test_factory_respects_config_sleep_policy_field(self):
+        config = SchedulerConfig(sleep_policy="exponential")
+        assert isinstance(make_sleep_policy(config), ExponentialSleepPolicy)
+
+    def test_factory_unknown_kind(self):
+        config = SchedulerConfig()
+        with pytest.raises(ValueError):
+            make_sleep_policy(config, kind="fibonacci")
+
+    def test_paper_policy_matches_linear_increase_description(self):
+        # §3.4: the sleeping interval grows by delta t per uneventful wake and
+        # stays at the maximum once reached.
+        config = SchedulerConfig(base_sleep_interval=1.0, sleep_increment=1.0, max_sleep_interval=3.0)
+        policy = make_sleep_policy(config)
+        assert [policy.next_interval() for _ in range(5)] == [1.0, 2.0, 3.0, 3.0, 3.0]

@@ -1,0 +1,131 @@
+"""Unit tests for the velocity estimators of §3.3."""
+
+import math
+
+import pytest
+
+from repro.core.neighbors import NeighborInfo
+from repro.core.states import ProtocolState
+from repro.core.velocity import (
+    actual_velocity,
+    blend_velocities,
+    expected_velocity,
+    scalar_speed_estimate,
+    velocity_magnitude,
+)
+from repro.geometry.vec import Vec2
+
+
+def covered(node_id, x, y, detection_time, velocity=None):
+    return NeighborInfo(
+        node_id=node_id,
+        position=Vec2(x, y),
+        state=ProtocolState.COVERED,
+        velocity=velocity,
+        detection_time=detection_time,
+        report_time=detection_time,
+    )
+
+
+def alert(node_id, x, y, velocity):
+    return NeighborInfo(
+        node_id=node_id,
+        position=Vec2(x, y),
+        state=ProtocolState.ALERT,
+        velocity=velocity,
+        report_time=0.0,
+    )
+
+
+class TestActualVelocity:
+    def test_single_neighbor_gives_exact_front_speed(self):
+        # Front moving along +x at 2 m/s: neighbour at x=0 detected at t=0,
+        # we are at x=4 detected at t=2.
+        v = actual_velocity(Vec2(4, 0), 2.0, [covered(1, 0, 0, 0.0)])
+        assert v is not None
+        assert v.x == pytest.approx(2.0)
+        assert v.y == pytest.approx(0.0)
+
+    def test_average_over_multiple_neighbors(self):
+        neighbors = [
+            covered(1, 0, 0, 0.0),   # displacement (4,0) / 2s  -> (2, 0)
+            covered(2, 4, -2, 1.0),  # displacement (0,2) / 1s  -> (0, 2)
+        ]
+        v = actual_velocity(Vec2(4, 0), 2.0, neighbors)
+        assert v.x == pytest.approx(1.0)
+        assert v.y == pytest.approx(1.0)
+
+    def test_simultaneous_detection_ignored(self):
+        v = actual_velocity(Vec2(4, 0), 2.0, [covered(1, 0, 0, 2.0)])
+        assert v is None
+
+    def test_neighbor_detected_after_us_ignored(self):
+        v = actual_velocity(Vec2(4, 0), 2.0, [covered(1, 0, 0, 5.0)])
+        assert v is None
+
+    def test_colocated_neighbor_ignored(self):
+        v = actual_velocity(Vec2(4, 0), 2.0, [covered(1, 4, 0, 0.0)])
+        assert v is None
+
+    def test_no_usable_neighbors_returns_none(self):
+        assert actual_velocity(Vec2(0, 0), 1.0, []) is None
+        no_time = covered(1, 1, 1, None)
+        assert actual_velocity(Vec2(0, 0), 1.0, [no_time]) is None
+
+    def test_velocity_points_from_earlier_to_later_detection(self):
+        # Neighbour south of us detected earlier: front moves north.
+        v = actual_velocity(Vec2(0, 10), 5.0, [covered(1, 0, 0, 0.0)])
+        assert v.y > 0
+        assert abs(v.x) < 1e-9
+
+
+class TestExpectedVelocity:
+    def test_mean_of_reported_velocities(self):
+        infos = [alert(1, 0, 0, Vec2(2, 0)), alert(2, 1, 1, Vec2(0, 2))]
+        v = expected_velocity(infos)
+        assert v == Vec2(1, 1)
+
+    def test_ignores_neighbors_without_velocity(self):
+        infos = [alert(1, 0, 0, Vec2(2, 0)), covered(2, 1, 1, 0.0, velocity=None)]
+        assert expected_velocity(infos) == Vec2(2, 0)
+
+    def test_returns_none_with_no_velocities(self):
+        assert expected_velocity([covered(1, 0, 0, 0.0)]) is None
+        assert expected_velocity([]) is None
+
+    def test_opposite_velocities_cancel(self):
+        infos = [alert(1, 0, 0, Vec2(1, 0)), alert(2, 1, 1, Vec2(-1, 0))]
+        v = expected_velocity(infos)
+        assert v.norm() == pytest.approx(0.0)
+
+
+class TestScalarSpeedEstimate:
+    def test_single_neighbor(self):
+        speed = scalar_speed_estimate(Vec2(3, 4), 5.0, [covered(1, 0, 0, 0.0)])
+        assert speed == pytest.approx(1.0)
+
+    def test_average_of_speeds(self):
+        neighbors = [covered(1, 2, 0, 0.0), covered(2, 0, 4, 1.0)]
+        speed = scalar_speed_estimate(Vec2(0, 0), 2.0, neighbors)
+        assert speed == pytest.approx((1.0 + 4.0) / 2.0)
+
+    def test_returns_none_with_no_usable_neighbors(self):
+        assert scalar_speed_estimate(Vec2(0, 0), 1.0, []) is None
+        assert scalar_speed_estimate(Vec2(0, 0), 1.0, [covered(1, 1, 1, 1.0)]) is None
+
+
+class TestHelpers:
+    def test_velocity_magnitude(self):
+        assert velocity_magnitude(None) == 0.0
+        assert velocity_magnitude(Vec2(3, 4)) == 5.0
+
+    def test_blend_velocities(self):
+        assert blend_velocities(None, None) is None
+        assert blend_velocities(Vec2(1, 0), None) == Vec2(1, 0)
+        assert blend_velocities(None, Vec2(0, 1)) == Vec2(0, 1)
+        blended = blend_velocities(Vec2(2, 0), Vec2(0, 2), 0.5)
+        assert blended == Vec2(1, 1)
+
+    def test_blend_weight_validation(self):
+        with pytest.raises(ValueError):
+            blend_velocities(Vec2(1, 0), Vec2(0, 1), 1.5)

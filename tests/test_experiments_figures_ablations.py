@@ -1,0 +1,83 @@
+"""Unit tests for the figure regenerators and the ablation / extension sweeps.
+
+These run tiny versions of the sweeps (fewer nodes, fewer points, one
+repetition) so they stay fast; the full-size shape assertions live in the
+benchmark harness.
+"""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ablation_sleep_policy,
+    ablation_stimulus_shape,
+    ablation_velocity_estimator,
+    extension_lossy_channel,
+    extension_node_failures,
+)
+from repro.experiments.figures import figure4, figure5, figure6, figure7
+
+
+SMALL = dict(num_nodes=10, repetitions=1)
+
+
+class TestFigureRegenerators:
+    def test_figure4_structure(self):
+        result = figure4(max_sleep_values=(2.0, 6.0), **SMALL)
+        assert result.metric == "delay"
+        assert set(result.sweep.schedulers()) == {"NS", "PAS", "SAS"}
+        assert result.x_values("PAS") == [2.0, 6.0]
+        rows = result.rows()
+        assert len(rows) == 2
+        assert "NS" in rows[0] and "SAS" in rows[0]
+        assert "Figure 4" in result.render()
+
+    def test_figure4_ns_has_zero_delay(self):
+        result = figure4(max_sleep_values=(4.0,), **SMALL)
+        assert result.series("NS")[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_figure5_structure(self):
+        result = figure5(alert_thresholds=(5.0, 25.0), **SMALL)
+        assert result.metric == "delay"
+        assert result.sweep.schedulers() == ["PAS"]
+        assert len(result.series("PAS")) == 2
+
+    def test_figure6_structure_and_ns_dominates(self):
+        result = figure6(max_sleep_values=(4.0, 8.0), **SMALL)
+        assert result.metric == "energy"
+        ns = result.series("NS")
+        pas = result.series("PAS")
+        sas = result.series("SAS")
+        assert all(n > p for n, p in zip(ns, pas))
+        assert all(n > s for n, s in zip(ns, sas))
+
+    def test_figure7_structure(self):
+        result = figure7(alert_thresholds=(5.0, 25.0), **SMALL)
+        assert result.metric == "energy"
+        assert len(result.series("PAS")) == 2
+        assert all(v > 0 for v in result.series("PAS"))
+
+
+class TestAblations:
+    def test_velocity_estimator_ablation_rows(self):
+        rows = ablation_velocity_estimator(seed=0)
+        assert {r["variant"] for r in rows} == {"PAS estimator", "SAS estimator"}
+        assert all(r["energy_j"] > 0 for r in rows)
+
+    def test_sleep_policy_ablation_rows(self):
+        rows = ablation_sleep_policy(policies=("linear", "fixed"), seed=0)
+        assert [r["variant"] for r in rows] == ["linear", "fixed"]
+        assert all(r["delay_s"] >= 0 for r in rows)
+
+    def test_stimulus_shape_ablation_rows(self):
+        rows = ablation_stimulus_shape(kinds=("circular", "anisotropic"), seed=0)
+        assert [r["variant"] for r in rows] == ["circular", "anisotropic"]
+
+    def test_node_failure_extension_rows(self):
+        rows = extension_node_failures(failure_rates=(0.0, 120.0), seed=0)
+        assert len(rows) == 2
+        assert rows[0]["x"] == 0.0 and rows[1]["x"] == 120.0
+
+    def test_lossy_channel_extension_rows(self):
+        rows = extension_lossy_channel(loss_probabilities=(0.0, 0.5), seed=0)
+        assert len(rows) == 2
+        assert all(r["tx_messages"] > 0 for r in rows)

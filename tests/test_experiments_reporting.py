@@ -1,0 +1,95 @@
+"""Unit tests for result export (CSV / JSON reporting)."""
+
+import json
+
+import pytest
+
+from repro.core.config import PASConfig
+from repro.core.pas import PASScheduler
+from repro.experiments.reporting import (
+    export_experiment,
+    export_summary,
+    read_csv,
+    read_json,
+    summary_rows,
+    sweep_rows,
+    write_csv,
+    write_json,
+)
+from repro.experiments.runner import default_scenario, run_sweep
+from repro.world.builder import run_scenario
+
+
+@pytest.fixture(scope="module")
+def small_summary():
+    scenario = default_scenario(num_nodes=8, area=25.0, duration=25.0, seed=1)
+    return run_scenario(scenario, PASScheduler(PASConfig()))
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    factories = {"PAS": lambda x: PASScheduler(PASConfig(max_sleep_interval=max(x, 1.0)))}
+    return run_sweep(
+        "mini",
+        "max_sleep_s",
+        [2.0, 4.0],
+        factories,
+        lambda x, seed: default_scenario(num_nodes=8, area=25.0, duration=25.0, seed=seed),
+        repetitions=1,
+    )
+
+
+class TestRowFlattening:
+    def test_summary_rows_share_keys(self, small_summary):
+        rows = summary_rows([small_summary, small_summary])
+        assert len(rows) == 2
+        assert rows[0].keys() == rows[1].keys()
+        assert rows[0]["scheduler"] == "PAS"
+        assert "average_delay_s" in rows[0]
+
+    def test_summary_rows_empty(self):
+        assert summary_rows([]) == []
+
+    def test_sweep_rows_columns(self, small_sweep):
+        rows = sweep_rows(small_sweep, metric="energy")
+        assert [r["max_sleep_s"] for r in rows] == [2.0, 4.0]
+        assert all("PAS" in r for r in rows)
+
+
+class TestCsvRoundTrip:
+    def test_write_and_read_csv(self, tmp_path, small_summary):
+        rows = summary_rows([small_summary])
+        path = write_csv(rows, tmp_path / "out" / "runs.csv")
+        assert path.exists()
+        back = read_csv(path)
+        assert len(back) == 1
+        assert back[0]["scheduler"] == "PAS"
+        assert float(back[0]["average_energy_j"]) > 0
+
+    def test_write_empty_csv(self, tmp_path):
+        path = write_csv([], tmp_path / "empty.csv")
+        assert path.exists()
+        assert path.read_text() == ""
+
+    def test_export_experiment_one_file_per_metric(self, tmp_path, small_sweep):
+        paths = export_experiment(small_sweep, tmp_path, metrics=("delay", "energy"))
+        assert len(paths) == 2
+        assert all(p.exists() for p in paths)
+        assert {p.name for p in paths} == {"mini_delay.csv", "mini_energy.csv"}
+
+
+class TestJsonRoundTrip:
+    def test_write_and_read_json(self, tmp_path, small_summary):
+        rows = summary_rows([small_summary])
+        path = write_json(rows, tmp_path / "runs.json")
+        back = read_json(path)
+        assert back[0]["scheduler"] == "PAS"
+        assert back[0]["average_delay_s"] == pytest.approx(small_summary.average_delay_s)
+
+    def test_export_summary_document(self, tmp_path, small_summary):
+        path = export_summary(small_summary, tmp_path / "summary.json")
+        document = json.loads(path.read_text())
+        assert document["scheduler"] == "PAS"
+        assert document["delay"]["num_reached"] == small_summary.delay.num_reached
+        assert document["energy"]["mean_j"] == pytest.approx(small_summary.average_energy_j)
+        assert "messages" in document

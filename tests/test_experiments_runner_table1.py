@@ -1,0 +1,92 @@
+"""Unit tests for the experiment runner and the Table 1 regenerator."""
+
+import pytest
+
+from repro.core.config import PASConfig
+from repro.core.pas import PASScheduler
+from repro.experiments.runner import (
+    ExperimentResult,
+    SweepPoint,
+    default_scenario,
+    run_comparison,
+    run_sweep,
+)
+from repro.experiments.table1 import PAPER_TABLE1, print_table1, table1_hardware
+from repro.node.energy import TelosPowerModel
+
+
+class TestDefaultScenario:
+    def test_matches_paper_setup(self):
+        scen = default_scenario()
+        assert scen.deployment.num_nodes == 30
+        assert scen.transmission_range == 10.0
+        assert scen.stimulus.kind == "circular"
+
+    def test_custom_parameters_flow_through(self):
+        scen = default_scenario(num_nodes=12, area=40.0, stimulus_speed=2.0, seed=9, label="x")
+        assert scen.deployment.num_nodes == 12
+        assert scen.deployment.width == 40.0
+        assert scen.stimulus.speed == 2.0
+        assert scen.seed == 9
+        assert scen.label == "x"
+
+
+class TestSweepMachinery:
+    def test_sweep_point_aggregates(self):
+        scen = default_scenario(num_nodes=8, area=25.0, duration=25.0, seed=0)
+        summary = __import__("repro.world.builder", fromlist=["run_scenario"]).run_scenario(
+            scen, PASScheduler(PASConfig())
+        )
+        point = SweepPoint(scheduler="PAS", x=10.0, summaries=[summary, summary])
+        assert point.mean_delay_s == pytest.approx(summary.average_delay_s)
+        assert point.mean_energy_j == pytest.approx(summary.average_energy_j)
+
+    def test_run_sweep_grid_structure(self):
+        factories = {"PAS": lambda x: PASScheduler(PASConfig(max_sleep_interval=max(x, 1.0)))}
+        result = run_sweep(
+            "mini",
+            "max_sleep_s",
+            [2.0, 4.0],
+            factories,
+            lambda x, seed: default_scenario(num_nodes=8, area=25.0, duration=25.0, seed=seed),
+            repetitions=1,
+        )
+        assert result.schedulers() == ["PAS"]
+        assert result.x_values("PAS") == [2.0, 4.0]
+        assert len(result.series("PAS", "delay")) == 2
+        assert len(result.series("PAS", "energy")) == 2
+        rows = result.as_rows("delay")
+        assert rows[0]["max_sleep_s"] == 2.0
+        assert "PAS" in rows[0]
+
+    def test_run_sweep_validates_repetitions(self):
+        with pytest.raises(ValueError):
+            run_sweep("x", "x", [1.0], {}, lambda x, s: default_scenario(), repetitions=0)
+
+    def test_experiment_result_unknown_metric(self):
+        result = ExperimentResult(name="x", x_label="x")
+        result.add(SweepPoint(scheduler="PAS", x=1.0, summaries=[]))
+        with pytest.raises(ValueError):
+            result.series("PAS", metric="latency")
+
+    def test_run_comparison_returns_all_three_schedulers(self):
+        scen = default_scenario(num_nodes=10, area=30.0, duration=30.0, seed=2)
+        results = run_comparison(scen, max_sleep_interval=5.0, alert_threshold=15.0)
+        assert set(results) == {"NS", "PAS", "SAS"}
+        assert results["NS"].average_delay_s == pytest.approx(0.0, abs=1e-9)
+
+
+class TestTable1:
+    def test_values_match_paper(self):
+        rows = {r["quantity"]: r["value"] for r in table1_hardware()}
+        for quantity, value in PAPER_TABLE1.items():
+            assert rows[quantity] == pytest.approx(value), quantity
+
+    def test_uses_supplied_power_model(self):
+        rows = {r["quantity"]: r["value"] for r in table1_hardware(TelosPowerModel())}
+        assert rows["Data rate (kbps)"] == pytest.approx(250.0)
+
+    def test_print_table1_renders_all_quantities(self):
+        text = print_table1()
+        for quantity in PAPER_TABLE1:
+            assert quantity in text

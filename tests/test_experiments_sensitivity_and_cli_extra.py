@@ -1,0 +1,88 @@
+"""Unit tests for the sensitivity sweeps and the export / field CLI commands."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.sensitivity import (
+    density_sensitivity,
+    range_sensitivity,
+    speed_sensitivity,
+)
+
+
+class TestSensitivitySweeps:
+    def test_density_rows_structure(self):
+        rows = density_sensitivity(node_counts=(8, 12), area=30.0, seeds=(0,))
+        assert len(rows) == 4  # 2 densities x 2 schedulers
+        assert {r["scheduler"] for r in rows} == {"PAS", "SAS"}
+        assert all(r["detected"] <= r["reached"] for r in rows)
+        assert all(r["energy_j"] > 0 for r in rows)
+
+    def test_speed_rows_structure(self):
+        rows = speed_sensitivity(speeds=(1.0, 2.0), seed=0)
+        assert len(rows) == 4
+        assert {r["speed_mps"] for r in rows} == {1.0, 2.0}
+        assert all(r["delay_s"] >= 0 for r in rows)
+
+    def test_range_rows_structure(self):
+        rows = range_sensitivity(ranges=(8.0, 15.0), seed=0)
+        assert len(rows) == 4
+        assert {r["range_m"] for r in rows} == {8.0, 15.0}
+
+    def test_denser_deployment_does_not_hurt_detection(self):
+        rows = density_sensitivity(node_counts=(10, 30), area=40.0, seeds=(0,))
+        pas = {r["num_nodes"]: r for r in rows if r["scheduler"] == "PAS"}
+        # Every reached node is detected at both densities.
+        assert pas[10]["detected"] == pas[10]["reached"]
+        assert pas[30]["detected"] == pas[30]["reached"]
+
+
+class TestExportCommand:
+    def test_export_writes_csv(self, tmp_path, capsys):
+        output = tmp_path / "comparison.csv"
+        code = main(
+            [
+                "export",
+                "--nodes",
+                "8",
+                "--area",
+                "25",
+                "--duration",
+                "25",
+                "--seed",
+                "1",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        assert output.exists()
+        text = output.read_text()
+        assert "scheduler" in text
+        for name in ("NS", "PAS", "SAS"):
+            assert name in text
+        assert "wrote 3 rows" in capsys.readouterr().out
+
+
+class TestFieldCommand:
+    def test_field_prints_snapshots_and_summary(self, capsys):
+        code = main(
+            [
+                "field",
+                "--nodes",
+                "8",
+                "--area",
+                "25",
+                "--duration",
+                "25",
+                "--seed",
+                "1",
+                "--snapshots",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("--- t =") == 2
+        assert "legend" in out
+        assert "average delay" in out

@@ -1,0 +1,114 @@
+"""Unit tests for fault injection (node failures, lossy channels)."""
+
+import numpy as np
+import pytest
+
+from repro.faults.channel_faults import burst_loss_channel, uniform_loss_channel
+from repro.faults.failure import NodeFailureInjector
+from repro.geometry.vec import Vec2
+from repro.network.channel import LossyChannel
+from repro.node.sensor import SensorNode
+from repro.sim.engine import Simulator
+
+
+def make_nodes(n=5):
+    return {i: SensorNode(i, Vec2(float(i), 0.0)) for i in range(n)}
+
+
+class TestNodeFailureInjector:
+    def test_failures_scheduled_within_horizon(self):
+        sim = Simulator()
+        nodes = make_nodes(10)
+        injector = NodeFailureInjector(
+            sim,
+            nodes,
+            failure_rate_per_hour=3600.0,  # mean time-to-failure: 1 s
+            rng=np.random.default_rng(0),
+            horizon=100.0,
+        )
+        count = injector.schedule_failures()
+        assert count == injector.num_scheduled
+        assert count > 0
+        sim.run(until=100.0)
+        failed = sum(1 for n in nodes.values() if n.is_failed)
+        assert failed == count
+
+    def test_low_rate_schedules_few_or_no_failures(self):
+        sim = Simulator()
+        nodes = make_nodes(5)
+        injector = NodeFailureInjector(
+            sim,
+            nodes,
+            failure_rate_per_hour=0.001,
+            rng=np.random.default_rng(0),
+            horizon=10.0,
+        )
+        assert injector.schedule_failures() == 0
+
+    def test_draw_failure_times_has_one_entry_per_node(self):
+        sim = Simulator()
+        nodes = make_nodes(7)
+        injector = NodeFailureInjector(
+            sim, nodes, failure_rate_per_hour=10.0, rng=np.random.default_rng(1)
+        )
+        times = injector.draw_failure_times()
+        assert set(times) == set(nodes)
+        assert all(t > 0 for t in times.values())
+
+    def test_failed_nodes_stay_failed(self):
+        sim = Simulator()
+        nodes = make_nodes(3)
+        injector = NodeFailureInjector(
+            sim, nodes, failure_rate_per_hour=36000.0, rng=np.random.default_rng(2), horizon=50.0
+        )
+        injector.schedule_failures()
+        sim.run(until=50.0)
+        for node in nodes.values():
+            if node.is_failed:
+                with pytest.raises(ValueError):
+                    node.wake_up(60.0)
+
+    def test_invalid_parameters(self):
+        sim = Simulator()
+        nodes = make_nodes(2)
+        with pytest.raises(ValueError):
+            NodeFailureInjector(sim, nodes, failure_rate_per_hour=0.0)
+        with pytest.raises(ValueError):
+            NodeFailureInjector(sim, nodes, failure_rate_per_hour=1.0, horizon=0.0)
+
+
+class TestChannelFaultHelpers:
+    def test_uniform_loss_channel(self):
+        ch = uniform_loss_channel(0.5, rng=np.random.default_rng(0))
+        assert isinstance(ch, LossyChannel)
+        deliveries = sum(ch.delivered(0, 1, 5.0) for _ in range(2000))
+        assert deliveries / 2000 == pytest.approx(0.5, abs=0.05)
+
+    def test_burst_channel_alternates_between_states(self):
+        ch = burst_loss_channel(
+            good_loss=0.0,
+            bad_loss=1.0,
+            p_good_to_bad=0.2,
+            p_bad_to_good=0.2,
+            rng=np.random.default_rng(3),
+        )
+        outcomes = [ch.delivered(0, 1, 5.0) for _ in range(500)]
+        # Both loss and delivery must occur, and losses must come in runs.
+        assert any(outcomes) and not all(outcomes)
+        # Measure average run length of losses; bursts should exceed 1 on average.
+        runs, current = [], 0
+        for delivered in outcomes:
+            if not delivered:
+                current += 1
+            elif current:
+                runs.append(current)
+                current = 0
+        if current:
+            runs.append(current)
+        assert runs and sum(runs) / len(runs) > 1.0
+
+    def test_burst_channel_validation(self):
+        with pytest.raises(ValueError):
+            burst_loss_channel(bad_loss=1.5)
+        with pytest.raises(ValueError):
+            burst_loss_channel(p_good_to_bad=0.0)

@@ -1,0 +1,130 @@
+"""Unit tests for the deployment generators."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.deployment import (
+    DeploymentConfig,
+    clustered_deployment,
+    grid_deployment,
+    jittered_grid_deployment,
+    make_deployment,
+    poisson_disk_deployment,
+    uniform_random_deployment,
+)
+
+
+class TestUniform:
+    def test_shape_and_bounds(self, rng):
+        pts = uniform_random_deployment(50, 40.0, 30.0, rng)
+        assert pts.shape == (50, 2)
+        assert np.all(pts[:, 0] >= 0) and np.all(pts[:, 0] <= 40.0)
+        assert np.all(pts[:, 1] >= 0) and np.all(pts[:, 1] <= 30.0)
+
+    def test_reproducible_with_same_rng_seed(self):
+        a = uniform_random_deployment(20, 10, 10, np.random.default_rng(5))
+        b = uniform_random_deployment(20, 10, 10, np.random.default_rng(5))
+        assert np.allclose(a, b)
+
+    def test_rejects_non_positive_count(self, rng):
+        with pytest.raises(ValueError):
+            uniform_random_deployment(0, 10, 10, rng)
+
+
+class TestGrid:
+    def test_exact_count(self):
+        pts = grid_deployment(30, 50, 50)
+        assert pts.shape == (30, 2)
+
+    def test_points_inside_region(self):
+        pts = grid_deployment(25, 50, 50)
+        assert np.all(pts >= 0) and np.all(pts <= 50)
+
+    def test_perfect_square_grid_is_regular(self):
+        pts = grid_deployment(9, 30, 30)
+        xs = np.unique(np.round(pts[:, 0], 6))
+        ys = np.unique(np.round(pts[:, 1], 6))
+        assert len(xs) == 3 and len(ys) == 3
+
+    def test_rejects_non_positive_count(self):
+        with pytest.raises(ValueError):
+            grid_deployment(-1, 10, 10)
+
+
+class TestJitteredGrid:
+    def test_stays_inside_region(self, rng):
+        pts = jittered_grid_deployment(40, 60, 60, rng, jitter=0.5)
+        assert np.all(pts >= 0) and np.all(pts <= 60)
+
+    def test_zero_jitter_equals_grid(self, rng):
+        jittered = jittered_grid_deployment(16, 40, 40, rng, jitter=0.0)
+        regular = grid_deployment(16, 40, 40)
+        assert np.allclose(jittered, regular)
+
+    def test_invalid_jitter_rejected(self, rng):
+        with pytest.raises(ValueError):
+            jittered_grid_deployment(10, 10, 10, rng, jitter=0.9)
+
+
+class TestPoissonDisk:
+    def test_minimum_spacing_respected(self, rng):
+        pts = poisson_disk_deployment(40, 40, 6.0, rng)
+        for i in range(len(pts)):
+            for j in range(i + 1, len(pts)):
+                assert np.hypot(*(pts[i] - pts[j])) >= 6.0 - 1e-9
+
+    def test_max_nodes_cap(self, rng):
+        pts = poisson_disk_deployment(100, 100, 3.0, rng, max_nodes=10)
+        assert len(pts) == 10
+
+    def test_invalid_spacing_rejected(self, rng):
+        with pytest.raises(ValueError):
+            poisson_disk_deployment(10, 10, 0.0, rng)
+
+
+class TestClustered:
+    def test_count_and_bounds(self, rng):
+        pts = clustered_deployment(60, 50, 50, rng, num_clusters=4, cluster_std=3.0)
+        assert pts.shape == (60, 2)
+        assert np.all(pts >= 0) and np.all(pts <= 50)
+
+    def test_zero_std_collapses_to_centres(self, rng):
+        pts = clustered_deployment(30, 50, 50, rng, num_clusters=2, cluster_std=0.0)
+        unique = np.unique(np.round(pts, 6), axis=0)
+        assert len(unique) <= 2
+
+    def test_invalid_parameters_rejected(self, rng):
+        with pytest.raises(ValueError):
+            clustered_deployment(10, 10, 10, rng, num_clusters=0)
+        with pytest.raises(ValueError):
+            clustered_deployment(10, 10, 10, rng, cluster_std=-1.0)
+
+
+class TestDeploymentConfig:
+    def test_defaults_match_paper_setup(self):
+        config = DeploymentConfig()
+        assert config.num_nodes == 30
+        assert config.kind == "uniform"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeploymentConfig(num_nodes=0)
+        with pytest.raises(ValueError):
+            DeploymentConfig(width=-5)
+        with pytest.raises(ValueError):
+            DeploymentConfig(jitter=0.9)
+
+    @pytest.mark.parametrize(
+        "kind", ["uniform", "grid", "jittered_grid", "poisson_disk", "clustered"]
+    )
+    def test_make_deployment_dispatch(self, kind, rng):
+        config = DeploymentConfig(kind=kind, num_nodes=20, width=60, height=60, min_spacing=4.0)
+        pts = make_deployment(config, rng)
+        assert pts.ndim == 2 and pts.shape[1] == 2
+        assert len(pts) >= 1
+
+    def test_make_deployment_unknown_kind(self, rng):
+        config = DeploymentConfig()
+        object.__setattr__(config, "kind", "hexagonal")
+        with pytest.raises(ValueError):
+            make_deployment(config, rng)

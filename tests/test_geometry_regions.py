@@ -1,0 +1,121 @@
+"""Unit tests for region primitives (rectangle, circle, polygon)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.regions import Circle, Polygon, Rectangle
+from repro.geometry.vec import Vec2
+
+
+class TestRectangle:
+    def test_contains_inside_outside_and_boundary(self):
+        r = Rectangle(0, 0, 10, 5)
+        assert r.contains((5, 2.5))
+        assert r.contains((0, 0))
+        assert r.contains((10, 5))
+        assert not r.contains((11, 2))
+        assert not r.contains((5, -0.1))
+
+    def test_contains_many_matches_scalar(self, rng):
+        r = Rectangle(0, 0, 10, 10)
+        pts = rng.uniform(-5, 15, size=(100, 2))
+        vector = r.contains_many(pts)
+        scalar = np.array([r.contains(p) for p in pts])
+        assert np.array_equal(vector, scalar)
+
+    def test_area_and_bbox(self):
+        r = Rectangle(1, 2, 4, 6)
+        assert r.area() == 12.0
+        assert r.bounding_box() == (1, 2, 4, 6)
+        assert r.width == 3 and r.height == 4
+        assert r.center == Vec2(2.5, 4.0)
+
+    def test_from_size(self):
+        r = Rectangle.from_size(20, 30)
+        assert r.bounding_box() == (0, 0, 20, 30)
+
+    def test_invalid_rectangle_rejected(self):
+        with pytest.raises(ValueError):
+            Rectangle(5, 0, 1, 10)
+
+    def test_sample_uniform_inside(self, rng):
+        r = Rectangle(0, 0, 10, 10)
+        pts = r.sample_uniform(50, rng)
+        assert pts.shape == (50, 2)
+        assert r.contains_many(pts).all()
+
+
+class TestCircle:
+    def test_contains(self):
+        c = Circle(0, 0, 5)
+        assert c.contains((3, 4))
+        assert c.contains((5, 0))
+        assert not c.contains((3.6, 3.6))
+
+    def test_contains_many_matches_scalar(self, rng):
+        c = Circle(5, 5, 3)
+        pts = rng.uniform(0, 10, size=(100, 2))
+        assert np.array_equal(c.contains_many(pts), np.array([c.contains(p) for p in pts]))
+
+    def test_area(self):
+        assert Circle(0, 0, 2).area() == pytest.approx(4 * math.pi)
+
+    def test_bounding_box(self):
+        assert Circle(1, 2, 3).bounding_box() == (-2, -1, 4, 5)
+
+    def test_center_property(self):
+        assert Circle(1, 2, 3).center == Vec2(1, 2)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Circle(0, 0, -1)
+
+    def test_zero_radius_contains_only_center(self):
+        c = Circle(2, 2, 0)
+        assert c.contains((2, 2))
+        assert not c.contains((2.01, 2))
+
+
+class TestPolygon:
+    def test_square_membership(self):
+        p = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        assert p.contains((5, 5))
+        assert not p.contains((15, 5))
+        assert not p.contains((-1, 5))
+
+    def test_concave_polygon(self):
+        # L-shaped polygon.
+        p = Polygon([(0, 0), (4, 0), (4, 2), (2, 2), (2, 4), (0, 4)])
+        assert p.contains((1, 3))
+        assert p.contains((3, 1))
+        assert not p.contains((3, 3))
+
+    def test_area_shoelace(self):
+        square = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+        assert square.area() == pytest.approx(16.0)
+        triangle = Polygon([(0, 0), (4, 0), (0, 3)])
+        assert triangle.area() == pytest.approx(6.0)
+
+    def test_area_independent_of_winding(self):
+        ccw = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+        cw = Polygon([(0, 0), (0, 4), (4, 4), (4, 0)])
+        assert ccw.area() == pytest.approx(cw.area())
+
+    def test_bounding_box(self):
+        p = Polygon([(1, 2), (5, 3), (3, 7)])
+        assert p.bounding_box() == (1.0, 2.0, 5.0, 7.0)
+
+    def test_too_few_vertices_rejected(self):
+        with pytest.raises(ValueError):
+            Polygon([(0, 0), (1, 1)])
+
+    def test_contains_many_default_loop(self, rng):
+        p = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        pts = rng.uniform(-2, 12, size=(50, 2))
+        assert np.array_equal(p.contains_many(pts), np.array([p.contains(q) for q in pts]))
+
+    def test_vertices_property(self):
+        verts = [(0, 0), (1, 0), (0, 1)]
+        assert np.allclose(Polygon(verts).vertices, np.array(verts, dtype=float))

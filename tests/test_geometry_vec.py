@@ -1,0 +1,147 @@
+"""Unit tests for the 2-D vector type."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.vec import Vec2, angle_between, centroid, polar
+
+
+class TestConstruction:
+    def test_zero_vector(self):
+        assert Vec2.zero() == Vec2(0.0, 0.0)
+
+    def test_from_iterable(self):
+        assert Vec2.from_iterable([1, 2]) == Vec2(1.0, 2.0)
+        assert Vec2.from_iterable(np.array([3.0, 4.0])) == Vec2(3.0, 4.0)
+
+    def test_from_iterable_wrong_length(self):
+        with pytest.raises(ValueError):
+            Vec2.from_iterable([1, 2, 3])
+
+    def test_polar_construction(self):
+        v = polar(2.0, math.pi / 2)
+        assert v.x == pytest.approx(0.0, abs=1e-12)
+        assert v.y == pytest.approx(2.0)
+
+    def test_immutability(self):
+        v = Vec2(1.0, 2.0)
+        with pytest.raises(AttributeError):
+            v.x = 5.0  # type: ignore[misc]
+
+
+class TestAlgebra:
+    def test_addition_and_subtraction(self):
+        assert Vec2(1, 2) + Vec2(3, 4) == Vec2(4, 6)
+        assert Vec2(3, 4) - Vec2(1, 2) == Vec2(2, 2)
+
+    def test_scalar_multiplication_both_sides(self):
+        assert Vec2(1, 2) * 3 == Vec2(3, 6)
+        assert 3 * Vec2(1, 2) == Vec2(3, 6)
+
+    def test_division(self):
+        assert Vec2(2, 4) / 2 == Vec2(1, 2)
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            Vec2(1, 1) / 0.0
+
+    def test_negation(self):
+        assert -Vec2(1, -2) == Vec2(-1, 2)
+
+    def test_dot_and_cross(self):
+        assert Vec2(1, 0).dot(Vec2(0, 1)) == 0.0
+        assert Vec2(2, 3).dot(Vec2(4, 5)) == 23.0
+        assert Vec2(1, 0).cross(Vec2(0, 1)) == 1.0
+        assert Vec2(0, 1).cross(Vec2(1, 0)) == -1.0
+
+    def test_iteration_and_tuple(self):
+        v = Vec2(1.5, 2.5)
+        assert tuple(v) == (1.5, 2.5)
+        assert v.to_tuple() == (1.5, 2.5)
+
+    def test_to_array(self):
+        arr = Vec2(1, 2).to_array()
+        assert arr.dtype == np.float64
+        assert np.allclose(arr, [1.0, 2.0])
+
+
+class TestMeasures:
+    def test_norm_and_norm_sq(self):
+        v = Vec2(3, 4)
+        assert v.norm() == 5.0
+        assert v.norm_sq() == 25.0
+
+    def test_distance_to(self):
+        assert Vec2(0, 0).distance_to(Vec2(3, 4)) == 5.0
+
+    def test_is_zero(self):
+        assert Vec2(0, 0).is_zero()
+        assert Vec2(1e-15, 0).is_zero()
+        assert not Vec2(1e-3, 0).is_zero()
+
+    def test_normalized(self):
+        n = Vec2(3, 4).normalized()
+        assert n.norm() == pytest.approx(1.0)
+        assert n.x == pytest.approx(0.6)
+
+    def test_normalized_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            Vec2(0, 0).normalized()
+
+    def test_angle(self):
+        assert Vec2(1, 0).angle() == pytest.approx(0.0)
+        assert Vec2(0, 1).angle() == pytest.approx(math.pi / 2)
+        assert Vec2(-1, 0).angle() == pytest.approx(math.pi)
+
+    def test_rotated(self):
+        v = Vec2(1, 0).rotated(math.pi / 2)
+        assert v.x == pytest.approx(0.0, abs=1e-12)
+        assert v.y == pytest.approx(1.0)
+
+    def test_projection_onto(self):
+        assert Vec2(3, 4).projection_onto(Vec2(1, 0)) == pytest.approx(3.0)
+        assert Vec2(3, 4).projection_onto(Vec2(0, 2)) == pytest.approx(4.0)
+
+    def test_projection_onto_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            Vec2(1, 1).projection_onto(Vec2(0, 0))
+
+
+class TestAngleBetween:
+    def test_orthogonal_vectors(self):
+        assert angle_between(Vec2(1, 0), Vec2(0, 1)) == pytest.approx(math.pi / 2)
+
+    def test_parallel_vectors(self):
+        assert angle_between(Vec2(1, 0), Vec2(5, 0)) == pytest.approx(0.0)
+
+    def test_antiparallel_vectors(self):
+        assert angle_between(Vec2(1, 0), Vec2(-2, 0)) == pytest.approx(math.pi)
+
+    def test_symmetry(self):
+        a, b = Vec2(1, 2), Vec2(-3, 0.5)
+        assert angle_between(a, b) == pytest.approx(angle_between(b, a))
+
+    def test_zero_vector_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            angle_between(Vec2(0, 0), Vec2(1, 0))
+
+    def test_numerical_robustness_near_parallel(self):
+        a = Vec2(1.0, 1e-9)
+        b = Vec2(1.0, 0.0)
+        # Must not produce NaN from acos of a value slightly above 1.
+        assert angle_between(a, b) >= 0.0
+
+
+class TestCentroid:
+    def test_centroid_of_points(self):
+        c = centroid([Vec2(0, 0), Vec2(2, 0), Vec2(0, 2), Vec2(2, 2)])
+        assert c == Vec2(1, 1)
+
+    def test_centroid_single_point(self):
+        assert centroid([Vec2(3, 4)]) == Vec2(3, 4)
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])

@@ -1,0 +1,112 @@
+"""Integration tests of the PAS alert-belt mechanism on a dense deployment.
+
+These tests use a denser jittered-grid deployment than the paper's default so
+that the prediction machinery has enough neighbours to work with, and then
+verify the mechanism the whole paper rests on: an alert belt forms ahead of
+the front, alert nodes detect with (near) zero delay, and the belt's size
+responds to the alert threshold.
+"""
+
+import math
+
+import pytest
+
+from repro.core.config import PASConfig
+from repro.core.pas import PASScheduler
+from repro.core.states import ProtocolState
+from repro.geometry.deployment import DeploymentConfig
+from repro.world.builder import build_simulation
+from repro.world.scenario import ScenarioConfig, StimulusConfig
+
+
+def dense_scenario(seed=11, duration=90.0):
+    return ScenarioConfig(
+        deployment=DeploymentConfig(kind="jittered_grid", num_nodes=49, width=60.0, height=60.0),
+        transmission_range=12.0,
+        stimulus=StimulusConfig(kind="circular", speed=1.0, start_time=10.0),
+        duration=duration,
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def dense_run():
+    simulation = build_simulation(
+        dense_scenario(), PASScheduler(PASConfig(alert_threshold=20.0, max_sleep_interval=8.0)),
+        occupancy_sample_interval=5.0,
+    )
+    summary = simulation.run()
+    return simulation, summary
+
+
+class TestAlertBelt:
+    def test_many_nodes_pass_through_alert(self, dense_run):
+        simulation, _ = dense_run
+        alert_entries = simulation.metrics.count_transitions(new="alert")
+        # On a dense grid a substantial fraction of the 49 nodes should be
+        # alerted before the front reaches them.
+        assert alert_entries >= 10
+
+    def test_alerted_nodes_detect_with_negligible_delay(self, dense_run):
+        simulation, summary = dense_run
+        # Nodes whose last pre-detection transition was into ALERT were awake
+        # at their arrival instant, so their recorded delay must be ~0.
+        alerted_then_covered = set()
+        last_state = {}
+        for record in simulation.metrics.state_changes:
+            if record.new_state == "covered" and last_state.get(record.node_id) == "alert":
+                alerted_then_covered.add(record.node_id)
+            last_state[record.node_id] = record.new_state
+        assert alerted_then_covered, "no node went alert -> covered"
+        for node_id in alerted_then_covered:
+            delay = summary.delay.per_node_delay.get(node_id)
+            assert delay is not None
+            assert delay == pytest.approx(0.0, abs=1e-6)
+
+    def test_delay_of_alerted_nodes_below_never_alerted(self, dense_run):
+        simulation, summary = dense_run
+        alerted = {
+            r.node_id for r in simulation.metrics.state_changes if r.new_state == "alert"
+        }
+        alerted_delays = [d for n, d in summary.delay.per_node_delay.items() if n in alerted]
+        blind_delays = [d for n, d in summary.delay.per_node_delay.items() if n not in alerted]
+        if alerted_delays and blind_delays:
+            mean_alerted = sum(alerted_delays) / len(alerted_delays)
+            mean_blind = sum(blind_delays) / len(blind_delays)
+            assert mean_alerted <= mean_blind + 1e-9
+
+    def test_occupancy_shows_belt_peak_then_decay(self, dense_run):
+        simulation, _ = dense_run
+        alert_counts = [s.counts.get("alert", 0) for s in simulation.metrics.occupancy]
+        assert max(alert_counts) >= 3
+        # The belt must eventually shrink as the front engulfs the field.
+        assert alert_counts[-1] <= max(alert_counts)
+
+    def test_covered_count_monotone_for_expanding_front(self, dense_run):
+        simulation, _ = dense_run
+        covered_counts = [s.counts.get("covered", 0) for s in simulation.metrics.occupancy]
+        assert all(b >= a for a, b in zip(covered_counts, covered_counts[1:]))
+        assert covered_counts[-1] > covered_counts[0]
+
+
+class TestThresholdControlsBelt:
+    def test_larger_threshold_produces_no_fewer_alert_entries(self):
+        entries = {}
+        for threshold in (3.0, 25.0):
+            simulation = build_simulation(
+                dense_scenario(),
+                PASScheduler(PASConfig(alert_threshold=threshold, max_sleep_interval=8.0)),
+            )
+            simulation.run()
+            entries[threshold] = simulation.metrics.count_transitions(new="alert")
+        assert entries[25.0] >= entries[3.0]
+
+    def test_larger_threshold_does_not_increase_delay(self):
+        delays = {}
+        for threshold in (3.0, 25.0):
+            simulation = build_simulation(
+                dense_scenario(),
+                PASScheduler(PASConfig(alert_threshold=threshold, max_sleep_interval=8.0)),
+            )
+            delays[threshold] = simulation.run().average_delay_s
+        assert delays[25.0] <= delays[3.0] + 0.2

@@ -1,0 +1,205 @@
+"""Integration tests: full simulations and cross-scheduler invariants.
+
+These tests run the actual evaluation scenario (smaller node counts to keep
+the suite fast) and assert the qualitative results the paper reports, plus
+system-level invariants that must hold regardless of parameters.
+"""
+
+import math
+
+import pytest
+
+from repro.core.baselines import NoSleepScheduler, PeriodicDutyCycleScheduler
+from repro.core.config import BaselineConfig, PASConfig, SASConfig, SchedulerConfig
+from repro.core.pas import PASScheduler
+from repro.core.sas import SASScheduler
+from repro.experiments.runner import default_scenario, run_comparison
+from repro.geometry.deployment import DeploymentConfig
+from repro.world.builder import build_simulation, run_scenario
+from repro.world.scenario import FaultConfig, ScenarioConfig, StimulusConfig
+
+
+def paper_scenario(seed=1, **kwargs):
+    """The paper's §4 setup (30 nodes, 10 m range) at full size."""
+    return default_scenario(seed=seed, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    """One NS/PAS/SAS comparison on the identical paper scenario."""
+    return run_comparison(paper_scenario(seed=1), max_sleep_interval=10.0, alert_threshold=20.0)
+
+
+class TestPaperQualitativeResults:
+    def test_ns_has_zero_delay(self, comparison):
+        assert comparison["NS"].average_delay_s == pytest.approx(0.0, abs=1e-9)
+
+    def test_ns_has_highest_energy(self, comparison):
+        assert comparison["NS"].average_energy_j > comparison["PAS"].average_energy_j
+        assert comparison["NS"].average_energy_j > comparison["SAS"].average_energy_j
+
+    def test_pas_delay_below_sas(self, comparison):
+        assert comparison["PAS"].average_delay_s < comparison["SAS"].average_delay_s
+
+    def test_pas_energy_at_least_sas_but_well_below_ns(self, comparison):
+        pas_e = comparison["PAS"].average_energy_j
+        sas_e = comparison["SAS"].average_energy_j
+        ns_e = comparison["NS"].average_energy_j
+        assert pas_e >= sas_e * 0.95  # "slightly more", never dramatically less
+        assert pas_e < ns_e * 0.9
+
+    def test_all_reached_nodes_detected(self, comparison):
+        for summary in comparison.values():
+            assert summary.delay.num_detected == summary.delay.num_reached
+
+    def test_pas_uses_alert_state(self):
+        sim = build_simulation(paper_scenario(seed=1), PASScheduler(PASConfig()))
+        sim.run()
+        assert sim.metrics.count_transitions(old="safe", new="alert") > 0
+
+
+class TestCrossSchedulerInvariants:
+    SCHEDULERS = [
+        ("NS", lambda: NoSleepScheduler(SchedulerConfig())),
+        ("PAS", lambda: PASScheduler(PASConfig())),
+        ("SAS", lambda: SASScheduler(SASConfig())),
+        ("PERIODIC", lambda: PeriodicDutyCycleScheduler(BaselineConfig())),
+    ]
+
+    @pytest.mark.parametrize("name,factory", SCHEDULERS, ids=[s[0] for s in SCHEDULERS])
+    def test_energy_and_time_accounting(self, name, factory):
+        scenario = default_scenario(num_nodes=12, area=30.0, duration=35.0, seed=4)
+        sim = build_simulation(scenario, factory())
+        summary = sim.run()
+        for node in sim.nodes.values():
+            # Time accounting covers the whole run.
+            assert node.awake_time_s + node.asleep_time_s == pytest.approx(35.0, rel=1e-6)
+            # Energy components sum to the ledger total.
+            b = node.energy.breakdown
+            assert b.total_j == pytest.approx(b.active_j + b.sleep_j + b.rx_j + b.tx_j)
+        assert summary.average_energy_j > 0
+
+    @pytest.mark.parametrize("name,factory", SCHEDULERS, ids=[s[0] for s in SCHEDULERS])
+    def test_detections_never_precede_arrival(self, name, factory):
+        scenario = default_scenario(num_nodes=12, area=30.0, duration=35.0, seed=4)
+        sim = build_simulation(scenario, factory())
+        sim.run()
+        for node_id, t in sim.metrics.detections.items():
+            assert t >= sim.true_arrival_times[node_id] - 1e-9
+
+    def test_identical_seed_identical_results(self):
+        a = run_scenario(paper_scenario(seed=3), PASScheduler(PASConfig()))
+        b = run_scenario(paper_scenario(seed=3), PASScheduler(PASConfig()))
+        assert a.average_delay_s == pytest.approx(b.average_delay_s)
+        assert a.average_energy_j == pytest.approx(b.average_energy_j)
+        assert a.messages == b.messages
+
+    def test_different_seed_changes_results(self):
+        a = run_scenario(paper_scenario(seed=3), PASScheduler(PASConfig()))
+        b = run_scenario(paper_scenario(seed=4), PASScheduler(PASConfig()))
+        assert a.average_delay_s != pytest.approx(b.average_delay_s, abs=1e-12)
+
+
+class TestParameterEffects:
+    def test_longer_max_sleep_increases_pas_delay(self):
+        scenario = paper_scenario(seed=2)
+        short = run_scenario(
+            scenario, PASScheduler(PASConfig(max_sleep_interval=2.0, alert_threshold=20.0))
+        )
+        long = run_scenario(
+            scenario, PASScheduler(PASConfig(max_sleep_interval=20.0, alert_threshold=20.0))
+        )
+        assert long.average_delay_s >= short.average_delay_s
+
+    def test_longer_max_sleep_decreases_pas_energy(self):
+        scenario = paper_scenario(seed=2)
+        short = run_scenario(
+            scenario, PASScheduler(PASConfig(max_sleep_interval=2.0, alert_threshold=20.0))
+        )
+        long = run_scenario(
+            scenario, PASScheduler(PASConfig(max_sleep_interval=20.0, alert_threshold=20.0))
+        )
+        assert long.average_energy_j <= short.average_energy_j
+
+    def test_larger_alert_threshold_does_not_increase_delay(self):
+        scenario = paper_scenario(seed=5)
+        small = run_scenario(
+            scenario, PASScheduler(PASConfig(alert_threshold=5.0, max_sleep_interval=10.0))
+        )
+        large = run_scenario(
+            scenario, PASScheduler(PASConfig(alert_threshold=40.0, max_sleep_interval=10.0))
+        )
+        assert large.average_delay_s <= small.average_delay_s + 0.25
+
+    def test_larger_alert_threshold_increases_energy(self):
+        scenario = paper_scenario(seed=5)
+        small = run_scenario(
+            scenario, PASScheduler(PASConfig(alert_threshold=5.0, max_sleep_interval=10.0))
+        )
+        large = run_scenario(
+            scenario, PASScheduler(PASConfig(alert_threshold=40.0, max_sleep_interval=10.0))
+        )
+        assert large.average_energy_j >= small.average_energy_j
+
+
+class TestAlternativeStimuliAndFaults:
+    def test_anisotropic_stimulus_end_to_end(self):
+        scenario = ScenarioConfig(
+            deployment=DeploymentConfig(num_nodes=15, width=40, height=40),
+            stimulus=StimulusConfig(kind="anisotropic", speed=1.0, anisotropy=0.5),
+            duration=60.0,
+            seed=6,
+        )
+        summary = run_scenario(scenario, PASScheduler(PASConfig()))
+        assert summary.delay.num_reached > 0
+        assert summary.delay.num_detected == summary.delay.num_reached
+
+    def test_plume_stimulus_end_to_end(self):
+        scenario = ScenarioConfig(
+            deployment=DeploymentConfig(num_nodes=15, width=40, height=40),
+            stimulus=StimulusConfig(
+                kind="plume",
+                speed=0.5,
+                extra={"diffusivity": 1.5, "emission": 500.0, "threshold": 0.05},
+            ),
+            duration=60.0,
+            seed=6,
+        )
+        summary = run_scenario(scenario, PASScheduler(PASConfig()))
+        assert summary.average_energy_j > 0
+
+    def test_node_failures_reduce_detections(self):
+        base = ScenarioConfig(
+            deployment=DeploymentConfig(num_nodes=20, width=40, height=40),
+            duration=50.0,
+            seed=7,
+        )
+        healthy = run_scenario(base, PASScheduler(PASConfig()))
+        faulty = run_scenario(
+            base.with_overrides(faults=FaultConfig(node_failure_rate=400.0)),
+            PASScheduler(PASConfig()),
+        )
+        assert faulty.delay.num_detected <= healthy.delay.num_detected
+
+    def test_lossy_channel_still_detects_everything_reached(self):
+        base = ScenarioConfig(
+            deployment=DeploymentConfig(num_nodes=15, width=35, height=35),
+            duration=45.0,
+            seed=8,
+            faults=FaultConfig(message_loss_probability=0.5),
+        )
+        summary = run_scenario(base, PASScheduler(PASConfig()))
+        # Message loss can delay but never prevent detection (nodes still wake
+        # and sense locally).
+        assert summary.delay.num_detected == summary.delay.num_reached
+        assert summary.messages["losses"] > 0
+
+    def test_noisy_sensing_scenario_runs(self):
+        scenario = ScenarioConfig(
+            deployment=DeploymentConfig(num_nodes=12, width=30, height=30),
+            duration=40.0,
+            seed=9,
+            sensing_noise=(0.1, 0.0),
+        )
+        summary = run_scenario(scenario, PASScheduler(PASConfig()))
+        assert summary.average_energy_j > 0

@@ -1,0 +1,143 @@
+"""Unit tests for the delay and energy metrics."""
+
+import math
+
+import pytest
+
+from repro.geometry.vec import Vec2
+from repro.metrics.delay import DelayRecorder
+from repro.metrics.energy import collect_energy_stats
+from repro.node.sensor import SensorNode
+
+
+class TestDelayRecorder:
+    def test_delay_is_detection_minus_arrival(self):
+        recorder = DelayRecorder({0: 10.0, 1: 20.0})
+        recorder.record_detection(0, 12.5)
+        recorder.record_detection(1, 20.0)
+        stats = recorder.compute(end_time=100.0)
+        assert stats.per_node_delay[0] == pytest.approx(2.5)
+        assert stats.per_node_delay[1] == pytest.approx(0.0)
+        assert stats.mean_s == pytest.approx(1.25)
+        assert stats.num_reached == 2
+        assert stats.num_detected == 2
+        assert stats.num_missed == 0
+
+    def test_only_first_detection_counts(self):
+        recorder = DelayRecorder({0: 10.0})
+        recorder.record_detection(0, 11.0)
+        recorder.record_detection(0, 50.0)
+        assert recorder.detection_times[0] == 11.0
+
+    def test_unreached_nodes_excluded(self):
+        recorder = DelayRecorder({0: 10.0, 1: math.inf})
+        recorder.record_detection(0, 10.0)
+        stats = recorder.compute(end_time=100.0)
+        assert stats.num_reached == 1
+
+    def test_nodes_reached_after_end_excluded(self):
+        recorder = DelayRecorder({0: 10.0, 1: 200.0})
+        recorder.record_detection(0, 10.0)
+        stats = recorder.compute(end_time=100.0)
+        assert stats.num_reached == 1
+
+    def test_missed_nodes_excluded_by_default(self):
+        recorder = DelayRecorder({0: 10.0, 1: 20.0})
+        recorder.record_detection(0, 11.0)
+        stats = recorder.compute(end_time=100.0)
+        assert stats.num_missed == 1
+        assert stats.mean_s == pytest.approx(1.0)
+
+    def test_missed_nodes_clamped_with_clamp_policy(self):
+        recorder = DelayRecorder({0: 10.0, 1: 20.0}, missed_policy="clamp")
+        recorder.record_detection(0, 11.0)
+        stats = recorder.compute(end_time=100.0)
+        assert stats.per_node_delay[1] == pytest.approx(80.0)
+        assert stats.mean_s == pytest.approx((1.0 + 80.0) / 2.0)
+
+    def test_invalid_missed_policy(self):
+        with pytest.raises(ValueError):
+            DelayRecorder({}, missed_policy="ignore")
+
+    def test_unknown_node_rejected(self):
+        recorder = DelayRecorder({0: 1.0})
+        with pytest.raises(KeyError):
+            recorder.record_detection(5, 1.0)
+
+    def test_early_detection_clamped_to_zero_delay(self):
+        # Noisy sensing can "detect" before the true arrival; delay floors at 0.
+        recorder = DelayRecorder({0: 10.0})
+        recorder.record_detection(0, 8.0)
+        assert recorder.delay_of(0) == 0.0
+
+    def test_delay_of_and_has_detected(self):
+        recorder = DelayRecorder({0: 10.0, 1: math.inf})
+        assert not recorder.has_detected(0)
+        assert recorder.delay_of(0) is None
+        recorder.record_detection(0, 12.0)
+        assert recorder.has_detected(0)
+        assert recorder.delay_of(0) == 2.0
+        recorder.record_detection(1, 5.0)
+        assert recorder.delay_of(1) is None  # never truly reached
+
+    def test_empty_statistics(self):
+        stats = DelayRecorder({0: math.inf}).compute(end_time=10.0)
+        assert stats.mean_s == 0.0
+        assert stats.num_reached == 0
+
+    def test_statistics_fields(self):
+        recorder = DelayRecorder({i: 0.0 for i in range(4)})
+        for i, t in enumerate([1.0, 2.0, 3.0, 4.0]):
+            recorder.record_detection(i, t)
+        stats = recorder.compute(end_time=10.0)
+        assert stats.max_s == 4.0
+        assert stats.min_s == 1.0
+        assert stats.median_s == pytest.approx(2.5)
+        assert stats.std_s > 0
+        d = stats.as_dict()
+        assert d["num_detected"] == 4
+
+
+class TestEnergyStats:
+    def test_aggregates_per_node_ledgers(self):
+        nodes = [SensorNode(i, Vec2(float(i), 0.0)) for i in range(3)]
+        nodes[0].energy.add_active_time(100.0)
+        nodes[1].energy.add_sleep_time(100.0)
+        nodes[2].energy.add_active_time(50.0)
+        nodes[2].energy.add_tx(65)
+        stats = collect_energy_stats(nodes)
+        assert stats.total_j == pytest.approx(sum(n.energy.total_j for n in nodes))
+        assert stats.mean_j == pytest.approx(stats.total_j / 3)
+        assert stats.max_j == pytest.approx(nodes[0].energy.total_j)
+        assert stats.min_j == pytest.approx(nodes[1].energy.total_j)
+        assert stats.per_node_j[2] == pytest.approx(nodes[2].energy.total_j)
+
+    def test_component_means(self):
+        nodes = [SensorNode(i, Vec2(0, 0)) for i in range(2)]
+        nodes[0].energy.add_active_time(10.0)
+        nodes[1].energy.add_rx(100)
+        stats = collect_energy_stats(nodes)
+        assert stats.mean_active_j == pytest.approx(nodes[0].energy.breakdown.active_j / 2)
+        assert stats.mean_rx_j == pytest.approx(nodes[1].energy.breakdown.rx_j / 2)
+
+    def test_component_means_sum_to_total_mean(self):
+        nodes = [SensorNode(i, Vec2(0, 0)) for i in range(3)]
+        for n in nodes:
+            n.energy.add_active_time(5.0)
+            n.energy.add_sleep_time(20.0)
+            n.energy.add_tx(40)
+            n.energy.add_rx(40)
+        stats = collect_energy_stats(nodes)
+        component_sum = (
+            stats.mean_active_j + stats.mean_sleep_j + stats.mean_rx_j + stats.mean_tx_j
+        )
+        assert component_sum == pytest.approx(stats.mean_j)
+
+    def test_empty_node_list_rejected(self):
+        with pytest.raises(ValueError):
+            collect_energy_stats([])
+
+    def test_as_dict_keys(self):
+        nodes = [SensorNode(0, Vec2(0, 0))]
+        d = collect_energy_stats(nodes).as_dict()
+        assert {"mean_j", "total_j", "mean_active_j", "mean_sleep_j"} <= set(d)

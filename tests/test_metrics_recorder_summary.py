@@ -1,0 +1,125 @@
+"""Unit tests for the metrics recorder and run summaries."""
+
+import pytest
+
+from repro.metrics.delay import DelayStats
+from repro.metrics.energy import EnergyStats
+from repro.metrics.recorder import MetricsRecorder, OccupancySample
+from repro.metrics.summary import RunSummary, format_table
+
+
+def make_delay_stats(mean=1.0):
+    return DelayStats(
+        mean_s=mean,
+        median_s=mean,
+        max_s=mean,
+        min_s=0.0,
+        std_s=0.1,
+        num_reached=10,
+        num_detected=10,
+        num_missed=0,
+        per_node_delay={0: mean},
+    )
+
+
+def make_energy_stats(mean=2.0):
+    return EnergyStats(
+        mean_j=mean,
+        total_j=mean * 10,
+        max_j=mean * 1.5,
+        min_j=mean * 0.5,
+        std_j=0.2,
+        mean_active_j=mean * 0.6,
+        mean_sleep_j=mean * 0.1,
+        mean_rx_j=mean * 0.2,
+        mean_tx_j=mean * 0.1,
+        per_node_j={0: mean},
+    )
+
+
+class TestMetricsRecorder:
+    def test_detection_recorded_once(self):
+        recorder = MetricsRecorder({0: 5.0})
+        recorder.record_detection(0, 6.0)
+        recorder.record_detection(0, 9.0)
+        assert recorder.detections[0] == 6.0
+        stats = recorder.delay_stats(end_time=10.0)
+        assert stats.mean_s == pytest.approx(1.0)
+
+    def test_state_changes_logged_in_order(self):
+        recorder = MetricsRecorder({0: 5.0})
+        recorder.record_state_change(0, 1.0, "safe", "alert")
+        recorder.record_state_change(0, 2.0, "alert", "covered")
+        assert [r.new_state for r in recorder.state_changes] == ["alert", "covered"]
+        assert len(recorder.transitions_of(0)) == 2
+        assert recorder.transitions_of(1) == []
+
+    def test_count_transitions_with_filters(self):
+        recorder = MetricsRecorder({0: 5.0})
+        recorder.record_state_change(0, 1.0, "safe", "alert")
+        recorder.record_state_change(1, 2.0, "safe", "covered")
+        recorder.record_state_change(2, 3.0, "alert", "covered")
+        assert recorder.count_transitions() == 3
+        assert recorder.count_transitions(old="safe") == 2
+        assert recorder.count_transitions(new="covered") == 2
+        assert recorder.count_transitions(old="safe", new="alert") == 1
+
+    def test_occupancy_samples_stored(self):
+        recorder = MetricsRecorder({0: 5.0})
+        recorder.record_occupancy(OccupancySample(time=1.0, counts={"safe": 3}, awake=1, asleep=2))
+        assert len(recorder.occupancy) == 1
+        assert recorder.occupancy[0].counts["safe"] == 3
+
+
+class TestRunSummary:
+    def test_headline_metrics_exposed(self):
+        summary = RunSummary(
+            scheduler="PAS",
+            scenario={"num_nodes": 30},
+            duration_s=60.0,
+            delay=make_delay_stats(1.5),
+            energy=make_energy_stats(2.5),
+            messages={"tx_messages": 100},
+        )
+        assert summary.average_delay_s == 1.5
+        assert summary.average_energy_j == 2.5
+
+    def test_as_dict_flattens_sections(self):
+        summary = RunSummary(
+            scheduler="SAS",
+            scenario={"num_nodes": 30, "seed": 1},
+            duration_s=60.0,
+            delay=make_delay_stats(),
+            energy=make_energy_stats(),
+            messages={"tx_messages": 10},
+            extra={"events_processed": 500},
+        )
+        row = summary.as_dict()
+        assert row["scheduler"] == "SAS"
+        assert row["scenario.num_nodes"] == 30
+        assert row["delay.mean_s"] == 1.0
+        assert row["energy.mean_j"] == 2.0
+        assert row["messages.tx_messages"] == 10
+        assert row["extra.events_processed"] == 500
+
+
+class TestFormatTable:
+    def test_renders_columns_and_rows(self):
+        text = format_table(
+            [{"a": 1, "b": 2.34567}, {"a": 10, "b": 0.5}], columns=["a", "b"]
+        )
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "2.346" in text
+        assert "10" in text
+
+    def test_empty_rows(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_columns_inferred_from_first_row(self):
+        text = format_table([{"x": 1, "y": 2}])
+        assert text.splitlines()[0].split() == ["x", "y"]
+
+    def test_missing_cell_rendered_empty(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert "3" in text

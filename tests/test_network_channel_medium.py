@@ -1,0 +1,161 @@
+"""Unit tests for channel models and the broadcast medium."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.vec import Vec2
+from repro.network.channel import LossyChannel, PerfectChannel
+from repro.network.medium import BroadcastMedium
+from repro.network.messages import Request, Response
+from repro.network.topology import Topology
+from repro.node.sensor import SensorNode
+from repro.sim.engine import Simulator
+
+
+class TestChannels:
+    def test_perfect_channel_always_delivers(self):
+        ch = PerfectChannel()
+        assert all(ch.delivered(0, 1, d) for d in (0.0, 5.0, 100.0))
+        assert ch.extra_latency(0, 1, 5.0) == 0.0
+
+    def test_lossy_channel_zero_loss_always_delivers(self):
+        ch = LossyChannel(0.0, rng=np.random.default_rng(0))
+        assert all(ch.delivered(0, 1, 5.0) for _ in range(100))
+
+    def test_lossy_channel_full_loss_never_delivers(self):
+        ch = LossyChannel(1.0, rng=np.random.default_rng(0))
+        assert not any(ch.delivered(0, 1, 5.0) for _ in range(100))
+
+    def test_lossy_channel_statistical_rate(self):
+        ch = LossyChannel(0.25, rng=np.random.default_rng(42))
+        delivered = sum(ch.delivered(0, 1, 5.0) for _ in range(4000))
+        assert delivered / 4000 == pytest.approx(0.75, abs=0.03)
+
+    def test_distance_factor_increases_loss(self):
+        ch = LossyChannel(0.1, distance_factor=0.05)
+        assert ch.link_loss_probability(0.0) == pytest.approx(0.1)
+        assert ch.link_loss_probability(10.0) == pytest.approx(0.6)
+        assert ch.link_loss_probability(100.0) == 1.0
+
+    def test_jitter_bounded(self):
+        ch = LossyChannel(0.0, jitter_s=0.05, rng=np.random.default_rng(1))
+        latencies = [ch.extra_latency(0, 1, 5.0) for _ in range(100)]
+        assert all(0.0 <= lat <= 0.05 for lat in latencies)
+        assert max(latencies) > 0.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LossyChannel(1.5)
+        with pytest.raises(ValueError):
+            LossyChannel(0.1, distance_factor=-1.0)
+        with pytest.raises(ValueError):
+            LossyChannel(0.1, jitter_s=-0.1)
+
+
+def build_medium(num_nodes=3, spacing=5.0, tx_range=10.0, channel=None):
+    sim = Simulator()
+    positions = np.array([[i * spacing, 0.0] for i in range(num_nodes)])
+    nodes = {i: SensorNode(i, Vec2(*positions[i])) for i in range(num_nodes)}
+    topo = Topology(positions, transmission_range=tx_range)
+    medium = BroadcastMedium(sim, topo, nodes, channel=channel)
+    return sim, nodes, medium
+
+
+class TestBroadcastMedium:
+    def test_broadcast_reaches_awake_neighbours(self):
+        sim, nodes, medium = build_medium()
+        received = []
+        medium.register_handler(1, lambda nid, msg: received.append((nid, msg.sender_id)))
+        medium.register_handler(2, lambda nid, msg: received.append((nid, msg.sender_id)))
+        count = medium.broadcast(0, Request(sender_id=0, timestamp=0.0))
+        sim.run()
+        # Node 1 (5 m) and node 2 (10 m) are both within the 10 m range.
+        assert count == 2
+        assert (1, 0) in received
+        assert (2, 0) in received
+
+    def test_sleeping_neighbour_not_reached(self):
+        sim, nodes, medium = build_medium()
+        received = []
+        medium.register_handler(1, lambda nid, msg: received.append(nid))
+        nodes[1].go_to_sleep(0.0)
+        medium.broadcast(0, Request(sender_id=0, timestamp=0.0))
+        sim.run()
+        assert received == []
+        assert medium.stats.skipped_sleeping >= 1
+
+    def test_failed_sender_transmits_nothing(self):
+        sim, nodes, medium = build_medium()
+        nodes[0].fail(0.0)
+        count = medium.broadcast(0, Request(sender_id=0, timestamp=0.0))
+        assert count == 0
+        assert medium.stats.broadcasts == 0
+
+    def test_failed_receiver_skipped(self):
+        sim, nodes, medium = build_medium()
+        nodes[1].fail(0.0)
+        medium.broadcast(0, Request(sender_id=0, timestamp=0.0))
+        sim.run()
+        assert medium.stats.skipped_failed >= 1
+
+    def test_tx_energy_charged_once_rx_per_receiver(self):
+        sim, nodes, medium = build_medium(num_nodes=3, spacing=4.0)
+        for i in (1, 2):
+            medium.register_handler(i, lambda nid, msg: None)
+        medium.broadcast(0, Response(sender_id=0, timestamp=0.0))
+        sim.run()
+        assert nodes[0].radio.stats.tx_messages == 1
+        assert nodes[1].radio.stats.rx_messages == 1
+        assert nodes[2].radio.stats.rx_messages == 1
+        assert nodes[0].energy.breakdown.tx_j > 0
+        assert nodes[1].energy.breakdown.rx_j > 0
+
+    def test_delivery_has_air_time_latency(self):
+        sim, nodes, medium = build_medium()
+        delivery_times = []
+        medium.register_handler(1, lambda nid, msg: delivery_times.append(sim.now))
+        medium.broadcast(0, Response(sender_id=0, timestamp=0.0))
+        sim.run()
+        assert delivery_times and delivery_times[0] > 0.0
+
+    def test_lossy_channel_drops_recorded(self):
+        sim, nodes, medium = build_medium(channel=LossyChannel(1.0, rng=np.random.default_rng(0)))
+        medium.register_handler(1, lambda nid, msg: None)
+        medium.broadcast(0, Request(sender_id=0, timestamp=0.0))
+        sim.run()
+        assert medium.stats.losses >= 1
+        assert medium.stats.deliveries == 0
+        assert nodes[1].radio.stats.dropped_rx >= 1
+
+    def test_receiver_asleep_at_delivery_time_misses_frame(self):
+        sim, nodes, medium = build_medium(num_nodes=2)
+        medium.register_handler(1, lambda nid, msg: None)
+        medium.broadcast(0, Response(sender_id=0, timestamp=0.0))
+        # Node 1 falls asleep before the frame lands (air time ~2 ms).
+        nodes[1].go_to_sleep(0.0)
+        sim.run()
+        assert medium.stats.deliveries == 0
+
+    def test_tap_sees_deliveries(self):
+        sim, nodes, medium = build_medium()
+        taps = []
+        medium.register_handler(1, lambda nid, msg: None)
+        medium.add_tap(lambda s, r, m: taps.append((s, r)))
+        medium.broadcast(0, Request(sender_id=0, timestamp=0.0))
+        sim.run()
+        assert (0, 1) in taps
+
+    def test_register_handler_unknown_node(self):
+        _, _, medium = build_medium()
+        with pytest.raises(KeyError):
+            medium.register_handler(99, lambda nid, msg: None)
+
+    def test_stats_as_dict_keys(self):
+        _, _, medium = build_medium()
+        assert set(medium.stats.as_dict()) == {
+            "broadcasts",
+            "deliveries",
+            "losses",
+            "skipped_sleeping",
+            "skipped_failed",
+        }

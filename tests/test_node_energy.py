@@ -1,0 +1,114 @@
+"""Unit tests for power models and energy accounting."""
+
+import pytest
+
+from repro.node.energy import (
+    TELOS_POWER,
+    EnergyAccount,
+    EnergyBreakdown,
+    PowerModel,
+    TelosPowerModel,
+)
+
+
+class TestTelosPowerModel:
+    def test_matches_paper_table1(self):
+        p = TelosPowerModel()
+        assert p.active_power_w == pytest.approx(3e-3)
+        assert p.sleep_power_w == pytest.approx(15e-6)
+        assert p.receive_power_w == pytest.approx(38e-3)
+        assert p.transmit_power_w == pytest.approx(35e-3)
+        assert p.data_rate_bps == pytest.approx(250_000.0)
+        assert p.total_active_power_w == pytest.approx(41e-3)
+
+    def test_module_singleton_is_telos(self):
+        assert isinstance(TELOS_POWER, TelosPowerModel)
+
+    def test_sleep_much_cheaper_than_active(self):
+        p = TelosPowerModel()
+        assert p.total_active_power_w / p.sleep_power_w > 1000
+
+
+class TestPowerModelValidation:
+    def test_rejects_non_positive_values(self):
+        with pytest.raises(ValueError):
+            PowerModel(0, 1e-6, 1e-3, 1e-3, 250e3, 2e-3)
+        with pytest.raises(ValueError):
+            PowerModel(1e-3, -1e-6, 1e-3, 1e-3, 250e3, 2e-3)
+
+    def test_rejects_sleep_above_active(self):
+        with pytest.raises(ValueError):
+            PowerModel(1e-3, 5e-3, 1e-3, 1e-3, 250e3, 2e-3)
+
+
+class TestTransmission:
+    def test_transmission_time_scales_with_bytes(self):
+        p = TelosPowerModel()
+        assert p.transmission_time(125) == pytest.approx(125 * 8 / 250_000)
+        assert p.transmission_time(0) == 0.0
+
+    def test_transmit_and_receive_energy(self):
+        p = TelosPowerModel()
+        t = p.transmission_time(50)
+        assert p.transmit_energy(50) == pytest.approx(35e-3 * t)
+        assert p.receive_energy(50) == pytest.approx(38e-3 * t)
+
+    def test_negative_bytes_rejected(self):
+        p = TelosPowerModel()
+        with pytest.raises(ValueError):
+            p.transmission_time(-1)
+
+
+class TestEnergyAccount:
+    def test_active_time_charged_at_total_active_power(self):
+        acc = EnergyAccount()
+        energy = acc.add_active_time(100.0)
+        assert energy == pytest.approx(41e-3 * 100.0)
+        assert acc.breakdown.active_j == pytest.approx(energy)
+
+    def test_sleep_time_charged_at_sleep_power(self):
+        acc = EnergyAccount()
+        energy = acc.add_sleep_time(1000.0)
+        assert energy == pytest.approx(15e-6 * 1000.0)
+
+    def test_tx_rx_charges(self):
+        acc = EnergyAccount()
+        acc.add_tx(65)
+        acc.add_rx(65)
+        assert acc.breakdown.tx_j == pytest.approx(35e-3 * 65 * 8 / 250e3)
+        assert acc.breakdown.rx_j == pytest.approx(38e-3 * 65 * 8 / 250e3)
+
+    def test_total_is_sum_of_components(self):
+        acc = EnergyAccount()
+        acc.add_active_time(10.0)
+        acc.add_sleep_time(90.0)
+        acc.add_tx(50)
+        acc.add_rx(50)
+        expected = (
+            acc.breakdown.active_j
+            + acc.breakdown.sleep_j
+            + acc.breakdown.tx_j
+            + acc.breakdown.rx_j
+        )
+        assert acc.total_j == pytest.approx(expected)
+
+    def test_negative_duration_rejected(self):
+        acc = EnergyAccount()
+        with pytest.raises(ValueError):
+            acc.add_active_time(-1.0)
+        with pytest.raises(ValueError):
+            acc.add_sleep_time(-1.0)
+
+    def test_sleeping_cheaper_than_active_for_same_duration(self):
+        awake, asleep = EnergyAccount(), EnergyAccount()
+        awake.add_active_time(60.0)
+        asleep.add_sleep_time(60.0)
+        assert asleep.total_j < awake.total_j / 100
+
+
+class TestEnergyBreakdown:
+    def test_as_dict_contains_total(self):
+        b = EnergyBreakdown(active_j=1.0, sleep_j=0.5, rx_j=0.25, tx_j=0.25)
+        d = b.as_dict()
+        assert d["total_j"] == pytest.approx(2.0)
+        assert set(d) == {"active_j", "sleep_j", "rx_j", "tx_j", "total_j"}

@@ -1,0 +1,131 @@
+"""Unit tests for the radio model, sensing models and battery."""
+
+import numpy as np
+import pytest
+
+from repro.node.battery import DEFAULT_CAPACITY_J, Battery
+from repro.node.energy import EnergyAccount
+from repro.node.radio import RadioModel
+from repro.node.sensing import NoisySensing, PerfectSensing
+from repro.stimulus.circular import CircularFrontStimulus
+
+
+class TestRadioModel:
+    def test_frame_bytes_adds_header(self):
+        radio = RadioModel(energy=EnergyAccount(), header_bytes=15)
+        assert radio.frame_bytes(50) == 65
+        assert radio.frame_bytes(0) == 15
+
+    def test_transmit_charges_energy_and_counts(self):
+        acc = EnergyAccount()
+        radio = RadioModel(energy=acc)
+        air_time = radio.transmit(50)
+        assert air_time == pytest.approx(65 * 8 / 250e3)
+        assert acc.breakdown.tx_j > 0
+        assert radio.stats.tx_messages == 1
+        assert radio.stats.tx_bytes == 65
+
+    def test_receive_charges_energy_and_counts(self):
+        acc = EnergyAccount()
+        radio = RadioModel(energy=acc)
+        radio.receive(50)
+        assert acc.breakdown.rx_j > 0
+        assert radio.stats.rx_messages == 1
+
+    def test_drop_counts_losses(self):
+        radio = RadioModel(energy=EnergyAccount())
+        radio.drop()
+        radio.drop()
+        assert radio.stats.dropped_rx == 2
+
+    def test_air_time_does_not_charge(self):
+        acc = EnergyAccount()
+        radio = RadioModel(energy=acc)
+        radio.air_time(100)
+        assert acc.total_j == 0.0
+
+    def test_negative_payload_rejected(self):
+        radio = RadioModel(energy=EnergyAccount())
+        with pytest.raises(ValueError):
+            radio.frame_bytes(-1)
+
+    def test_invalid_header_rejected(self):
+        with pytest.raises(ValueError):
+            RadioModel(energy=EnergyAccount(), header_bytes=-1)
+
+    def test_stats_as_dict(self):
+        radio = RadioModel(energy=EnergyAccount())
+        radio.transmit(10)
+        d = radio.stats.as_dict()
+        assert d["tx_messages"] == 1 and d["rx_messages"] == 0
+
+
+class TestSensing:
+    def test_perfect_sensing_matches_truth(self):
+        stim = CircularFrontStimulus((0, 0), speed=1.0)
+        sensing = PerfectSensing()
+        assert sensing.sense(stim, (1.0, 0.0), 2.0)
+        assert not sensing.sense(stim, (10.0, 0.0), 2.0)
+
+    def test_noisy_sensing_zero_noise_equals_perfect(self):
+        stim = CircularFrontStimulus((0, 0), speed=1.0)
+        sensing = NoisySensing(0.0, 0.0, rng=np.random.default_rng(0))
+        assert sensing.sense(stim, (1.0, 0.0), 2.0)
+        assert not sensing.sense(stim, (10.0, 0.0), 2.0)
+
+    def test_noisy_sensing_always_misses_with_probability_one(self):
+        stim = CircularFrontStimulus((0, 0), speed=1.0)
+        sensing = NoisySensing(1.0, 0.0, rng=np.random.default_rng(0))
+        assert not any(sensing.sense(stim, (1.0, 0.0), 5.0) for _ in range(20))
+
+    def test_noisy_sensing_false_alarm_probability_one(self):
+        stim = CircularFrontStimulus((0, 0), speed=1.0)
+        sensing = NoisySensing(0.0, 1.0, rng=np.random.default_rng(0))
+        assert all(sensing.sense(stim, (100.0, 0.0), 1.0) for _ in range(20))
+
+    def test_noisy_sensing_statistical_miss_rate(self):
+        stim = CircularFrontStimulus((0, 0), speed=1.0)
+        sensing = NoisySensing(0.3, 0.0, rng=np.random.default_rng(42))
+        observations = [sensing.sense(stim, (1.0, 0.0), 5.0) for _ in range(2000)]
+        miss_rate = 1.0 - sum(observations) / len(observations)
+        assert miss_rate == pytest.approx(0.3, abs=0.05)
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(ValueError):
+            NoisySensing(miss_probability=1.5)
+        with pytest.raises(ValueError):
+            NoisySensing(false_alarm_probability=-0.1)
+
+
+class TestBattery:
+    def test_default_capacity_is_two_aa_cells(self):
+        b = Battery()
+        assert b.capacity_j == pytest.approx(DEFAULT_CAPACITY_J)
+        assert b.fraction_remaining == 1.0
+
+    def test_draw_reduces_remaining(self):
+        b = Battery(capacity_j=100.0)
+        assert b.draw(30.0)
+        assert b.remaining_j == pytest.approx(70.0)
+        assert b.fraction_remaining == pytest.approx(0.7)
+
+    def test_depletion_records_time(self):
+        b = Battery(capacity_j=10.0)
+        assert b.draw(5.0, time=1.0)
+        assert not b.draw(6.0, time=2.0)
+        assert b.depleted
+        assert b.depleted_at == 2.0
+        assert b.remaining_j == 0.0
+
+    def test_estimate_lifetime(self):
+        b = Battery(capacity_j=100.0)
+        assert b.estimate_lifetime_s(2.0) == pytest.approx(50.0)
+        with pytest.raises(ValueError):
+            b.estimate_lifetime_s(0.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            Battery(capacity_j=0.0)
+        b = Battery(capacity_j=10.0)
+        with pytest.raises(ValueError):
+            b.draw(-1.0)

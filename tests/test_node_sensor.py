@@ -1,0 +1,99 @@
+"""Unit tests for the SensorNode shell (power states + energy settlement)."""
+
+import pytest
+
+from repro.geometry.vec import Vec2
+from repro.node.battery import Battery
+from repro.node.sensor import PowerState, SensorNode
+
+
+class TestPowerStates:
+    def test_starts_awake(self, make_node):
+        node = make_node(0)
+        assert node.is_awake
+        assert node.power_state is PowerState.AWAKE
+
+    def test_sleep_and_wake_cycle(self, make_node):
+        node = make_node(0)
+        node.go_to_sleep(10.0)
+        assert not node.is_awake
+        node.wake_up(20.0)
+        assert node.is_awake
+
+    def test_redundant_transitions_are_noops(self, make_node):
+        node = make_node(0)
+        node.wake_up(5.0)  # already awake
+        node.go_to_sleep(10.0)
+        node.go_to_sleep(12.0)  # already asleep: no state change, no settle
+        assert node.power_state is PowerState.ASLEEP
+
+    def test_failed_node_cannot_be_revived(self, make_node):
+        node = make_node(0)
+        node.fail(5.0)
+        assert node.is_failed
+        with pytest.raises(ValueError):
+            node.wake_up(6.0)
+        with pytest.raises(ValueError):
+            node.set_power_state(PowerState.ASLEEP, 6.0)
+
+
+class TestEnergySettlement:
+    def test_awake_time_charged_at_active_power(self, make_node):
+        node = make_node(0)
+        node.settle_energy(100.0)
+        assert node.energy.breakdown.active_j == pytest.approx(41e-3 * 100.0)
+        assert node.awake_time_s == pytest.approx(100.0)
+
+    def test_sleep_time_charged_at_sleep_power(self, make_node):
+        node = make_node(0)
+        node.go_to_sleep(0.0)
+        node.settle_energy(100.0)
+        assert node.energy.breakdown.sleep_j == pytest.approx(15e-6 * 100.0)
+        assert node.asleep_time_s == pytest.approx(100.0)
+
+    def test_transition_settles_previous_state(self, make_node):
+        node = make_node(0)
+        node.go_to_sleep(10.0)  # 10 s awake charged
+        node.wake_up(30.0)      # 20 s asleep charged
+        node.settle_energy(35.0)  # 5 s awake charged
+        assert node.awake_time_s == pytest.approx(15.0)
+        assert node.asleep_time_s == pytest.approx(20.0)
+
+    def test_failed_node_draws_nothing(self, make_node):
+        node = make_node(0)
+        node.fail(10.0)
+        before = node.energy.total_j
+        node.settle_energy(1000.0)
+        assert node.energy.total_j == before
+
+    def test_settle_backwards_raises(self, make_node):
+        node = make_node(0)
+        node.settle_energy(10.0)
+        with pytest.raises(ValueError):
+            node.settle_energy(5.0)
+
+    def test_battery_drained_by_settlement(self):
+        node = SensorNode(0, Vec2(0, 0), battery=Battery(capacity_j=1.0))
+        node.settle_energy(10.0)
+        assert node.battery.consumed_j == pytest.approx(41e-3 * 10.0)
+
+    def test_battery_depletion_recorded(self):
+        node = SensorNode(0, Vec2(0, 0), battery=Battery(capacity_j=0.1))
+        node.settle_energy(10.0)  # 0.41 J >> 0.1 J capacity
+        assert node.battery.depleted
+        assert node.battery.depleted_at == 10.0
+
+
+class TestMisc:
+    def test_distance_to(self, make_node):
+        a = make_node(0, 0.0, 0.0)
+        b = make_node(1, 3.0, 4.0)
+        assert a.distance_to(b) == pytest.approx(5.0)
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            SensorNode(-1, Vec2(0, 0))
+
+    def test_radio_header_configurable(self, make_node):
+        node = make_node(0, radio_header_bytes=20)
+        assert node.radio.frame_bytes(0) == 20

@@ -1,0 +1,296 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.arrival import arrival_time_from_neighbor, expected_arrival_time, time_to_arrival
+from repro.core.neighbors import NeighborInfo
+from repro.core.sleep_policy import ExponentialSleepPolicy, LinearSleepPolicy
+from repro.core.states import ProtocolState
+from repro.core.velocity import actual_velocity, expected_velocity
+from repro.geometry.spatial_index import GridIndex
+from repro.geometry.vec import Vec2, angle_between
+from repro.node.energy import EnergyAccount
+from repro.sim.engine import Simulator
+from repro.stimulus.circular import CircularFrontStimulus
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+small_floats = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False)
+positive_floats = st.floats(min_value=1e-3, max_value=1e3, allow_nan=False, allow_infinity=False)
+
+
+class TestVectorProperties:
+    @given(small_floats, small_floats, small_floats, small_floats)
+    def test_addition_commutes(self, ax, ay, bx, by):
+        a, b = Vec2(ax, ay), Vec2(bx, by)
+        assert (a + b).x == (b + a).x
+        assert (a + b).y == (b + a).y
+
+    @given(small_floats, small_floats, small_floats, small_floats)
+    def test_triangle_inequality(self, ax, ay, bx, by):
+        a, b = Vec2(ax, ay), Vec2(bx, by)
+        assert (a + b).norm() <= a.norm() + b.norm() + 1e-9
+
+    @given(small_floats, small_floats)
+    def test_norm_non_negative_and_scales(self, x, y):
+        v = Vec2(x, y)
+        assert v.norm() >= 0
+        assert (v * 3.0).norm() == np.float64(3.0 * v.norm()) or math.isclose(
+            (v * 3.0).norm(), 3.0 * v.norm(), rel_tol=1e-9, abs_tol=1e-12
+        )
+
+    @given(small_floats, small_floats, small_floats, small_floats)
+    def test_angle_between_bounds_and_symmetry(self, ax, ay, bx, by):
+        a, b = Vec2(ax, ay), Vec2(bx, by)
+        if a.norm() < 1e-9 or b.norm() < 1e-9:
+            return
+        theta = angle_between(a, b)
+        assert 0.0 <= theta <= math.pi + 1e-12
+        assert math.isclose(theta, angle_between(b, a), abs_tol=1e-9)
+
+    @given(small_floats, small_floats)
+    def test_rotation_preserves_norm(self, x, y):
+        v = Vec2(x, y)
+        assert math.isclose(v.rotated(1.234).norm(), v.norm(), rel_tol=1e-9, abs_tol=1e-9)
+
+
+class TestEventOrderingProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e4, allow_nan=False), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_events_fire_in_nondecreasing_time_order(self, times):
+        sim = Simulator()
+        fired = []
+        for t in times:
+            sim.schedule_at(t, lambda t=t: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(times)
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100.0, allow_nan=False), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_run_until_never_overshoots_pending_events(self, delays):
+        sim = Simulator()
+        for d in delays:
+            sim.schedule_in(d, lambda: None)
+        horizon = max(delays) / 2.0
+        sim.run(until=horizon)
+        assert sim.now == horizon
+
+
+class TestSpatialIndexProperties:
+    @given(
+        st.integers(min_value=1, max_value=80),
+        st.floats(min_value=0.5, max_value=30.0, allow_nan=False),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_query_radius_matches_brute_force(self, n, radius, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(0, 100, size=(n, 2))
+        index = GridIndex(pts, cell_size=max(radius, 1.0))
+        center = rng.uniform(0, 100, size=2)
+        got = set(index.query_radius(center, radius).tolist())
+        d2 = np.sum((pts - center) ** 2, axis=1)
+        expected = set(np.where(d2 <= radius * radius + 1e-12)[0].tolist())
+        assert got == expected
+
+
+class TestStimulusProperties:
+    @given(
+        st.floats(min_value=0.1, max_value=5.0, allow_nan=False),
+        small_floats,
+        small_floats,
+        st.floats(min_value=0.0, max_value=200.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_coverage_monotone_in_time(self, speed, px, py, t):
+        s = CircularFrontStimulus((0, 0), speed=speed)
+        if s.covers((px, py), t):
+            assert s.covers((px, py), t + 1.0)
+            assert s.covers((px, py), t + 100.0)
+
+    @given(
+        st.floats(min_value=0.1, max_value=5.0, allow_nan=False),
+        small_floats,
+        small_floats,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_arrival_time_is_coverage_boundary(self, speed, px, py):
+        s = CircularFrontStimulus((0, 0), speed=speed)
+        t = s.arrival_time((px, py))
+        assert math.isfinite(t)
+        assert s.covers((px, py), t + 1e-6)
+        if t > 1e-6:
+            assert not s.covers((px, py), t * 0.99 - 1e-9)
+
+
+class TestSleepPolicyProperties:
+    @given(
+        st.floats(min_value=0.1, max_value=5.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+        st.integers(min_value=1, max_value=50),
+    )
+    def test_linear_policy_bounded_and_monotone(self, base, increment, steps):
+        max_interval = base + 10.0
+        policy = LinearSleepPolicy(base, max_interval, increment)
+        values = [policy.next_interval() for _ in range(steps)]
+        assert all(base <= v <= max_interval for v in values)
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    @given(st.floats(min_value=0.1, max_value=5.0, allow_nan=False), st.integers(min_value=1, max_value=30))
+    def test_exponential_policy_bounded(self, base, steps):
+        max_interval = base * 7
+        policy = ExponentialSleepPolicy(base, max_interval)
+        values = [policy.next_interval() for _ in range(steps)]
+        assert all(base <= v <= max_interval for v in values)
+
+    @given(
+        st.floats(min_value=0.1, max_value=5.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+    )
+    def test_reset_restores_base(self, base, increment):
+        policy = LinearSleepPolicy(base, base + 20.0, increment)
+        for _ in range(5):
+            policy.next_interval()
+        policy.reset()
+        assert policy.next_interval() == base
+
+
+class TestArrivalEstimationProperties:
+    @given(
+        small_floats,
+        small_floats,
+        st.floats(min_value=0.05, max_value=10.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_per_neighbor_estimate_never_before_reference_time(self, px, py, speed, detection_time):
+        info = NeighborInfo(
+            node_id=1,
+            position=Vec2(0.0, 0.0),
+            state=ProtocolState.COVERED,
+            velocity=Vec2(speed, 0.0),
+            detection_time=detection_time,
+            report_time=detection_time,
+        )
+        estimate = arrival_time_from_neighbor(Vec2(px, py), info, now=detection_time)
+        if math.isfinite(estimate):
+            assert estimate >= detection_time - 1e-9
+
+    @given(
+        st.lists(
+            st.tuples(
+                small_floats,
+                small_floats,
+                st.floats(min_value=0.05, max_value=10.0, allow_nan=False),
+                st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+            ),
+            min_size=0,
+            max_size=8,
+        ),
+        small_floats,
+        small_floats,
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_expected_arrival_never_in_past_and_min_over_neighbors(self, reports, px, py, now):
+        neighbors = [
+            NeighborInfo(
+                node_id=i,
+                position=Vec2(x, y),
+                state=ProtocolState.COVERED,
+                velocity=Vec2(speed, 0.0),
+                detection_time=det,
+                report_time=det,
+            )
+            for i, (x, y, speed, det) in enumerate(reports)
+        ]
+        estimate = expected_arrival_time(Vec2(px, py), neighbors, now)
+        assert estimate >= now or math.isinf(estimate)
+        per_neighbor = [
+            arrival_time_from_neighbor(Vec2(px, py), n, now) for n in neighbors
+        ]
+        finite = [e for e in per_neighbor if math.isfinite(e)]
+        if finite:
+            assert math.isclose(estimate, max(now, min(finite)), rel_tol=1e-9, abs_tol=1e-9)
+        else:
+            assert math.isinf(estimate)
+
+    @given(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    def test_time_to_arrival_non_negative(self, predicted, now):
+        assert time_to_arrival(predicted, now) >= 0.0
+
+
+class TestVelocityEstimationProperties:
+    @given(
+        st.lists(
+            st.tuples(small_floats, small_floats, st.floats(min_value=0.0, max_value=20.0, allow_nan=False)),
+            min_size=0,
+            max_size=8,
+        ),
+        small_floats,
+        small_floats,
+        st.floats(min_value=21.0, max_value=100.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_actual_velocity_none_or_finite(self, neighbors, px, py, detection_time):
+        infos = [
+            NeighborInfo(
+                node_id=i,
+                position=Vec2(x, y),
+                state=ProtocolState.COVERED,
+                detection_time=det,
+                report_time=det,
+            )
+            for i, (x, y, det) in enumerate(neighbors)
+        ]
+        estimate = actual_velocity(Vec2(px, py), detection_time, infos)
+        if estimate is not None:
+            assert math.isfinite(estimate.x) and math.isfinite(estimate.y)
+
+    @given(
+        st.lists(st.tuples(small_floats, small_floats), min_size=1, max_size=10)
+    )
+    def test_expected_velocity_within_convex_hull_of_inputs(self, velocities):
+        infos = [
+            NeighborInfo(
+                node_id=i,
+                position=Vec2(0, 0),
+                state=ProtocolState.ALERT,
+                velocity=Vec2(vx, vy),
+                report_time=0.0,
+            )
+            for i, (vx, vy) in enumerate(velocities)
+        ]
+        mean = expected_velocity(infos)
+        xs = [v[0] for v in velocities]
+        ys = [v[1] for v in velocities]
+        assert min(xs) - 1e-9 <= mean.x <= max(xs) + 1e-9
+        assert min(ys) - 1e-9 <= mean.y <= max(ys) + 1e-9
+
+
+class TestEnergyAccountProperties:
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1e4, allow_nan=False), min_size=1, max_size=20),
+        st.lists(st.integers(min_value=0, max_value=1000), min_size=0, max_size=20),
+    )
+    def test_total_equals_sum_of_components(self, durations, payloads):
+        acc = EnergyAccount()
+        for i, d in enumerate(durations):
+            if i % 2 == 0:
+                acc.add_active_time(d)
+            else:
+                acc.add_sleep_time(d)
+        for i, p in enumerate(payloads):
+            if i % 2 == 0:
+                acc.add_tx(p)
+            else:
+                acc.add_rx(p)
+        b = acc.breakdown
+        assert math.isclose(acc.total_j, b.active_j + b.sleep_j + b.rx_j + b.tx_j, rel_tol=1e-12)
+        assert acc.total_j >= 0

@@ -1,0 +1,125 @@
+"""Property-based tests on the network substrate and energy accounting."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.vec import Vec2
+from repro.network.channel import LossyChannel
+from repro.network.topology import Topology
+from repro.node.energy import TelosPowerModel
+from repro.node.sensor import SensorNode
+
+
+class TestTopologyProperties:
+    @given(
+        st.integers(min_value=1, max_value=40),
+        st.floats(min_value=1.0, max_value=30.0, allow_nan=False),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_neighbourhood_symmetry(self, n, tx_range, seed):
+        rng = np.random.default_rng(seed)
+        positions = rng.uniform(0, 60, size=(n, 2))
+        topo = Topology(positions, transmission_range=tx_range)
+        for i in range(n):
+            for j in topo.neighbours(i):
+                assert i in topo.neighbours(j)
+                assert topo.distance(i, j) <= tx_range + 1e-9
+
+    @given(
+        st.integers(min_value=2, max_value=30),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_larger_range_never_loses_edges(self, n, seed):
+        rng = np.random.default_rng(seed)
+        positions = rng.uniform(0, 50, size=(n, 2))
+        small = Topology(positions, transmission_range=8.0)
+        large = Topology(positions, transmission_range=16.0)
+        assert set(small.edges()) <= set(large.edges())
+        assert large.average_degree() >= small.average_degree()
+
+    @given(
+        st.integers(min_value=1, max_value=30),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_components_partition_the_nodes(self, n, seed):
+        rng = np.random.default_rng(seed)
+        positions = rng.uniform(0, 80, size=(n, 2))
+        topo = Topology(positions, transmission_range=10.0)
+        components = topo.connected_components()
+        union = set()
+        total = 0
+        for component in components:
+            assert not (union & component)
+            union |= component
+            total += len(component)
+        assert union == set(range(n))
+        assert total == n
+
+
+class TestChannelProperties:
+    @given(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=0.2, allow_nan=False),
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+    )
+    def test_link_loss_probability_stays_in_unit_interval(self, base, factor, distance):
+        channel = LossyChannel(base, distance_factor=factor, rng=np.random.default_rng(0))
+        p = channel.link_loss_probability(distance)
+        assert 0.0 <= p <= 1.0
+
+    @given(st.floats(min_value=0.0, max_value=50.0, allow_nan=False))
+    def test_loss_probability_monotone_in_distance(self, distance):
+        channel = LossyChannel(0.1, distance_factor=0.01, rng=np.random.default_rng(0))
+        assert channel.link_loss_probability(distance + 5.0) >= channel.link_loss_probability(
+            distance
+        )
+
+
+class TestEnergyProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["awake", "asleep"]),
+                st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_node_energy_monotone_and_time_conserving(self, schedule):
+        node = SensorNode(0, Vec2(0, 0))
+        now = 0.0
+        previous_energy = 0.0
+        for state, duration in schedule:
+            if state == "awake":
+                node.wake_up(now)
+            else:
+                node.go_to_sleep(now)
+            now += duration
+        node.settle_energy(now)
+        assert node.awake_time_s + node.asleep_time_s == np.float64(now) or math.isclose(
+            node.awake_time_s + node.asleep_time_s, now, rel_tol=1e-9
+        )
+        assert node.energy.total_j >= previous_energy
+        # Energy is bounded by "always awake" and below by "always asleep".
+        power = TelosPowerModel()
+        assert node.energy.total_j <= power.total_active_power_w * now + 1e-9
+        assert node.energy.total_j >= power.sleep_power_w * now - 1e-9
+
+    @given(
+        st.floats(min_value=0.1, max_value=1000.0, allow_nan=False),
+        st.integers(min_value=0, max_value=500),
+    )
+    def test_radio_energy_scales_linearly_with_traffic(self, duration, messages):
+        node = SensorNode(0, Vec2(0, 0))
+        for _ in range(messages):
+            node.radio.transmit(50)
+        expected = messages * node.energy.power.transmit_energy(node.radio.frame_bytes(50))
+        assert math.isclose(node.energy.breakdown.tx_j, expected, rel_tol=1e-9, abs_tol=1e-12)

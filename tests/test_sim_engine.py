@@ -1,0 +1,190 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator, StopSimulation
+
+
+class TestScheduling:
+    def test_schedule_at_and_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(2.0, lambda: fired.append(sim.now))
+        sim.schedule_at(1.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [1.0, 2.0]
+
+    def test_schedule_in_uses_relative_delay(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_in(0.5, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [0.5]
+
+    def test_schedule_in_from_within_event(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            sim.schedule_in(1.0, lambda: fired.append(sim.now))
+
+        sim.schedule_at(1.0, first)
+        sim.run()
+        assert fired == [2.0]
+
+    def test_scheduling_in_past_raises(self):
+        sim = Simulator(start_time=5.0)
+        with pytest.raises(ValueError):
+            sim.schedule_at(4.0, lambda: None)
+
+    def test_negative_delay_raises(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule_in(-0.1, lambda: None)
+
+    def test_negative_start_time_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator(start_time=-1.0)
+
+    def test_schedule_at_now_is_allowed(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(0.0, lambda: fired.append(True))
+        sim.run()
+        assert fired == [True]
+
+
+class TestRun:
+    def test_run_until_advances_clock_to_until(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        end = sim.run(until=10.0)
+        assert end == 10.0
+        assert sim.now == 10.0
+
+    def test_run_until_does_not_fire_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(5.0, lambda: fired.append(5))
+        sim.schedule_at(15.0, lambda: fired.append(15))
+        sim.run(until=10.0)
+        assert fired == [5]
+        assert sim.pending_events == 1
+
+    def test_run_until_before_now_raises(self):
+        sim = Simulator(start_time=5.0)
+        with pytest.raises(ValueError):
+            sim.run(until=1.0)
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule_at(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_step_processes_single_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append(1))
+        sim.schedule_at(2.0, lambda: fired.append(2))
+        assert sim.step() is True
+        assert fired == [1]
+        assert sim.step() is True
+        assert sim.step() is False
+
+    def test_max_events_limits_processing(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule_at(float(i), lambda: None)
+        sim.run(max_events=3)
+        assert sim.events_processed == 3
+
+    def test_stop_simulation_exception_stops_cleanly(self):
+        sim = Simulator()
+        fired = []
+
+        def stopper():
+            fired.append("stop")
+            raise StopSimulation()
+
+        sim.schedule_at(1.0, stopper)
+        sim.schedule_at(2.0, lambda: fired.append("late"))
+        sim.run(until=10.0)
+        assert fired == ["stop"]
+        # The clock stays at the stop point rather than jumping to `until`.
+        assert sim.now == 1.0
+
+    def test_callback_exception_wrapped_in_simulation_error(self):
+        sim = Simulator()
+
+        def boom():
+            raise RuntimeError("kaboom")
+
+        sim.schedule_at(1.0, boom, name="exploding")
+        with pytest.raises(SimulationError, match="exploding"):
+            sim.run()
+
+    def test_run_is_not_reentrant(self):
+        sim = Simulator()
+        errors = []
+
+        def nested():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(exc)
+                raise
+
+        sim.schedule_at(1.0, nested)
+        with pytest.raises(SimulationError):
+            sim.run()
+        assert errors
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule_at(1.0, lambda: fired.append(1))
+        sim.cancel(handle)
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule_at(1.0, lambda: None)
+        sim.cancel(handle)
+        sim.cancel(handle)
+        assert sim.pending_events == 0
+
+    def test_pending_events_tracks_cancellation(self):
+        sim = Simulator()
+        h1 = sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None)
+        assert sim.pending_events == 2
+        sim.cancel(h1)
+        assert sim.pending_events == 1
+
+    def test_clear_drops_all_events(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None)
+        sim.clear()
+        assert sim.pending_events == 0
+
+
+class TestHooks:
+    def test_trace_hook_called_per_event(self):
+        sim = Simulator()
+        trace = []
+        sim.add_trace_hook(lambda t, name: trace.append((t, name)))
+        sim.schedule_at(1.0, lambda: None, name="a")
+        sim.schedule_at(2.0, lambda: None, name="b")
+        sim.run()
+        assert trace == [(1.0, "a"), (2.0, "b")]
+
+    def test_context_dictionary_shared(self):
+        sim = Simulator()
+        sim.context["nodes"] = 30
+        assert sim.context["nodes"] == 30

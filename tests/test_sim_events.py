@@ -1,0 +1,123 @@
+"""Unit tests for the event queue primitives."""
+
+import pytest
+
+from repro.sim.events import Event, EventHandle, EventQueue
+
+
+class TestEventQueue:
+    def test_push_and_pop_in_time_order(self):
+        q = EventQueue()
+        fired = []
+        q.push(3.0, lambda: fired.append(3))
+        q.push(1.0, lambda: fired.append(1))
+        q.push(2.0, lambda: fired.append(2))
+        times = [q.pop().time for _ in range(3)]
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_same_time_events_fire_in_insertion_order(self):
+        q = EventQueue()
+        first = q.push(5.0, lambda: None, name="first")
+        second = q.push(5.0, lambda: None, name="second")
+        assert q.pop() is first
+        assert q.pop() is second
+
+    def test_priority_overrides_insertion_order(self):
+        q = EventQueue()
+        late = q.push(5.0, lambda: None, priority=1, name="late")
+        early = q.push(5.0, lambda: None, priority=0, name="early")
+        assert q.pop() is early
+        assert q.pop() is late
+
+    def test_len_counts_live_events(self):
+        q = EventQueue()
+        assert len(q) == 0
+        e = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        assert len(q) == 2
+        e.cancel()
+        q.note_cancelled()
+        assert len(q) == 1
+
+    def test_pop_skips_cancelled_events(self):
+        q = EventQueue()
+        e1 = q.push(1.0, lambda: None, name="cancelled")
+        e2 = q.push(2.0, lambda: None, name="kept")
+        e1.cancel()
+        q.note_cancelled()
+        assert q.pop() is e2
+
+    def test_pop_empty_raises(self):
+        q = EventQueue()
+        with pytest.raises(IndexError):
+            q.pop()
+
+    def test_pop_all_cancelled_raises(self):
+        q = EventQueue()
+        e = q.push(1.0, lambda: None)
+        e.cancel()
+        q.note_cancelled()
+        with pytest.raises(IndexError):
+            q.pop()
+
+    def test_peek_time_returns_next_live_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        e1 = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        assert q.peek_time() == 1.0
+        e1.cancel()
+        q.note_cancelled()
+        assert q.peek_time() == 2.0
+
+    def test_negative_time_rejected(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.push(-1.0, lambda: None)
+
+    def test_clear_empties_queue(self):
+        q = EventQueue()
+        q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        q.clear()
+        assert len(q) == 0
+        assert q.peek_time() is None
+
+    def test_bool_reflects_live_events(self):
+        q = EventQueue()
+        assert not q
+        q.push(1.0, lambda: None)
+        assert q
+
+    def test_iter_pending_excludes_cancelled(self):
+        q = EventQueue()
+        e1 = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        e1.cancel()
+        pending = list(q.iter_pending())
+        assert len(pending) == 1
+        assert pending[0].time == 2.0
+
+
+class TestEventHandle:
+    def test_handle_exposes_time_and_name(self):
+        q = EventQueue()
+        event = q.push(4.5, lambda: None, name="probe")
+        handle = EventHandle(event)
+        assert handle.time == 4.5
+        assert handle.name == "probe"
+        assert not handle.cancelled
+
+    def test_cancel_through_handle(self):
+        q = EventQueue()
+        event = q.push(1.0, lambda: None)
+        handle = EventHandle(event)
+        handle.cancel()
+        assert handle.cancelled
+        assert event.cancelled
+
+    def test_event_ordering_is_total(self):
+        a = Event(time=1.0, priority=0, sequence=0, callback=lambda: None)
+        b = Event(time=1.0, priority=0, sequence=1, callback=lambda: None)
+        assert a < b
+        assert not b < a

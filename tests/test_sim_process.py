@@ -1,0 +1,164 @@
+"""Unit tests for the generator-based process layer."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.process import Process, ProcessState, Signal, sleep, wait_event
+
+
+class TestSleepCommand:
+    def test_sleep_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            sleep(-1.0)
+
+    def test_process_sleeps_and_resumes(self):
+        sim = Simulator()
+        timeline = []
+
+        def behaviour():
+            timeline.append(("start", sim.now))
+            yield sleep(2.0)
+            timeline.append(("woke", sim.now))
+            yield sleep(3.0)
+            timeline.append(("done", sim.now))
+
+        proc = Process(sim, behaviour(), name="sleeper")
+        sim.run()
+        assert timeline == [("start", 0.0), ("woke", 2.0), ("done", 5.0)]
+        assert proc.state is ProcessState.FINISHED
+
+    def test_process_result_captured(self):
+        sim = Simulator()
+
+        def behaviour():
+            yield sleep(1.0)
+            return 42
+
+        proc = Process(sim, behaviour())
+        sim.run()
+        assert proc.result == 42
+
+    def test_multiple_processes_interleave_deterministically(self):
+        sim = Simulator()
+        order = []
+
+        def worker(name, delay):
+            yield sleep(delay)
+            order.append((name, sim.now))
+
+        Process(sim, worker("b", 2.0), name="b")
+        Process(sim, worker("a", 1.0), name="a")
+        sim.run()
+        assert order == [("a", 1.0), ("b", 2.0)]
+
+
+class TestSignals:
+    def test_wait_event_resumes_on_fire(self):
+        sim = Simulator()
+        signal = Signal("go")
+        log = []
+
+        def waiter():
+            value = yield wait_event(signal)
+            log.append((sim.now, value))
+
+        Process(sim, waiter())
+        sim.schedule_at(3.0, lambda: signal.fire("payload"))
+        sim.run()
+        assert log == [(3.0, "payload")]
+
+    def test_fire_wakes_all_waiters(self):
+        sim = Simulator()
+        signal = Signal()
+        woken = []
+
+        def waiter(tag):
+            yield wait_event(signal)
+            woken.append(tag)
+
+        Process(sim, waiter("x"))
+        Process(sim, waiter("y"))
+        sim.schedule_at(1.0, signal.fire)
+        sim.run()
+        assert sorted(woken) == ["x", "y"]
+        assert signal.fire_count == 1
+
+    def test_waiter_count_tracks_registration(self):
+        sim = Simulator()
+        signal = Signal()
+
+        def waiter():
+            yield wait_event(signal)
+
+        Process(sim, waiter())
+        sim.run(until=0.0)
+        assert signal.waiter_count == 1
+        signal.fire()
+        assert signal.waiter_count == 0
+
+
+class TestLifecycle:
+    def test_cancel_prevents_further_execution(self):
+        sim = Simulator()
+        log = []
+
+        def behaviour():
+            log.append("started")
+            yield sleep(5.0)
+            log.append("should not happen")
+
+        proc = Process(sim, behaviour())
+        sim.run(until=1.0)
+        proc.cancel()
+        sim.run(until=10.0)
+        assert log == ["started"]
+        assert proc.state is ProcessState.CANCELLED
+        assert not proc.alive
+
+    def test_cancel_before_start_is_safe(self):
+        sim = Simulator()
+
+        def behaviour():
+            yield sleep(1.0)
+
+        proc = Process(sim, behaviour())
+        proc.cancel()
+        sim.run()
+        assert proc.state is ProcessState.CANCELLED
+
+    def test_failed_process_records_exception(self):
+        sim = Simulator()
+
+        def behaviour():
+            yield sleep(1.0)
+            raise ValueError("broken")
+
+        proc = Process(sim, behaviour(), name="broken")
+        with pytest.raises(Exception):
+            sim.run()
+        assert proc.state is ProcessState.FAILED
+        assert isinstance(proc.exception, ValueError)
+
+    def test_unsupported_yield_raises_type_error(self):
+        sim = Simulator()
+
+        def behaviour():
+            yield "nonsense"
+
+        Process(sim, behaviour(), name="bad")
+        with pytest.raises(Exception):
+            sim.run()
+
+    def test_unstarted_process_can_be_started_later(self):
+        sim = Simulator()
+        log = []
+
+        def behaviour():
+            log.append(sim.now)
+            yield sleep(1.0)
+
+        proc = Process(sim, behaviour(), start=False)
+        assert proc.state is ProcessState.CREATED
+        sim.schedule_at(2.0, lambda: proc._resume(None))
+        sim.run()
+        assert log == [2.0]

@@ -1,0 +1,60 @@
+"""Unit tests for the named random-stream factory."""
+
+import numpy as np
+
+from repro.sim.rng import RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_seed_same_name_reproduces_draws(self):
+        a = RandomStreams(42).get("deployment").random(10)
+        b = RandomStreams(42).get("deployment").random(10)
+        assert np.allclose(a, b)
+
+    def test_different_names_give_independent_streams(self):
+        streams = RandomStreams(42)
+        a = streams.get("deployment").random(10)
+        b = streams.get("stimulus").random(10)
+        assert not np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).get("deployment").random(10)
+        b = RandomStreams(2).get("deployment").random(10)
+        assert not np.allclose(a, b)
+
+    def test_creation_order_does_not_matter(self):
+        s1 = RandomStreams(7)
+        s1.get("alpha")
+        a = s1.get("beta").random(5)
+
+        s2 = RandomStreams(7)
+        b = s2.get("beta").random(5)  # created first this time
+        assert np.allclose(a, b)
+
+    def test_get_returns_same_generator_instance(self):
+        streams = RandomStreams(0)
+        assert streams.get("x") is streams.get("x")
+
+    def test_spawn_indexed_streams_are_distinct(self):
+        streams = RandomStreams(0)
+        a = streams.spawn("node", 0).random(5)
+        b = streams.spawn("node", 1).random(5)
+        assert not np.allclose(a, b)
+
+    def test_spawn_reproducible_across_instances(self):
+        a = RandomStreams(3).spawn("node", 5).random(5)
+        b = RandomStreams(3).spawn("node", 5).random(5)
+        assert np.allclose(a, b)
+
+    def test_names_lists_created_streams(self):
+        streams = RandomStreams(0)
+        streams.get("one")
+        streams.get("two")
+        assert set(streams.names()) == {"one", "two"}
+
+    def test_stable_key_is_deterministic_and_positive(self):
+        k1 = RandomStreams._stable_key("channel")
+        k2 = RandomStreams._stable_key("channel")
+        assert k1 == k2
+        assert k1 >= 0
+        assert RandomStreams._stable_key("channel") != RandomStreams._stable_key("channels")

@@ -1,0 +1,122 @@
+"""Unit tests for Timeout and PeriodicTimer."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.timers import PeriodicTimer, Timeout
+
+
+class TestTimeout:
+    def test_fires_after_delay(self):
+        sim = Simulator()
+        fired = []
+        t = Timeout(sim, 2.0, lambda: fired.append(sim.now))
+        t.start()
+        sim.run()
+        assert fired == [2.0]
+        assert t.fire_count == 1
+
+    def test_cancel_prevents_firing(self):
+        sim = Simulator()
+        fired = []
+        t = Timeout(sim, 2.0, lambda: fired.append(sim.now))
+        t.start()
+        t.cancel()
+        sim.run()
+        assert fired == []
+        assert not t.pending
+
+    def test_restart_resets_countdown(self):
+        sim = Simulator()
+        fired = []
+        t = Timeout(sim, 5.0, lambda: fired.append(sim.now))
+        t.start()
+        sim.run(until=3.0)
+        t.restart()
+        sim.run(until=20.0)
+        assert fired == [8.0]
+
+    def test_start_with_override_delay(self):
+        sim = Simulator()
+        fired = []
+        t = Timeout(sim, 5.0, lambda: fired.append(sim.now))
+        t.start(delay=1.0)
+        sim.run()
+        assert fired == [1.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Timeout(sim, -1.0, lambda: None)
+        t = Timeout(sim, 1.0, lambda: None)
+        with pytest.raises(ValueError):
+            t.start(delay=-2.0)
+
+    def test_pending_property(self):
+        sim = Simulator()
+        t = Timeout(sim, 1.0, lambda: None)
+        assert not t.pending
+        t.start()
+        assert t.pending
+        sim.run()
+        assert not t.pending
+
+
+class TestPeriodicTimer:
+    def test_fires_repeatedly_at_interval(self):
+        sim = Simulator()
+        times = []
+        timer = PeriodicTimer(sim, 2.0, lambda: times.append(sim.now))
+        timer.start()
+        sim.run(until=7.0)
+        assert times == [2.0, 4.0, 6.0]
+        assert timer.fire_count == 3
+
+    def test_first_delay_override(self):
+        sim = Simulator()
+        times = []
+        timer = PeriodicTimer(sim, 2.0, lambda: times.append(sim.now))
+        timer.start(first_delay=0.0)
+        sim.run(until=5.0)
+        assert times == [0.0, 2.0, 4.0]
+
+    def test_stop_prevents_future_ticks(self):
+        sim = Simulator()
+        times = []
+        timer = PeriodicTimer(sim, 1.0, lambda: times.append(sim.now))
+        timer.start()
+        sim.run(until=2.5)
+        timer.stop()
+        sim.run(until=10.0)
+        assert times == [1.0, 2.0]
+        assert not timer.running
+
+    def test_stop_from_within_callback(self):
+        sim = Simulator()
+        times = []
+        timer = PeriodicTimer(sim, 1.0, lambda: (times.append(sim.now), timer.stop()))
+        timer.start()
+        sim.run(until=10.0)
+        assert times == [1.0]
+
+    def test_double_start_is_noop(self):
+        sim = Simulator()
+        times = []
+        timer = PeriodicTimer(sim, 1.0, lambda: times.append(sim.now))
+        timer.start()
+        timer.start()
+        sim.run(until=2.5)
+        assert times == [1.0, 2.0]
+
+    def test_invalid_interval_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            PeriodicTimer(sim, 0.0, lambda: None)
+        with pytest.raises(ValueError):
+            PeriodicTimer(sim, -1.0, lambda: None)
+
+    def test_negative_first_delay_rejected(self):
+        sim = Simulator()
+        timer = PeriodicTimer(sim, 1.0, lambda: None)
+        with pytest.raises(ValueError):
+            timer.start(first_delay=-1.0)

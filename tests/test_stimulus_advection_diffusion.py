@@ -1,0 +1,118 @@
+"""Unit tests for the grid-based advection-diffusion stimulus."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.stimulus.advection_diffusion import AdvectionDiffusionStimulus
+
+
+def make_model(**kwargs):
+    defaults = dict(
+        extent=(20.0, 20.0),
+        resolution=1.0,
+        source=(10.0, 10.0),
+        source_rate=100.0,
+        diffusivity=1.0,
+        velocity=(0.0, 0.0),
+        threshold=0.5,
+    )
+    defaults.update(kwargs)
+    return AdvectionDiffusionStimulus(defaults.pop("extent"), **defaults)
+
+
+class TestStability:
+    def test_dt_respects_diffusion_stability_limit(self):
+        m = make_model(diffusivity=2.0, resolution=1.0)
+        assert m.dt <= 1.0 / (4.0 * 2.0)
+
+    def test_dt_respects_advection_limit(self):
+        m = make_model(velocity=(4.0, 0.0), resolution=1.0)
+        assert m.dt <= 1.0 / 4.0
+
+    def test_field_stays_finite_and_non_negative(self):
+        m = make_model(velocity=(1.0, 0.5))
+        m.advance(10.0)
+        assert np.all(np.isfinite(m.field))
+        assert np.all(m.field >= 0.0)
+
+
+class TestAdvance:
+    def test_advance_is_monotone_and_idempotent_backwards(self):
+        m = make_model()
+        m.advance(5.0)
+        field_at_5 = m.field.copy()
+        m.advance(3.0)  # earlier time: no-op
+        assert np.array_equal(m.field, field_at_5)
+        assert m.time == 5.0
+
+    def test_mass_grows_while_source_emits(self):
+        m = make_model()
+        m.advance(1.0)
+        mass_1 = m.field.sum()
+        m.advance(5.0)
+        mass_5 = m.field.sum()
+        assert mass_5 > mass_1 > 0.0
+
+    def test_source_cell_has_highest_concentration_early(self):
+        m = make_model()
+        m.advance(1.0)
+        iy, ix = np.unravel_index(np.argmax(m.field), m.field.shape)
+        assert abs(ix - m._src_ix) <= 1
+        assert abs(iy - m._src_iy) <= 1
+
+
+class TestCoverage:
+    def test_source_covered_before_far_corner(self):
+        m = make_model()
+        t_source = m.arrival_time((10.0, 10.0), horizon=60.0, tolerance=0.25)
+        t_far = m.arrival_time((1.0, 1.0), horizon=60.0, tolerance=0.25)
+        assert t_source < t_far or math.isinf(t_far)
+
+    def test_covers_respects_start_time(self):
+        m = make_model(start_time=5.0)
+        assert not m.covers((10.0, 10.0), 2.0)
+
+    def test_concentration_interpolation_within_bounds(self):
+        m = make_model()
+        m.advance(5.0)
+        c = m.concentration_at((10.5, 10.5))
+        assert c >= 0.0
+        # Clipping: querying outside the grid uses the nearest boundary value.
+        assert m.concentration_at((-5.0, -5.0)) >= 0.0
+
+    def test_covers_many_matches_scalar(self):
+        m = make_model()
+        pts = np.array([[10.0, 10.0], [11.0, 10.0], [1.0, 1.0]])
+        t = 4.0
+        vector = m.covers_many(pts, t)
+        scalar = np.array([m.covers(p, t) for p in pts])
+        assert np.array_equal(vector, scalar)
+
+    def test_advection_biases_spread_downwind(self):
+        m = make_model(velocity=(2.0, 0.0), diffusivity=0.5)
+        m.advance(8.0)
+        downwind = m.concentration_at((14.0, 10.0))
+        upwind = m.concentration_at((6.0, 10.0))
+        assert downwind > upwind
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"resolution": 0.0},
+            {"diffusivity": 0.0},
+            {"source_rate": 0.0},
+            {"threshold": 0.0},
+            {"start_time": -1.0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            make_model(**kwargs)
+
+    def test_invalid_extent(self):
+        with pytest.raises(ValueError):
+            AdvectionDiffusionStimulus((0.0, 10.0))

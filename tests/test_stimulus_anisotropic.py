@@ -1,0 +1,83 @@
+"""Unit tests for the anisotropic-front stimulus."""
+
+import math
+
+import pytest
+
+from repro.stimulus.anisotropic import AnisotropicFrontStimulus
+
+
+class TestSectorSpeeds:
+    def test_uniform_sectors_behave_isotropically(self):
+        s = AnisotropicFrontStimulus((0, 0), [2.0, 2.0, 2.0, 2.0])
+        for bearing in (0.0, 1.0, 3.0, 6.0):
+            assert s.speed_in_direction(bearing) == pytest.approx(2.0)
+
+    def test_sector_interpolation_between_centres(self):
+        # Two sectors: speeds 1 and 3; halfway between centres -> 2.
+        s = AnisotropicFrontStimulus((0, 0), [1.0, 3.0])
+        sector_width = math.pi  # 2 sectors
+        midway = sector_width / 2.0
+        assert s.speed_in_direction(midway) == pytest.approx(2.0)
+
+    def test_wraparound_interpolation(self):
+        s = AnisotropicFrontStimulus((0, 0), [1.0, 3.0])
+        # Just below 2*pi interpolates between the last and first sector.
+        almost_full = 2 * math.pi - 1e-9
+        assert 1.0 <= s.speed_in_direction(almost_full) <= 3.0
+
+    def test_callable_speed_law(self):
+        s = AnisotropicFrontStimulus((0, 0), lambda b: 1.0 + abs(math.cos(b)))
+        assert s.speed_in_direction(0.0) == pytest.approx(2.0)
+        assert s.speed_in_direction(math.pi / 2) == pytest.approx(1.0)
+
+    def test_non_positive_speed_rejected(self):
+        with pytest.raises(ValueError):
+            AnisotropicFrontStimulus((0, 0), [1.0, -1.0])
+        s = AnisotropicFrontStimulus((0, 0), lambda b: 0.0)
+        with pytest.raises(ValueError):
+            s.speed_in_direction(0.0)
+
+
+class TestCoverageAndArrival:
+    def test_coverage_depends_on_direction(self):
+        # Fast to the +x direction, slow to the -x direction.
+        s = AnisotropicFrontStimulus((0, 0), lambda b: 3.0 if abs(b) < 0.5 else 0.5)
+        assert s.covers((6.0, 0.0), 2.5)
+        assert not s.covers((-6.0, 0.0), 2.5)
+
+    def test_arrival_matches_direction_speed(self):
+        s = AnisotropicFrontStimulus((0, 0), lambda b: 2.0 if abs(b) < 0.1 else 1.0)
+        assert s.arrival_time((10.0, 0.0)) == pytest.approx(5.0)
+        assert s.arrival_time((0.0, 10.0)) == pytest.approx(10.0)
+
+    def test_arrival_consistent_with_covers(self):
+        s = AnisotropicFrontStimulus((5, 5), [0.5, 1.5, 2.5, 1.0])
+        p = (11.0, 8.0)
+        t = s.arrival_time(p)
+        assert not s.covers(p, t - 0.05)
+        assert s.covers(p, t + 0.05)
+
+    def test_initial_radius_covered_immediately(self):
+        s = AnisotropicFrontStimulus((0, 0), [1.0, 2.0, 1.5], initial_radius=4.0)
+        assert s.covers((3.0, 0.0), 0.0)
+        assert s.arrival_time((2.0, 2.0)) == 0.0
+
+    def test_start_time_offset(self):
+        s = AnisotropicFrontStimulus((0, 0), [1.0, 1.0, 1.0], start_time=5.0)
+        assert not s.covers((0.5, 0.0), 4.0)
+        assert s.arrival_time((2.0, 0.0)) == pytest.approx(7.0)
+
+    def test_source_itself_covered_after_start(self):
+        s = AnisotropicFrontStimulus((3, 3), [1.0, 1.0, 1.0])
+        assert s.covers((3, 3), 0.0)
+
+
+class TestValidation:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AnisotropicFrontStimulus((0, 0), [])
+        with pytest.raises(ValueError):
+            AnisotropicFrontStimulus((0, 0), [1.0], start_time=-1.0)
+        with pytest.raises(ValueError):
+            AnisotropicFrontStimulus((0, 0), [1.0], initial_radius=-2.0)

@@ -1,0 +1,116 @@
+"""Unit tests for StimulusModel base behaviour, StaticStimulus and CompositeStimulus."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.regions import Circle, Rectangle
+from repro.stimulus.base import StaticStimulus, StimulusModel
+from repro.stimulus.circular import CircularFrontStimulus
+from repro.stimulus.composite import CompositeStimulus
+
+
+class MonotoneToyStimulus(StimulusModel):
+    """Coverage = disc of radius t around the origin; exercises the generic bisection."""
+
+    def covers(self, point, time):
+        return math.hypot(point[0], point[1]) <= time
+
+
+class TestGenericArrivalTime:
+    def test_bisection_finds_arrival(self):
+        s = MonotoneToyStimulus()
+        assert s.arrival_time((3.0, 4.0), horizon=100.0) == pytest.approx(5.0, abs=0.01)
+
+    def test_point_covered_at_zero(self):
+        s = MonotoneToyStimulus()
+        assert s.arrival_time((0.0, 0.0)) == 0.0
+
+    def test_unreached_point_returns_inf(self):
+        s = MonotoneToyStimulus()
+        assert math.isinf(s.arrival_time((1000.0, 0.0), horizon=10.0))
+
+    def test_invalid_horizon(self):
+        s = MonotoneToyStimulus()
+        with pytest.raises(ValueError):
+            s.arrival_time((1, 1), horizon=0.0)
+
+    def test_covers_many_default_loop(self):
+        s = MonotoneToyStimulus()
+        pts = np.array([[1.0, 0.0], [10.0, 0.0]])
+        assert list(s.covers_many(pts, 5.0)) == [True, False]
+
+    def test_covers_many_validates_shape(self):
+        s = MonotoneToyStimulus()
+        with pytest.raises(ValueError):
+            s.covers_many(np.zeros((3, 3)), 1.0)
+
+    def test_advance_default_noop(self):
+        s = MonotoneToyStimulus()
+        s.advance(100.0)  # must not raise
+
+
+class TestStaticStimulus:
+    def test_covers_inside_region_after_onset(self):
+        s = StaticStimulus(Circle(0, 0, 5), onset=2.0)
+        assert not s.covers((1, 1), 1.0)
+        assert s.covers((1, 1), 2.0)
+        assert not s.covers((10, 10), 5.0)
+
+    def test_arrival_time(self):
+        s = StaticStimulus(Rectangle(0, 0, 10, 10), onset=3.0)
+        assert s.arrival_time((5, 5)) == 3.0
+        assert math.isinf(s.arrival_time((20, 20)))
+
+    def test_covers_many(self):
+        s = StaticStimulus(Rectangle(0, 0, 10, 10), onset=1.0)
+        pts = np.array([[5.0, 5.0], [15.0, 5.0]])
+        assert list(s.covers_many(pts, 0.5)) == [False, False]
+        assert list(s.covers_many(pts, 2.0)) == [True, False]
+
+    def test_negative_onset_rejected(self):
+        with pytest.raises(ValueError):
+            StaticStimulus(Circle(0, 0, 1), onset=-1.0)
+
+
+class TestCompositeStimulus:
+    def test_union_coverage(self):
+        a = CircularFrontStimulus((0, 0), speed=1.0)
+        b = CircularFrontStimulus((20, 0), speed=1.0)
+        c = CompositeStimulus([a, b])
+        assert c.covers((1, 0), 2.0)
+        assert c.covers((19, 0), 2.0)
+        assert not c.covers((10, 0), 2.0)
+
+    def test_arrival_is_minimum_over_children(self):
+        a = CircularFrontStimulus((0, 0), speed=1.0)
+        b = CircularFrontStimulus((20, 0), speed=1.0, start_time=5.0)
+        c = CompositeStimulus([a, b])
+        assert c.arrival_time((4, 0)) == pytest.approx(4.0)
+        assert c.arrival_time((19, 0)) == pytest.approx(6.0)
+
+    def test_covers_many_union(self, rng):
+        a = CircularFrontStimulus((0, 0), speed=1.0)
+        b = CircularFrontStimulus((30, 30), speed=2.0)
+        c = CompositeStimulus([a, b])
+        pts = rng.uniform(0, 30, size=(50, 2))
+        t = 7.0
+        expected = a.covers_many(pts, t) | b.covers_many(pts, t)
+        assert np.array_equal(c.covers_many(pts, t), expected)
+
+    def test_advance_propagates_to_children(self):
+        class Recorder(MonotoneToyStimulus):
+            def __init__(self):
+                self.advanced_to = 0.0
+
+            def advance(self, time):
+                self.advanced_to = time
+
+        r1, r2 = Recorder(), Recorder()
+        CompositeStimulus([r1, r2]).advance(9.0)
+        assert r1.advanced_to == 9.0 and r2.advanced_to == 9.0
+
+    def test_empty_children_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeStimulus([])

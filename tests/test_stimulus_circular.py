@@ -1,0 +1,109 @@
+"""Unit tests for the circular-front stimulus."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.stimulus.circular import CircularFrontStimulus
+
+
+class TestRadius:
+    def test_radius_grows_linearly_with_constant_speed(self):
+        s = CircularFrontStimulus((0, 0), speed=2.0)
+        assert s.radius_at(0.0) == 0.0
+        assert s.radius_at(1.0) == 2.0
+        assert s.radius_at(5.0) == 10.0
+
+    def test_radius_zero_before_start(self):
+        s = CircularFrontStimulus((0, 0), speed=1.0, start_time=10.0)
+        assert s.radius_at(5.0) == 0.0
+        assert s.radius_at(10.0) == 0.0  # initial radius defaults to 0
+        assert s.radius_at(12.0) == pytest.approx(2.0)
+
+    def test_initial_radius(self):
+        s = CircularFrontStimulus((0, 0), speed=1.0, initial_radius=3.0)
+        assert s.radius_at(0.0) == 3.0
+        assert s.radius_at(2.0) == 5.0
+
+    def test_max_radius_caps_growth(self):
+        s = CircularFrontStimulus((0, 0), speed=1.0, max_radius=5.0)
+        assert s.radius_at(100.0) == 5.0
+
+    def test_callable_speed_profile(self):
+        # speed(t) = 2 for t < 5, then 0: radius saturates at 10.
+        s = CircularFrontStimulus((0, 0), speed=lambda t: 2.0 if t < 5.0 else 0.0)
+        assert s.radius_at(5.0) == pytest.approx(10.0, rel=0.05)
+        assert s.radius_at(20.0) == pytest.approx(10.0, rel=0.05)
+
+
+class TestCoverage:
+    def test_covers_point_inside_front(self):
+        s = CircularFrontStimulus((0, 0), speed=1.0)
+        assert s.covers((3, 4), 6.0)
+        assert not s.covers((3, 4), 4.0)
+
+    def test_covers_exact_boundary(self):
+        s = CircularFrontStimulus((0, 0), speed=1.0)
+        assert s.covers((5, 0), 5.0)
+
+    def test_never_covers_before_start(self):
+        s = CircularFrontStimulus((0, 0), speed=1.0, start_time=2.0)
+        assert not s.covers((0, 0), 1.0)
+        assert s.covers((0, 0), 2.0)
+
+    def test_covers_many_matches_scalar(self, rng):
+        s = CircularFrontStimulus((25, 25), speed=1.5)
+        pts = rng.uniform(0, 50, size=(100, 2))
+        t = 12.0
+        vector = s.covers_many(pts, t)
+        scalar = np.array([s.covers(p, t) for p in pts])
+        assert np.array_equal(vector, scalar)
+
+    def test_covers_many_before_start_all_false(self, rng):
+        s = CircularFrontStimulus((0, 0), speed=1.0, start_time=5.0)
+        pts = rng.uniform(-1, 1, size=(10, 2))
+        assert not s.covers_many(pts, 2.0).any()
+
+
+class TestArrivalTime:
+    def test_arrival_equals_distance_over_speed(self):
+        s = CircularFrontStimulus((0, 0), speed=2.0)
+        assert s.arrival_time((6, 8)) == pytest.approx(5.0)
+
+    def test_arrival_accounts_for_start_time_and_initial_radius(self):
+        s = CircularFrontStimulus((0, 0), speed=1.0, start_time=3.0, initial_radius=2.0)
+        assert s.arrival_time((5, 0)) == pytest.approx(3.0 + 3.0)
+        assert s.arrival_time((1, 0)) == pytest.approx(3.0)
+
+    def test_arrival_inf_beyond_max_radius(self):
+        s = CircularFrontStimulus((0, 0), speed=1.0, max_radius=4.0)
+        assert math.isinf(s.arrival_time((10, 0)))
+
+    def test_arrival_consistent_with_covers(self):
+        s = CircularFrontStimulus((10, 10), speed=0.7)
+        p = (14.0, 13.0)
+        t = s.arrival_time(p)
+        assert not s.covers(p, t - 0.01)
+        assert s.covers(p, t + 0.01)
+
+    def test_arrival_times_vectorised(self):
+        s = CircularFrontStimulus((0, 0), speed=1.0)
+        pts = np.array([[1.0, 0.0], [0.0, 2.0], [3.0, 4.0]])
+        assert np.allclose(s.arrival_times(pts), [1.0, 2.0, 5.0])
+
+    def test_callable_speed_uses_bisection(self):
+        s = CircularFrontStimulus((0, 0), speed=lambda t: 1.0)
+        assert s.arrival_time((3, 0), horizon=100.0) == pytest.approx(3.0, abs=0.01)
+
+
+class TestValidation:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CircularFrontStimulus((0, 0), speed=0.0)
+        with pytest.raises(ValueError):
+            CircularFrontStimulus((0, 0), speed=1.0, start_time=-1.0)
+        with pytest.raises(ValueError):
+            CircularFrontStimulus((0, 0), speed=1.0, initial_radius=-1.0)
+        with pytest.raises(ValueError):
+            CircularFrontStimulus((0, 0), speed=1.0, initial_radius=5.0, max_radius=2.0)

@@ -1,0 +1,75 @@
+"""Unit tests for front extraction and empirical speed estimation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.stimulus.anisotropic import AnisotropicFrontStimulus
+from repro.stimulus.circular import CircularFrontStimulus
+from repro.stimulus.front import extract_front, front_speed_estimate
+
+
+class TestExtractFront:
+    def test_circular_front_points_lie_on_circle(self):
+        s = CircularFrontStimulus((0, 0), speed=1.0)
+        boundary = extract_front(s, (0, 0), time=5.0, num_rays=36)
+        radii = np.hypot(boundary[:, 0], boundary[:, 1])
+        assert np.allclose(radii, 5.0, atol=0.05)
+
+    def test_number_of_rays(self):
+        s = CircularFrontStimulus((0, 0), speed=1.0)
+        boundary = extract_front(s, (0, 0), time=2.0, num_rays=12)
+        assert boundary.shape == (12, 2)
+
+    def test_empty_when_seed_not_covered(self):
+        s = CircularFrontStimulus((0, 0), speed=1.0, start_time=10.0)
+        boundary = extract_front(s, (0, 0), time=5.0)
+        assert boundary.shape == (0, 2)
+
+    def test_front_offset_source(self):
+        s = CircularFrontStimulus((10, 20), speed=2.0)
+        boundary = extract_front(s, (10, 20), time=3.0, num_rays=24)
+        radii = np.hypot(boundary[:, 0] - 10, boundary[:, 1] - 20)
+        assert np.allclose(radii, 6.0, atol=0.05)
+
+    def test_anisotropic_front_varies_with_direction(self):
+        s = AnisotropicFrontStimulus((0, 0), lambda b: 2.0 if abs(b) < 0.5 else 1.0)
+        boundary = extract_front(s, (0, 0), time=4.0, num_rays=72)
+        radii = np.hypot(boundary[:, 0], boundary[:, 1])
+        assert radii.max() > radii.min() + 2.0
+
+    def test_max_range_clipping(self):
+        s = CircularFrontStimulus((0, 0), speed=100.0)
+        boundary = extract_front(s, (0, 0), time=10.0, max_range=50.0)
+        radii = np.hypot(boundary[:, 0], boundary[:, 1])
+        assert np.allclose(radii, 50.0)
+
+    def test_too_few_rays_rejected(self):
+        s = CircularFrontStimulus((0, 0), speed=1.0)
+        with pytest.raises(ValueError):
+            extract_front(s, (0, 0), time=1.0, num_rays=2)
+
+
+class TestFrontSpeedEstimate:
+    def test_constant_speed_recovered(self):
+        s = CircularFrontStimulus((0, 0), speed=1.5)
+        speeds = front_speed_estimate(s, (0, 0), t0=2.0, t1=6.0, num_rays=12)
+        assert np.allclose(speeds, 1.5, atol=0.05)
+
+    def test_directional_speed_recovered(self):
+        s = AnisotropicFrontStimulus((0, 0), lambda b: 2.0 if abs(b) < 0.1 else 1.0)
+        speeds = front_speed_estimate(s, (0, 0), t0=1.0, t1=5.0, num_rays=36)
+        # Ray 0 points along +x (the fast direction).
+        assert speeds[0] == pytest.approx(2.0, abs=0.1)
+        assert np.nanmin(speeds) == pytest.approx(1.0, abs=0.1)
+
+    def test_nan_when_seed_uncovered(self):
+        s = CircularFrontStimulus((0, 0), speed=1.0, start_time=100.0)
+        speeds = front_speed_estimate(s, (0, 0), t0=1.0, t1=2.0)
+        assert np.all(np.isnan(speeds))
+
+    def test_invalid_time_order_rejected(self):
+        s = CircularFrontStimulus((0, 0), speed=1.0)
+        with pytest.raises(ValueError):
+            front_speed_estimate(s, (0, 0), t0=5.0, t1=5.0)

@@ -1,0 +1,100 @@
+"""Unit tests for the Gaussian plume stimulus."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.stimulus.plume import GaussianPlumeStimulus
+
+
+class TestConcentration:
+    def test_peak_at_centre(self):
+        p = GaussianPlumeStimulus((0, 0), wind=(0, 0))
+        c_centre = p.concentration((0, 0), 1.0)
+        c_off = p.concentration((2, 0), 1.0)
+        assert c_centre > c_off > 0
+
+    def test_zero_before_release(self):
+        p = GaussianPlumeStimulus((0, 0), start_time=5.0)
+        assert p.concentration((0, 0), 2.0) == 0.0
+
+    def test_centre_advects_with_wind(self):
+        p = GaussianPlumeStimulus((0, 0), wind=(2.0, 0.0))
+        assert p.centre_at(3.0) == (6.0, 0.0)
+
+    def test_sigma_grows_with_time(self):
+        p = GaussianPlumeStimulus((0, 0), diffusivity=1.0, sigma0=1.0)
+        assert p.sigma_at(0.0) == 1.0
+        assert p.sigma_at(4.0) == pytest.approx(3.0)
+
+    def test_peak_concentration_decays(self):
+        p = GaussianPlumeStimulus((0, 0), wind=(0, 0))
+        early = p.concentration((0, 0), 1.0)
+        late = p.concentration((0, 0), 100.0)
+        assert late < early
+
+
+class TestCoverage:
+    def test_coverage_radius_zero_when_diluted(self):
+        p = GaussianPlumeStimulus((0, 0), emission=1.0, threshold=10.0)
+        assert p.coverage_radius(100.0) == 0.0
+
+    def test_covers_point_close_to_centre(self):
+        p = GaussianPlumeStimulus((0, 0), wind=(0, 0), emission=200.0, threshold=0.05)
+        assert p.covers((0.5, 0.0), 1.0)
+        assert not p.covers((50.0, 0.0), 1.0)
+
+    def test_covers_many_matches_scalar(self, rng):
+        p = GaussianPlumeStimulus((10, 10), wind=(0.5, 0.2), emission=300.0, threshold=0.05)
+        pts = rng.uniform(0, 20, size=(80, 2))
+        t = 8.0
+        vector = p.covers_many(pts, t)
+        scalar = np.array([p.covers(q, t) for q in pts])
+        assert np.array_equal(vector, scalar)
+
+    def test_point_can_leave_coverage_as_plume_drifts(self):
+        p = GaussianPlumeStimulus(
+            (0, 0), wind=(2.0, 0.0), diffusivity=0.05, emission=50.0, threshold=0.2, sigma0=1.0
+        )
+        point = (1.0, 0.0)
+        assert p.covers(point, 0.5)
+        # Much later the plume has drifted far downwind of the point.
+        assert not p.covers(point, 60.0)
+
+
+class TestArrival:
+    def test_arrival_zero_at_source(self):
+        p = GaussianPlumeStimulus((0, 0), emission=500.0, threshold=0.01)
+        assert p.arrival_time((0, 0)) == pytest.approx(0.0)
+
+    def test_arrival_for_downwind_point(self):
+        p = GaussianPlumeStimulus(
+            (0, 0), wind=(1.0, 0.0), diffusivity=0.2, emission=100.0, threshold=0.1
+        )
+        t = p.arrival_time((8.0, 0.0), horizon=100.0)
+        assert math.isfinite(t)
+        assert not p.covers((8.0, 0.0), max(0.0, t - 0.1))
+        assert p.covers((8.0, 0.0), t + 1e-6)
+
+    def test_arrival_inf_for_unreachable_point(self):
+        p = GaussianPlumeStimulus(
+            (0, 0), wind=(1.0, 0.0), diffusivity=0.01, emission=10.0, threshold=0.5
+        )
+        assert math.isinf(p.arrival_time((0.0, 100.0), horizon=50.0))
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"diffusivity": 0.0},
+            {"emission": -1.0},
+            {"threshold": 0.0},
+            {"sigma0": 0.0},
+            {"start_time": -1.0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            GaussianPlumeStimulus((0, 0), **kwargs)

@@ -1,0 +1,132 @@
+"""Unit tests for the ASCII visualisation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.stimulus.circular import CircularFrontStimulus
+from repro.viz.ascii import STATE_GLYPHS, render_field, render_series, render_timeline
+from repro.metrics.recorder import StateChangeRecord
+
+
+class TestRenderField:
+    def setup_method(self):
+        self.positions = np.array([[5.0, 5.0], [45.0, 45.0], [25.0, 25.0]])
+        self.states = {0: "safe", 1: "alert", 2: "covered"}
+
+    def test_contains_node_glyphs(self):
+        out = render_field(self.positions, self.states, width=50, height=50)
+        assert STATE_GLYPHS["safe"] in out
+        assert STATE_GLYPHS["alert"] in out
+        assert STATE_GLYPHS["covered"] in out
+
+    def test_dimensions(self):
+        out = render_field(
+            self.positions, self.states, width=50, height=50, columns=30, rows=10, legend=False
+        )
+        lines = out.splitlines()
+        assert len(lines) == 12  # top border + 10 rows + bottom border
+        assert all(len(line) == 32 for line in lines)  # '|' + 30 + '|'
+
+    def test_stimulus_overlay(self):
+        stimulus = CircularFrontStimulus((25, 25), speed=1.0)
+        out = render_field(
+            self.positions,
+            self.states,
+            width=50,
+            height=50,
+            stimulus=stimulus,
+            time=10.0,
+            legend=False,
+        )
+        assert "~" in out
+
+    def test_unknown_state_glyph(self):
+        out = render_field(np.array([[1.0, 1.0]]), {0: "bogus"}, width=10, height=10, legend=False)
+        assert "?" in out
+
+    def test_legend_toggle(self):
+        with_legend = render_field(self.positions, self.states, width=50, height=50)
+        without = render_field(self.positions, self.states, width=50, height=50, legend=False)
+        assert "legend" in with_legend
+        assert "legend" not in without
+
+    def test_nodes_on_boundary_are_clipped_into_grid(self):
+        positions = np.array([[0.0, 0.0], [50.0, 50.0]])
+        out = render_field(positions, {0: "safe", 1: "safe"}, width=50, height=50, legend=False)
+        assert out.count(STATE_GLYPHS["safe"]) == 2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"width": 0, "height": 10},
+            {"width": 10, "height": 10, "columns": 1},
+            {"width": 10, "height": 10, "rows": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            render_field(np.array([[1.0, 1.0]]), {0: "safe"}, **kwargs)
+
+    def test_bad_positions_shape(self):
+        with pytest.raises(ValueError):
+            render_field(np.zeros((2, 3)), {}, width=10, height=10)
+
+
+class TestRenderTimeline:
+    def test_timeline_strips(self):
+        changes = [
+            StateChangeRecord(time=5.0, node_id=0, old_state="safe", new_state="alert"),
+            StateChangeRecord(time=10.0, node_id=0, old_state="alert", new_state="covered"),
+            StateChangeRecord(time=8.0, node_id=1, old_state="safe", new_state="covered"),
+        ]
+        out = render_timeline(changes, end_time=20.0, resolution_s=5.0)
+        lines = out.splitlines()
+        assert any("node   0" in line for line in lines)
+        assert any("node   1" in line for line in lines)
+        node0 = next(line for line in lines if "node   0" in line)
+        # t=0: safe '.', t=5: alert '!', t=10 and t=15: covered '#'
+        assert "|.!##|" in node0
+
+    def test_empty_log(self):
+        assert "no state changes" in render_timeline([])
+
+    def test_explicit_node_filter(self):
+        changes = [StateChangeRecord(time=1.0, node_id=3, old_state="safe", new_state="covered")]
+        out = render_timeline(changes, node_ids=[3, 7], end_time=2.0, resolution_s=1.0)
+        assert "node   3" in out
+        assert "node   7" in out  # included even without changes (stays safe)
+
+    def test_invalid_resolution(self):
+        with pytest.raises(ValueError):
+            render_timeline([], resolution_s=0.0)
+
+
+class TestRenderSeries:
+    def test_bars_scale_with_values(self):
+        out = render_series([1.0, 2.0], {"PAS": [1.0, 2.0]}, width=10)
+        lines = out.splitlines()
+        assert lines[0] == "PAS"
+        assert lines[1].count("#") == 5
+        assert lines[2].count("#") == 10
+
+    def test_multiple_series_share_scale(self):
+        out = render_series([1.0], {"A": [1.0], "B": [2.0]}, width=10)
+        a_line = out.splitlines()[1]
+        b_line = out.splitlines()[3]
+        assert a_line.count("#") == 5
+        assert b_line.count("#") == 10
+
+    def test_empty_series(self):
+        assert render_series([], {}) == "(no data)"
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_series([1.0, 2.0], {"A": [1.0]})
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            render_series([1.0], {"A": [1.0]}, width=0)
+
+    def test_all_zero_values(self):
+        out = render_series([1.0], {"A": [0.0]})
+        assert "#" not in out

@@ -1,0 +1,152 @@
+"""Unit tests for the MonitoringSimulation orchestration layer."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import NoSleepScheduler
+from repro.core.config import PASConfig, SchedulerConfig
+from repro.core.pas import PASScheduler
+from repro.geometry.deployment import DeploymentConfig
+from repro.world.builder import build_simulation
+from repro.world.scenario import ScenarioConfig, StimulusConfig
+
+
+def small_scenario(**kwargs):
+    defaults = dict(
+        deployment=DeploymentConfig(num_nodes=10, width=30.0, height=30.0),
+        transmission_range=12.0,
+        stimulus=StimulusConfig(kind="circular", speed=1.0),
+        duration=40.0,
+        seed=5,
+    )
+    defaults.update(kwargs)
+    return ScenarioConfig(**defaults)
+
+
+class TestLifecycle:
+    def test_run_returns_summary_and_is_idempotent_on_finalize(self):
+        sim = build_simulation(small_scenario(), PASScheduler(PASConfig()))
+        summary = sim.run()
+        again = sim.finalize()
+        assert summary is again
+
+    def test_start_twice_rejected(self):
+        sim = build_simulation(small_scenario(), PASScheduler(PASConfig()))
+        sim.start()
+        with pytest.raises(RuntimeError):
+            sim.start()
+
+    def test_arrival_times_precomputed_for_all_nodes(self):
+        sim = build_simulation(small_scenario(), PASScheduler(PASConfig()))
+        assert set(sim.true_arrival_times) == set(sim.nodes)
+        # The source sits at the region centre so at least one node is reached
+        # within the run for this compact deployment.
+        assert any(t <= sim.duration for t in sim.true_arrival_times.values())
+
+    def test_world_services_protocol_satisfied(self):
+        from tests.conftest import assert_world_services
+
+        sim = build_simulation(small_scenario(), PASScheduler(PASConfig()))
+        assert_world_services(sim)
+
+
+class TestEnergyAccounting:
+    def test_every_node_accounts_full_duration(self):
+        sim = build_simulation(small_scenario(), PASScheduler(PASConfig()))
+        sim.run()
+        for node in sim.nodes.values():
+            total = node.awake_time_s + node.asleep_time_s
+            assert total == pytest.approx(sim.duration, rel=1e-6)
+
+    def test_energy_breakdown_sums_to_total(self):
+        sim = build_simulation(small_scenario(), PASScheduler(PASConfig()))
+        summary = sim.run()
+        for node in sim.nodes.values():
+            b = node.energy.breakdown
+            assert b.total_j == pytest.approx(b.active_j + b.sleep_j + b.rx_j + b.tx_j)
+        component_mean = (
+            summary.energy.mean_active_j
+            + summary.energy.mean_sleep_j
+            + summary.energy.mean_rx_j
+            + summary.energy.mean_tx_j
+        )
+        assert component_mean == pytest.approx(summary.energy.mean_j)
+
+    def test_ns_nodes_never_sleep(self):
+        sim = build_simulation(small_scenario(), NoSleepScheduler(SchedulerConfig()))
+        sim.run()
+        for node in sim.nodes.values():
+            assert node.asleep_time_s == 0.0
+            assert node.awake_time_s == pytest.approx(sim.duration, rel=1e-6)
+
+
+class TestDetections:
+    def test_ns_detects_with_zero_delay(self):
+        sim = build_simulation(small_scenario(), NoSleepScheduler(SchedulerConfig()))
+        summary = sim.run()
+        assert summary.average_delay_s == pytest.approx(0.0, abs=1e-9)
+        assert summary.delay.num_detected == summary.delay.num_reached
+
+    def test_pas_detects_every_reached_node(self):
+        sim = build_simulation(small_scenario(), PASScheduler(PASConfig()))
+        summary = sim.run()
+        assert summary.delay.num_detected == summary.delay.num_reached
+        assert summary.delay.num_reached > 0
+
+    def test_detection_never_before_true_arrival(self):
+        sim = build_simulation(small_scenario(), PASScheduler(PASConfig()))
+        sim.run()
+        for node_id, t_detect in sim.metrics.detections.items():
+            assert t_detect >= sim.true_arrival_times[node_id] - 1e-9
+
+    def test_state_changes_recorded(self):
+        sim = build_simulation(small_scenario(), PASScheduler(PASConfig()))
+        sim.run()
+        transitions = {(r.old_state, r.new_state) for r in sim.metrics.state_changes}
+        assert ("safe", "covered") in transitions or ("alert", "covered") in transitions
+
+
+class TestOccupancySampling:
+    def test_occupancy_samples_collected_when_enabled(self):
+        sim = build_simulation(
+            small_scenario(), PASScheduler(PASConfig()), occupancy_sample_interval=5.0
+        )
+        sim.run()
+        assert len(sim.metrics.occupancy) >= 5
+        sample = sim.metrics.occupancy[-1]
+        assert sample.awake + sample.asleep <= len(sim.nodes)
+        assert sum(sample.counts.values()) == len(sim.nodes)
+
+    def test_no_occupancy_samples_by_default(self):
+        sim = build_simulation(small_scenario(), PASScheduler(PASConfig()))
+        sim.run()
+        assert sim.metrics.occupancy == []
+
+
+class TestSummaryContents:
+    def test_summary_messages_and_extra(self):
+        sim = build_simulation(small_scenario(), PASScheduler(PASConfig()))
+        summary = sim.run()
+        assert summary.messages["broadcasts"] >= summary.messages["tx_messages"] - 1
+        assert summary.messages["tx_messages"] > 0
+        assert summary.extra["events_processed"] > 0
+        assert summary.extra["average_degree"] > 0
+        assert summary.scenario["num_nodes"] == 10
+
+    def test_invalid_duration_rejected(self):
+        from repro.world.simulation import MonitoringSimulation
+
+        sim = build_simulation(small_scenario(), PASScheduler(PASConfig()))
+        with pytest.raises(ValueError):
+            MonitoringSimulation(
+                sim.sim,
+                sim.nodes,
+                sim.topology,
+                sim.medium,
+                sim.stimulus,
+                sim.sensing,
+                sim.scheduler,
+                duration=0.0,
+            )

@@ -1,0 +1,82 @@
+"""Unit tests for the TraceRecorder."""
+
+import pytest
+
+from repro.core.config import PASConfig
+from repro.core.pas import PASScheduler
+from repro.experiments.runner import default_scenario
+from repro.world.builder import build_simulation
+from repro.world.trace import TraceEvent, TraceRecorder
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    scenario = default_scenario(num_nodes=10, area=30.0, duration=30.0, seed=3)
+    simulation = build_simulation(scenario, PASScheduler(PASConfig()))
+    trace = TraceRecorder().attach(simulation)
+    summary = simulation.run()
+    return simulation, trace, summary
+
+
+class TestTraceRecorderStandalone:
+    def test_record_and_query(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "custom", 0, {"value": 42})
+        trace.record(2.0, "custom", 1)
+        trace.record(3.0, "other", 0)
+        assert len(trace) == 3
+        assert len(trace.of_kind("custom")) == 2
+        assert len(trace.for_node(0)) == 2
+        assert [e.time for e in trace.between(1.5, 3.0)] == [2.0, 3.0]
+        assert trace.summary() == {"custom": 2, "other": 1}
+
+    def test_between_validation(self):
+        trace = TraceRecorder()
+        with pytest.raises(ValueError):
+            trace.between(5.0, 1.0)
+
+    def test_event_as_row_flattens_detail(self):
+        event = TraceEvent(time=1.5, kind="state_change", node_id=7, detail={"old": "safe"})
+        row = event.as_row()
+        assert row["time"] == 1.5
+        assert row["detail.old"] == "safe"
+
+    def test_double_attach_rejected(self):
+        scenario = default_scenario(num_nodes=5, area=20.0, duration=10.0, seed=0)
+        sim_a = build_simulation(scenario, PASScheduler(PASConfig()))
+        sim_b = build_simulation(scenario, PASScheduler(PASConfig()))
+        trace = TraceRecorder().attach(sim_a)
+        with pytest.raises(RuntimeError):
+            trace.attach(sim_b)
+
+
+class TestTraceOfFullRun:
+    def test_detections_traced_and_consistent_with_metrics(self, traced_run):
+        simulation, trace, summary = traced_run
+        detections = trace.of_kind(TraceRecorder.KIND_DETECTION)
+        assert len(detections) == summary.delay.num_detected
+        traced_ids = {e.node_id for e in detections}
+        assert traced_ids == set(simulation.metrics.detections)
+
+    def test_state_changes_traced(self, traced_run):
+        simulation, trace, _ = traced_run
+        traced = trace.of_kind(TraceRecorder.KIND_STATE)
+        assert len(traced) == len(simulation.metrics.state_changes)
+        assert all("old" in e.detail and "new" in e.detail for e in traced)
+
+    def test_message_deliveries_traced(self, traced_run):
+        simulation, trace, _ = traced_run
+        deliveries = trace.of_kind(TraceRecorder.KIND_DELIVERY)
+        assert len(deliveries) == simulation.medium.stats.deliveries
+        assert all(e.detail["message"] in ("Request", "Response") for e in deliveries)
+
+    def test_events_are_time_ordered_within_tolerance(self, traced_run):
+        _, trace, summary = traced_run
+        times = [e.time for e in trace.events]
+        assert all(0.0 <= t <= summary.duration_s for t in times)
+
+    def test_as_rows_export(self, traced_run):
+        _, trace, _ = traced_run
+        rows = trace.as_rows()
+        assert len(rows) == len(trace)
+        assert {"time", "kind", "node_id"} <= set(rows[0])
