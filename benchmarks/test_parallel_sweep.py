@@ -1,0 +1,70 @@
+"""Micro-benchmark: SerialBackend vs. ProcessPoolBackend on a small sweep grid.
+
+Times the same :class:`~repro.exec.specs.RunSpec` batch through both backends
+and prints the wall-clock comparison, doubling as a correctness check that
+the parallel results are bit-identical to the serial ones.  Marked ``slow``
+(it forks a worker pool), so a fast tier-1 pass can deselect it with
+``-m "not slow"``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+import pytest
+
+from benchmarks.conftest import print_block
+from repro.core.config import PASConfig, SASConfig
+from repro.exec.backends import ProcessPoolBackend, SerialBackend
+from repro.exec.specs import RunSpec, SchedulerSpec
+from repro.experiments.runner import default_scenario
+
+
+def _grid() -> List[RunSpec]:
+    """A small but non-trivial grid: 2 schedulers x 2 sleep caps x 2 seeds."""
+    specs = []
+    for name, config_cls in (("PAS", PASConfig), ("SAS", SASConfig)):
+        for max_sleep in (5.0, 10.0):
+            scheduler = SchedulerSpec(name, config_cls(max_sleep_interval=max_sleep))
+            for seed in range(2):
+                scenario = default_scenario(
+                    num_nodes=12, area=30.0, duration=30.0, seed=seed,
+                    label=f"parallel-bench-{name}-{max_sleep}",
+                )
+                specs.append(RunSpec(scenario, scheduler))
+    return specs
+
+
+@pytest.mark.slow
+def test_parallel_sweep_backend_comparison():
+    specs = _grid()
+
+    start = time.perf_counter()
+    serial_results = SerialBackend().run(specs)
+    serial_s = time.perf_counter() - start
+
+    backend = ProcessPoolBackend(jobs=2)
+    start = time.perf_counter()
+    parallel_results = backend.run(specs)
+    parallel_s = time.perf_counter() - start
+
+    assert parallel_results == serial_results, "parallel results must be bit-identical"
+
+    rows = [
+        {"backend": "SerialBackend", "jobs": 1, "specs": len(specs), "wall_s": serial_s},
+        {"backend": "ProcessPoolBackend", "jobs": 2, "specs": len(specs), "wall_s": parallel_s},
+        {
+            "backend": "speedup",
+            "jobs": "",
+            "specs": "",
+            "wall_s": serial_s / parallel_s if parallel_s > 0 else float("inf"),
+        },
+    ]
+    print_block(
+        "Parallel sweep micro-benchmark (serial vs. 2-process pool)",
+        rows,
+        ["backend", "jobs", "specs", "wall_s"],
+    )
+    # No speedup assertion: pool start-up costs dominate on tiny grids and CI
+    # machines vary; the contract being benchmarked is identical results.

@@ -4,17 +4,20 @@
 Runs the sweeps behind Figures 4-7 (delay / energy vs. maximum sleep interval
 and vs. alert-time threshold) and prints each as a table plus a compact ASCII
 chart, so the qualitative shapes can be compared against the paper at a
-glance.  Use ``--fast`` for a smaller, quicker sweep.
+glance.  Use ``--fast`` for a smaller, quicker sweep, ``--jobs N`` to fan the
+sweep grids out over N worker processes, and ``--cache-dir DIR`` to memoise
+run summaries so a re-run (or a run after an interrupt) only executes the
+missing grid cells.  Results are identical whichever options are used.
 
 Run with::
 
-    python examples/parameter_sweep_figures.py --fast
+    python examples/parameter_sweep_figures.py --fast --jobs 4 --cache-dir .sweep-cache
 """
 
 import argparse
 from typing import List
 
-from repro import figure4, figure5, figure6, figure7
+from repro import figure4, figure5, figure6, figure7, make_backend
 
 
 def ascii_chart(x_values: List[float], series: dict, width: int = 40) -> str:
@@ -47,6 +50,12 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--fast", action="store_true", help="smaller sweep for a quick look")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--jobs", type=int, default=None, help="worker processes (default: serial)"
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, help="cache run summaries here (default: no cache)"
+    )
     args = parser.parse_args()
 
     if args.fast:
@@ -58,10 +67,14 @@ def main() -> None:
         alert_grid = (5.0, 10.0, 15.0, 20.0, 25.0, 30.0)
         reps = 2
 
-    show(figure4(max_sleep_values=sleep_grid, repetitions=reps, base_seed=args.seed))
-    show(figure5(alert_thresholds=alert_grid, repetitions=reps, base_seed=args.seed))
-    show(figure6(max_sleep_values=sleep_grid, repetitions=reps, base_seed=args.seed))
-    show(figure7(alert_thresholds=alert_grid, repetitions=reps, base_seed=args.seed))
+    backend = make_backend(jobs=args.jobs, cache_dir=args.cache_dir)
+    common = dict(repetitions=reps, base_seed=args.seed, backend=backend)
+    show(figure4(max_sleep_values=sleep_grid, **common))
+    show(figure5(alert_thresholds=alert_grid, **common))
+    show(figure6(max_sleep_values=sleep_grid, **common))
+    show(figure7(alert_thresholds=alert_grid, **common))
+    if args.cache_dir is not None:
+        print(f"\ncache: {backend.hits} hits, {backend.misses} misses -> {args.cache_dir}")
 
 
 if __name__ == "__main__":

@@ -11,6 +11,8 @@ The package provides, from scratch:
 * the PAS scheduler and its baselines SAS and NS (:mod:`repro.core`),
 * world orchestration, metrics and the experiment harness
   (:mod:`repro.world`, :mod:`repro.metrics`, :mod:`repro.experiments`),
+* declarative run specs with serial / process-pool / caching execution
+  backends (:mod:`repro.exec`),
 * fault-injection extensions and analysis helpers
   (:mod:`repro.faults`, :mod:`repro.analysis`).
 
@@ -33,6 +35,15 @@ from repro.core import (
     SASConfig,
     SASScheduler,
     SchedulerConfig,
+)
+from repro.exec import (
+    CachingBackend,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    RunSpec,
+    SchedulerSpec,
+    SerialBackend,
+    make_backend,
 )
 from repro.experiments import (
     default_scenario,
@@ -78,6 +89,14 @@ __all__ = [
     "run_scenario",
     "default_scenario",
     "run_comparison",
+    # execution layer
+    "RunSpec",
+    "SchedulerSpec",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "CachingBackend",
+    "make_backend",
     # metrics / platform
     "RunSummary",
     "TelosPowerModel",

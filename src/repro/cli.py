@@ -13,6 +13,11 @@ Subcommands
   CSV file.
 * ``pas-sim field`` -- run one PAS scenario and print ASCII snapshots of the
   field (node states + stimulus) at a few instants.
+
+The simulation-running subcommands (``run``, ``compare``, ``figure``,
+``export``) accept ``--jobs N`` to execute their run grids on a process pool
+and ``--cache-dir DIR`` to memoise run summaries on disk keyed by spec hash
+(see :mod:`repro.exec`); results are identical regardless of either flag.
 """
 
 from __future__ import annotations
@@ -21,30 +26,45 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.core.baselines import NoSleepScheduler, PeriodicDutyCycleScheduler
-from repro.core.config import BaselineConfig, PASConfig, SASConfig, SchedulerConfig
-from repro.core.pas import PASScheduler
-from repro.core.sas import SASScheduler
+from repro.core.registry import get_registration, scheduler_names
+from repro.exec.backends import ExecutionBackend, make_backend
+from repro.exec.specs import RunSpec, SchedulerSpec
 from repro.experiments.figures import figure4, figure5, figure6, figure7
 from repro.experiments.runner import default_scenario, run_comparison
 from repro.experiments.table1 import print_table1
 from repro.metrics.summary import format_table
-from repro.world.builder import run_scenario
 
 
-def _make_scheduler(name: str, max_sleep: float, alert_threshold: float):
-    name = name.upper()
-    if name == "PAS":
-        return PASScheduler(
-            PASConfig(max_sleep_interval=max_sleep, alert_threshold=alert_threshold)
-        )
-    if name == "SAS":
-        return SASScheduler(SASConfig(max_sleep_interval=max_sleep))
-    if name == "NS":
-        return NoSleepScheduler(SchedulerConfig(max_sleep_interval=max_sleep))
-    if name == "PERIODIC":
-        return PeriodicDutyCycleScheduler(BaselineConfig(max_sleep_interval=max_sleep))
-    raise ValueError(f"unknown scheduler {name!r} (choose PAS, SAS, NS or PERIODIC)")
+def _make_scheduler_spec(name: str, max_sleep: float, alert_threshold: float) -> SchedulerSpec:
+    """Describe the requested scheduler declaratively (resolved via the registry).
+
+    Any registered scheduler name works; ``--alert-threshold`` applies to PAS
+    only (SAS keeps its deliberately small default, the baselines have no
+    threshold), matching the paper's parameterisation.
+    """
+    registration = get_registration(name)  # unknown names raise with choices
+    kwargs = {"max_sleep_interval": max_sleep}
+    if registration.name == "PAS":
+        kwargs["alert_threshold"] = alert_threshold
+    return SchedulerSpec(registration.name, registration.config_cls(**kwargs))
+
+
+def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for simulation runs (default: serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory to cache run summaries by spec hash (default: no cache)",
+    )
+
+
+def _backend_from_args(args: argparse.Namespace) -> ExecutionBackend:
+    return make_backend(jobs=args.jobs, cache_dir=args.cache_dir)
 
 
 def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
@@ -84,12 +104,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_p = sub.add_parser("run", help="run one scenario with one scheduler")
     _add_scenario_arguments(run_p)
-    run_p.add_argument("--scheduler", default="PAS", help="PAS, SAS, NS or PERIODIC")
+    _add_execution_arguments(run_p)
+    run_p.add_argument(
+        "--scheduler",
+        default="PAS",
+        help=f"one of {', '.join(scheduler_names())}",
+    )
     run_p.add_argument("--max-sleep", type=float, default=10.0, help="max sleep interval (s)")
     run_p.add_argument("--alert-threshold", type=float, default=20.0, help="alert threshold (s)")
 
     cmp_p = sub.add_parser("compare", help="run NS, PAS and SAS on the same scenario")
     _add_scenario_arguments(cmp_p)
+    _add_execution_arguments(cmp_p)
     cmp_p.add_argument("--max-sleep", type=float, default=10.0)
     cmp_p.add_argument("--alert-threshold", type=float, default=20.0)
 
@@ -97,11 +123,13 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("number", type=int, choices=[4, 5, 6, 7])
     fig_p.add_argument("--repetitions", type=int, default=1)
     fig_p.add_argument("--seed", type=int, default=0)
+    _add_execution_arguments(fig_p)
 
     sub.add_parser("table1", help="print the Telos hardware characteristics")
 
     export_p = sub.add_parser("export", help="run the NS/PAS/SAS comparison and write CSV")
     _add_scenario_arguments(export_p)
+    _add_execution_arguments(export_p)
     export_p.add_argument("--max-sleep", type=float, default=10.0)
     export_p.add_argument("--alert-threshold", type=float, default=20.0)
     export_p.add_argument("--output", required=True, help="CSV file to write")
@@ -127,8 +155,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "run":
         scenario = _scenario_from_args(args)
-        scheduler = _make_scheduler(args.scheduler, args.max_sleep, args.alert_threshold)
-        summary = run_scenario(scenario, scheduler)
+        scheduler = _make_scheduler_spec(args.scheduler, args.max_sleep, args.alert_threshold)
+        backend = _backend_from_args(args)
+        summary = backend.run_one(RunSpec(scenario=scenario, scheduler=scheduler))
         rows = [
             {"metric": "scheduler", "value": summary.scheduler},
             {"metric": "average detection delay (s)", "value": summary.average_delay_s},
@@ -146,6 +175,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             scenario,
             max_sleep_interval=args.max_sleep,
             alert_threshold=args.alert_threshold,
+            backend=_backend_from_args(args),
         )
         rows = [
             {
@@ -161,7 +191,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "figure":
         generators = {4: figure4, 5: figure5, 6: figure6, 7: figure7}
-        result = generators[args.number](repetitions=args.repetitions, base_seed=args.seed)
+        result = generators[args.number](
+            repetitions=args.repetitions,
+            base_seed=args.seed,
+            backend=_backend_from_args(args),
+        )
         print(result.render())
         return 0
 
@@ -173,6 +207,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             scenario,
             max_sleep_interval=args.max_sleep,
             alert_threshold=args.alert_threshold,
+            backend=_backend_from_args(args),
         )
         path = write_csv(summary_rows(results.values()), args.output)
         print(f"wrote {len(results)} rows to {path}")
@@ -185,7 +220,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.world.builder import build_simulation
 
         scenario = _scenario_from_args(args)
-        scheduler = _make_scheduler("PAS", args.max_sleep, args.alert_threshold)
+        scheduler = _make_scheduler_spec("PAS", args.max_sleep, args.alert_threshold).build()
         simulation = build_simulation(scenario, scheduler)
         positions = np.array(
             [[n.position.x, n.position.y] for _, n in sorted(simulation.nodes.items())]

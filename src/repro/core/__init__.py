@@ -18,6 +18,8 @@ Layout
   in the paper: covered-nodes-only information exchange, local scalar velocity.
 * :mod:`repro.core.baselines` -- NS (never sleeping) plus periodic and random
   duty-cycling reference points.
+* :mod:`repro.core.registry` -- name -> (scheduler class, config class)
+  registry used by the declarative run specs in :mod:`repro.exec`.
 """
 
 from repro.core.config import (
@@ -57,6 +59,14 @@ from repro.core.baselines import (
     PeriodicDutyCycleScheduler,
     RandomDutyCycleScheduler,
 )
+from repro.core.registry import (
+    SchedulerRegistration,
+    create_scheduler,
+    default_config,
+    get_registration,
+    register_scheduler,
+    scheduler_names,
+)
 
 __all__ = [
     "SchedulerConfig",
@@ -92,4 +102,10 @@ __all__ = [
     "PeriodicDutyCycleScheduler",
     "PeriodicDutyCycleController",
     "RandomDutyCycleScheduler",
+    "SchedulerRegistration",
+    "register_scheduler",
+    "scheduler_names",
+    "get_registration",
+    "default_config",
+    "create_scheduler",
 ]

@@ -1,0 +1,132 @@
+"""Scheduler registry: resolve scheduler names to classes declaratively.
+
+The experiment layer describes a run as *data* (a scheduler name plus a
+configuration dataclass) rather than as a closure holding a live scheduler
+object, so that run specifications can be pickled to worker processes and
+hashed for caching (:mod:`repro.exec`).  The registry is the single place
+that maps those names onto the concrete :class:`~repro.core.scheduler_base.
+SleepScheduler` classes and their expected configuration types.
+
+The built-in schedulers (PAS, SAS, NS, PERIODIC, RANDOM) are registered at
+import time; extensions can call :func:`register_scheduler` to add their own
+policies and immediately gain sweep/caching/CLI support.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Type
+
+from repro.core.baselines import (
+    NoSleepScheduler,
+    PeriodicDutyCycleScheduler,
+    RandomDutyCycleScheduler,
+)
+from repro.core.config import BaselineConfig, PASConfig, SASConfig, SchedulerConfig
+from repro.core.pas import PASScheduler
+from repro.core.sas import SASScheduler
+from repro.core.scheduler_base import SleepScheduler
+
+
+@dataclass(frozen=True)
+class SchedulerRegistration:
+    """One registry entry: the scheduler class and its configuration class."""
+
+    name: str
+    scheduler_cls: Type[SleepScheduler]
+    config_cls: Type[SchedulerConfig]
+
+
+_REGISTRY: Dict[str, SchedulerRegistration] = {}
+
+
+def register_scheduler(
+    name: str,
+    scheduler_cls: Type[SleepScheduler],
+    config_cls: Type[SchedulerConfig] = SchedulerConfig,
+    *,
+    overwrite: bool = False,
+) -> None:
+    """Register a scheduler class under a (case-insensitive) name."""
+    key = name.upper()
+    if not overwrite and key in _REGISTRY:
+        raise ValueError(f"scheduler {key!r} is already registered")
+    if not (isinstance(scheduler_cls, type) and issubclass(scheduler_cls, SleepScheduler)):
+        raise TypeError("scheduler_cls must be a SleepScheduler subclass")
+    if not (isinstance(config_cls, type) and issubclass(config_cls, SchedulerConfig)):
+        raise TypeError("config_cls must be a SchedulerConfig subclass")
+    _REGISTRY[key] = SchedulerRegistration(key, scheduler_cls, config_cls)
+
+
+def scheduler_names() -> List[str]:
+    """The registered scheduler names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def all_registrations() -> List[SchedulerRegistration]:
+    """Every current registration (used to replicate the registry into
+    worker processes, where only the built-ins exist after a fresh import)."""
+    return list(_REGISTRY.values())
+
+
+def replicate_registrations(registrations: List[SchedulerRegistration]) -> None:
+    """Install registrations captured by :func:`all_registrations`.
+
+    Idempotent; used as a :mod:`multiprocessing` pool initializer so
+    schedulers registered at runtime in the parent also resolve in workers
+    under the ``spawn`` start method (their classes must be picklable, i.e.
+    defined at module level).
+    """
+    for registration in registrations:
+        register_scheduler(
+            registration.name,
+            registration.scheduler_cls,
+            registration.config_cls,
+            overwrite=True,
+        )
+
+
+def get_registration(name: str) -> SchedulerRegistration:
+    """Look up a registration; raises a helpful error for unknown names."""
+    key = name.upper()
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r} (choose from {', '.join(scheduler_names())})"
+        ) from None
+
+
+def default_config(name: str) -> SchedulerConfig:
+    """A default-constructed configuration of the right type for ``name``."""
+    return get_registration(name).config_cls()
+
+
+def create_scheduler(
+    name: str, config: Optional[SchedulerConfig] = None
+) -> SleepScheduler:
+    """Instantiate the scheduler registered under ``name``.
+
+    ``config`` defaults to the registered configuration class's defaults; a
+    config of the wrong type (e.g. a plain :class:`SchedulerConfig` for PAS,
+    which needs the ``alert_threshold`` field) is rejected up front rather
+    than failing deep inside a worker process.
+    """
+    registration = get_registration(name)
+    if config is None:
+        config = registration.config_cls()
+    if not isinstance(config, registration.config_cls):
+        raise TypeError(
+            f"scheduler {registration.name!r} expects a "
+            f"{registration.config_cls.__name__}, got {type(config).__name__}"
+        )
+    return registration.scheduler_cls(config)
+
+
+# Built-in schedulers.  NS accepts any SchedulerConfig; the adaptive policies
+# need their specialised config subclasses.
+register_scheduler("PAS", PASScheduler, PASConfig)
+register_scheduler("SAS", SASScheduler, SASConfig)
+register_scheduler("NS", NoSleepScheduler, SchedulerConfig)
+register_scheduler("PERIODIC", PeriodicDutyCycleScheduler, BaselineConfig)
+register_scheduler("RANDOM", RandomDutyCycleScheduler, BaselineConfig)

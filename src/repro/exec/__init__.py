@@ -1,0 +1,50 @@
+"""Execution layer: declarative run specs and pluggable backends.
+
+The experiment harness describes each simulation as a picklable, hashable
+:class:`~repro.exec.specs.RunSpec` and hands batches of them to an
+:class:`~repro.exec.backends.ExecutionBackend`:
+
+>>> from repro.exec import RunSpec, SchedulerSpec, SerialBackend
+>>> from repro.experiments.runner import default_scenario
+>>> spec = RunSpec(default_scenario(num_nodes=8, area=25.0, duration=20.0),
+...                SchedulerSpec("PAS"))
+>>> summary = SerialBackend().run_one(spec)
+>>> summary.scheduler
+'PAS'
+
+Swap in :class:`~repro.exec.backends.ProcessPoolBackend` to fan the grid out
+over cores, or wrap either in :class:`~repro.exec.backends.CachingBackend`
+to memoise summaries on disk keyed by spec hash.
+"""
+
+from repro.exec.backends import (
+    CachingBackend,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    execute_run_spec,
+    make_backend,
+    resolve_backend,
+)
+from repro.exec.specs import (
+    SPEC_HASH_VERSION,
+    RunSpec,
+    SchedulerSpec,
+    canonicalize,
+    content_hash,
+)
+
+__all__ = [
+    "SPEC_HASH_VERSION",
+    "RunSpec",
+    "SchedulerSpec",
+    "canonicalize",
+    "content_hash",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "CachingBackend",
+    "make_backend",
+    "resolve_backend",
+    "execute_run_spec",
+]

@@ -1,0 +1,237 @@
+"""Pluggable execution backends for batches of :class:`~repro.exec.specs.RunSpec`.
+
+Every sweep, comparison, ablation and sensitivity study reduces to "execute
+this list of run specs and give me the summaries back *in order*".  The
+backend abstraction makes that step swappable:
+
+* :class:`SerialBackend` -- in-process loop (the old behaviour).
+* :class:`ProcessPoolBackend` -- multiprocessing over the spec list, chunked,
+  with deterministic input-order results; near-linear speedup on the sweep
+  grids because each simulation is an independent, seed-deterministic run.
+* :class:`CachingBackend` -- wraps any backend and memoises summaries by
+  :meth:`~repro.exec.specs.RunSpec.spec_hash` into a JSON cache directory,
+  so re-running a sweep (or resuming an interrupted one) executes only the
+  missing cells.
+
+Backends guarantee ``run(specs)[i]`` is the summary of ``specs[i]``; given
+the same specs, every backend returns bit-identical results because each
+simulation is fully determined by its spec.
+"""
+
+from __future__ import annotations
+
+import abc
+import multiprocessing
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Union
+
+from repro.core.registry import all_registrations, replicate_registrations
+from repro.exec.specs import RunSpec
+from repro.metrics.summary import RunSummary
+
+PathLike = Union[str, Path]
+
+
+def execute_run_spec(spec: RunSpec) -> RunSummary:
+    """Execute one spec.  Module-level so it pickles to worker processes."""
+    return spec.execute()
+
+
+class ExecutionBackend(abc.ABC):
+    """Executes batches of run specs, preserving input order."""
+
+    @abc.abstractmethod
+    def run(self, specs: Sequence[RunSpec]) -> List[RunSummary]:
+        """Execute every spec; ``result[i]`` corresponds to ``specs[i]``."""
+
+    def run_iter(self, specs: Sequence[RunSpec]) -> Iterator[RunSummary]:
+        """Yield summaries in input order as they complete.
+
+        Consumers that persist results (:class:`CachingBackend`) use this so
+        an interrupted batch keeps everything finished so far.  The default
+        materialises :meth:`run`; backends that can stream override it.
+        """
+        yield from self.run(specs)
+
+    def run_one(self, spec: RunSpec) -> RunSummary:
+        """Convenience wrapper for single runs (still cache-aware)."""
+        return self.run([spec])[0]
+
+
+class SerialBackend(ExecutionBackend):
+    """Execute specs one after the other in the current process."""
+
+    def run(self, specs: Sequence[RunSpec]) -> List[RunSummary]:
+        return list(self.run_iter(specs))
+
+    def run_iter(self, specs: Sequence[RunSpec]) -> Iterator[RunSummary]:
+        for spec in specs:
+            yield execute_run_spec(spec)
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Execute specs on a :mod:`multiprocessing` pool.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count; ``None`` uses ``os.cpu_count()``.
+    chunk_size:
+        Specs handed to a worker per task; ``None`` picks ``ceil(n / (4 *
+        jobs))`` (small enough to balance uneven run times, large enough to
+        amortise IPC).
+    start_method:
+        Optional :mod:`multiprocessing` start method (``"fork"``,
+        ``"spawn"``, ...); ``None`` uses the platform default.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        *,
+        chunk_size: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if jobs is not None and jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        self.chunk_size = chunk_size
+        self.start_method = start_method
+
+    def _chunk_size_for(self, num_specs: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        return max(1, -(-num_specs // (4 * self.jobs)))
+
+    def run(self, specs: Sequence[RunSpec]) -> List[RunSummary]:
+        return list(self.run_iter(specs))
+
+    def run_iter(self, specs: Sequence[RunSpec]) -> Iterator[RunSummary]:
+        specs = list(specs)
+        if len(specs) <= 1 or self.jobs == 1:
+            # Not worth a pool; identical results either way.
+            yield from SerialBackend().run_iter(specs)
+            return
+        context = multiprocessing.get_context(self.start_method)
+        workers = min(self.jobs, len(specs))
+        # The initializer replays the parent's scheduler registry so policies
+        # registered at runtime also resolve in workers under the `spawn`
+        # start method (a fresh import only knows the built-ins).
+        with context.Pool(
+            processes=workers,
+            initializer=replicate_registrations,
+            initargs=(all_registrations(),),
+        ) as pool:
+            # imap preserves input order (deterministic results) and yields
+            # each summary as it completes, so cache-persisting consumers
+            # keep finished cells when a sweep is interrupted.
+            yield from pool.imap(
+                execute_run_spec, specs, self._chunk_size_for(len(specs))
+            )
+
+
+class CachingBackend(ExecutionBackend):
+    """Memoise an inner backend's results by spec hash in a JSON directory.
+
+    Each summary is stored as ``<cache_dir>/<spec_hash>.json`` via the
+    lossless :meth:`~repro.metrics.summary.RunSummary.to_json` round trip.
+    ``hits`` / ``misses`` count cache outcomes since construction, so tests
+    and progress reports can verify that a warmed cache executes nothing.
+    """
+
+    def __init__(self, inner: ExecutionBackend, cache_dir: PathLike) -> None:
+        self.inner = inner
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path_for(self, spec: RunSpec) -> Path:
+        return self.cache_dir / f"{spec.spec_hash()}.json"
+
+    def _load(self, path: Path) -> Optional[RunSummary]:
+        try:
+            return RunSummary.from_json(path.read_text())
+        except (OSError, ValueError, KeyError, TypeError):
+            # Unreadable or corrupt entry: treat as a miss and overwrite.
+            return None
+
+    def _store(self, path: Path, summary: RunSummary) -> None:
+        # Write-to-temp + atomic rename so concurrent sweeps sharing a cache
+        # directory never observe half-written entries.
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=self.cache_dir, suffix=".tmp", delete=False
+        )
+        try:
+            with handle:
+                handle.write(summary.to_json())
+            os.replace(handle.name, path)
+        except OSError:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+
+    def run(self, specs: Sequence[RunSpec]) -> List[RunSummary]:
+        specs = list(specs)
+        results: List[Optional[RunSummary]] = [None] * len(specs)
+        pending: List[RunSpec] = []
+        pending_indices: List[int] = []
+        pending_paths: List[Path] = []
+        for index, spec in enumerate(specs):
+            path = self._path_for(spec)
+            cached = self._load(path) if path.exists() else None
+            if cached is not None:
+                self.hits += 1
+                results[index] = cached
+            else:
+                self.misses += 1
+                pending.append(spec)
+                pending_indices.append(index)
+                pending_paths.append(path)
+        if pending:
+            # Stream from the inner backend and persist each summary the
+            # moment it arrives, so an interrupted sweep keeps every
+            # completed cell and a re-run only executes the missing ones.
+            for index, path, summary in zip(
+                pending_indices, pending_paths, self.inner.run_iter(pending)
+            ):
+                self._store(path, summary)
+                results[index] = summary
+        return results  # type: ignore[return-value]
+
+
+def resolve_backend(backend: Optional[ExecutionBackend]) -> ExecutionBackend:
+    """The backend to use when callers pass ``backend=None`` (serial).
+
+    Single point of default-resolution for every experiment entry point, so
+    a future change of default policy happens in one place.
+    """
+    return backend if backend is not None else SerialBackend()
+
+
+def make_backend(
+    *, jobs: Optional[int] = None, cache_dir: Optional[PathLike] = None
+) -> ExecutionBackend:
+    """Build the backend implied by CLI-style options.
+
+    ``jobs`` of ``None`` or 1 gives the serial backend, anything larger a
+    process pool, and anything smaller is rejected (a silent serial fallback
+    would make e.g. ``--jobs 0`` benchmark the wrong thing); a ``cache_dir``
+    wraps the result in a :class:`CachingBackend`.
+    """
+    if jobs is not None and jobs < 1:
+        raise ValueError("jobs must be at least 1")
+    backend: ExecutionBackend
+    if jobs is None or jobs == 1:
+        backend = SerialBackend()
+    else:
+        backend = ProcessPoolBackend(jobs=jobs)
+    if cache_dir is not None:
+        backend = CachingBackend(backend, cache_dir)
+    return backend

@@ -1,0 +1,192 @@
+"""Declarative run specifications.
+
+A :class:`RunSpec` is the unit of work of the experiment layer: one scenario,
+one scheduler, one seed.  It is plain data -- frozen dataclasses all the way
+down -- so it can be
+
+* **pickled** to worker processes (:class:`~repro.exec.backends.ProcessPoolBackend`),
+* **hashed** into a stable content key (:meth:`RunSpec.spec_hash`) for result
+  caching (:class:`~repro.exec.backends.CachingBackend`), and
+* **executed** anywhere via :meth:`RunSpec.execute`, which resolves the
+  scheduler name through the registry in :mod:`repro.core.registry`.
+
+:class:`SchedulerSpec` replaces the old closure-based ``SchedulerFactory``
+pattern: instead of capturing a live scheduler object in a lambda, sweeps
+describe the scheduler as a (name, config) pair.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import warnings
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.core.config import SchedulerConfig
+from repro.core.registry import create_scheduler, get_registration
+from repro.core.scheduler_base import SleepScheduler
+from repro.metrics.summary import RunSummary, jsonify
+from repro.world.scenario import ScenarioConfig
+
+#: Bumped whenever the canonical hash payload changes shape, so stale cache
+#: entries from older code versions can never be mistaken for current ones.
+SPEC_HASH_VERSION = 1
+
+
+def canonicalize(value: Any) -> Any:
+    """Reduce a config value to deterministic, JSON-serialisable primitives.
+
+    Dataclasses are tagged with their type name (so e.g. a ``PASConfig`` and a
+    ``SASConfig`` that happen to share field values hash differently) and dict
+    keys are stringified and sorted by :func:`json.dumps`; scalar leaves are
+    normalised by the same :func:`~repro.metrics.summary.jsonify` helper used
+    to serialise cached summaries, so cache keys and cached payloads can
+    never disagree on an encoding.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            name: canonicalize(getattr(value, name))
+            for name in sorted(value.__dataclass_fields__)
+        }
+        return {"__type__": type(value).__name__, **fields}
+    if isinstance(value, dict):
+        return {str(k): canonicalize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(v) for v in value]
+    converted = jsonify(value)
+    if isinstance(converted, str) and not isinstance(value, str):
+        # jsonify's str() fallback is fine for display but poison for a cache
+        # key: distinct values can collide (Decimal('1.5') vs '1.5') or vary
+        # per process (default reprs embedding addresses).  Reject instead.
+        raise TypeError(
+            f"cannot canonicalize {type(value).__name__} for spec hashing; "
+            "config fields must hold JSON-compatible values"
+        )
+    return converted
+
+
+def content_hash(payload: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON encoding of ``payload``."""
+    canonical = json.dumps(
+        canonicalize(payload), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class SchedulerSpec:
+    """Declarative description of a scheduler: registry name plus config.
+
+    ``config=None`` means the registered config class's defaults.  The spec
+    holds no live objects, so it pickles cheaply and hashes stably.
+    """
+
+    name: str
+    config: Optional[SchedulerConfig] = None
+
+    def __post_init__(self) -> None:
+        # Normalise the name eagerly so specs for "pas" and "PAS" are one key.
+        object.__setattr__(self, "name", self.name.upper())
+
+    @classmethod
+    def from_scheduler(cls, scheduler: SleepScheduler) -> "SchedulerSpec":
+        """Describe an existing scheduler instance as a spec.
+
+        Works for any scheduler whose ``name`` is registered; used to migrate
+        call sites that still build scheduler objects directly.
+
+        The spec captures the scheduler's *name and config only*.  Extra
+        constructor state -- e.g. a custom ``rng`` handed to
+        ``RandomDutyCycleScheduler`` -- is not part of the spec, so
+        :meth:`build` reconstructs such schedulers with their default extra
+        state and :meth:`RunSpec.spec_hash` cannot distinguish them; express
+        that state through the config (or register a dedicated scheduler
+        name) before relying on caching.
+
+        Unregistered subclasses are rejected: a subclass inheriting its
+        parent's ``name`` would otherwise be silently rebuilt as the parent
+        class (and share the parent's cache entries).
+        """
+        registration = get_registration(scheduler.name)
+        if type(scheduler) is not registration.scheduler_cls:
+            raise ValueError(
+                f"{type(scheduler).__name__} is not the class registered for "
+                f"{registration.name!r} ({registration.scheduler_cls.__name__}); "
+                "register it under its own name before describing it as a spec"
+            )
+        extra_state = sorted(set(vars(scheduler)) - {"config"})
+        if extra_state:
+            warnings.warn(
+                f"describing {type(scheduler).__name__} as a spec drops its "
+                f"non-config state {extra_state}; the rebuilt scheduler uses "
+                "defaults for these, which may change results",
+                stacklevel=2,
+            )
+        return cls(name=scheduler.name, config=scheduler.config)
+
+    def resolved_config(self) -> SchedulerConfig:
+        """The configuration that :meth:`build` will use."""
+        if self.config is not None:
+            return self.config
+        return get_registration(self.name).config_cls()
+
+    def build(self) -> SleepScheduler:
+        """Instantiate the scheduler through the registry."""
+        return create_scheduler(self.name, self.config)
+
+    def describe(self) -> Dict[str, Any]:
+        """Name plus full configuration, for logs and summaries."""
+        summary: Dict[str, Any] = {"scheduler": self.name}
+        summary.update(self.resolved_config().as_dict())
+        return summary
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation run: scenario x scheduler x seed, as pure data.
+
+    ``seed=None`` keeps the seed already inside ``scenario``; an explicit
+    seed overrides it (the sweep machinery uses this to fan one scenario out
+    over repetitions without rebuilding it).
+    """
+
+    scenario: ScenarioConfig
+    scheduler: SchedulerSpec
+    seed: Optional[int] = None
+
+    def effective_seed(self) -> int:
+        """The seed the run will actually use."""
+        return self.scenario.seed if self.seed is None else int(self.seed)
+
+    def resolved_scenario(self) -> ScenarioConfig:
+        """The scenario with the explicit seed (if any) folded in."""
+        if self.seed is None or self.seed == self.scenario.seed:
+            return self.scenario
+        return self.scenario.with_overrides(seed=int(self.seed))
+
+    def spec_hash(self) -> str:
+        """Stable content hash identifying this run across processes/sessions.
+
+        Two specs hash equal iff they resolve to the same scenario and the
+        same scheduler (name + config) -- the key used by
+        :class:`~repro.exec.backends.CachingBackend`.
+        """
+        payload = {
+            "version": SPEC_HASH_VERSION,
+            "scenario": self.resolved_scenario(),
+            "scheduler": {
+                "name": self.scheduler.name,
+                "config": self.scheduler.resolved_config(),
+            },
+        }
+        return content_hash(payload)
+
+    def execute(self) -> RunSummary:
+        """Build and run the simulation described by this spec."""
+        # Imported lazily: repro.world.builder pulls in the whole world model,
+        # which spec construction (e.g. in a CLI parsing path) does not need.
+        from repro.world.builder import run_scenario
+
+        return run_scenario(self.resolved_scenario(), self.scheduler.build())

@@ -16,12 +16,17 @@ returns (and can print) the same series the paper plots:
 * :mod:`~repro.experiments.ablations` -- velocity-estimator, sleep-policy and
   stimulus-shape ablations plus the failure / lossy-channel extensions.
 
-The shared machinery lives in :mod:`~repro.experiments.runner`.
+The shared machinery lives in :mod:`~repro.experiments.runner`; it expands
+every study into declarative :class:`~repro.exec.specs.RunSpec` batches and
+executes them through a pluggable :class:`~repro.exec.backends.
+ExecutionBackend` (serial, process-pool or cached -- see :mod:`repro.exec`).
 """
 
 from repro.experiments.runner import (
     ExperimentResult,
     SweepPoint,
+    build_sweep_specs,
+    comparison_specs,
     default_scenario,
     run_comparison,
     run_sweep,
@@ -46,6 +51,8 @@ __all__ = [
     "ExperimentResult",
     "SweepPoint",
     "default_scenario",
+    "build_sweep_specs",
+    "comparison_specs",
     "run_sweep",
     "run_comparison",
     "table1_hardware",

@@ -14,19 +14,23 @@ Extensions (the paper's stated future work):
 
 * **E1 node failures** -- sweep the failure rate and observe delay degradation.
 * **E2 lossy channel** -- sweep the per-frame loss probability.
+
+Every study expands into a batch of :class:`~repro.exec.specs.RunSpec`
+objects executed by an :class:`~repro.exec.backends.ExecutionBackend`
+(serial by default), so the ``backend=`` keyword parallelises or caches any
+of them without further changes.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import PASConfig, SASConfig
-from repro.core.pas import PASScheduler
-from repro.core.sas import SASScheduler
-from repro.experiments.runner import default_scenario
+from repro.exec.backends import ExecutionBackend
+from repro.exec.specs import RunSpec, SchedulerSpec
+from repro.experiments.runner import default_scenario, run_keyed_specs
 from repro.metrics.summary import RunSummary
-from repro.world.builder import run_scenario
-from repro.world.scenario import FaultConfig, ScenarioConfig, StimulusConfig
+from repro.world.scenario import FaultConfig, StimulusConfig
 
 
 def _row(label: str, value: float, summary: RunSummary) -> Dict[str, float]:
@@ -39,8 +43,24 @@ def _row(label: str, value: float, summary: RunSummary) -> Dict[str, float]:
     }
 
 
+def _run_labelled(
+    cases: Sequence[Tuple[str, float, RunSpec]],
+    backend: Optional[ExecutionBackend],
+) -> List[Dict[str, float]]:
+    """Execute labelled run specs and turn their summaries into table rows."""
+    keyed = [((label, value), spec) for label, value, spec in cases]
+    return [
+        _row(label, value, summary)
+        for (label, value), summary in run_keyed_specs(keyed, backend)
+    ]
+
+
 def ablation_velocity_estimator(
-    *, max_sleep_interval: float = 10.0, alert_threshold: float = 20.0, seed: int = 0
+    *,
+    max_sleep_interval: float = 10.0,
+    alert_threshold: float = 20.0,
+    seed: int = 0,
+    backend: Optional[ExecutionBackend] = None,
 ) -> List[Dict[str, float]]:
     """A1: PAS estimator vs. SAS-style estimator at the same alert threshold.
 
@@ -48,16 +68,19 @@ def ablation_velocity_estimator(
     difference and leaves only the estimation / propagation difference.
     """
     scenario = default_scenario(seed=seed, label="ablation-velocity")
-    pas = PASScheduler(
-        PASConfig(max_sleep_interval=max_sleep_interval, alert_threshold=alert_threshold)
+    pas = SchedulerSpec(
+        "PAS",
+        PASConfig(max_sleep_interval=max_sleep_interval, alert_threshold=alert_threshold),
     )
-    sas_like = SASScheduler(
-        SASConfig(max_sleep_interval=max_sleep_interval, alert_threshold=alert_threshold)
+    sas_like = SchedulerSpec(
+        "SAS",
+        SASConfig(max_sleep_interval=max_sleep_interval, alert_threshold=alert_threshold),
     )
-    rows = []
-    rows.append(_row("PAS estimator", alert_threshold, run_scenario(scenario, pas)))
-    rows.append(_row("SAS estimator", alert_threshold, run_scenario(scenario, sas_like)))
-    return rows
+    cases = [
+        ("PAS estimator", alert_threshold, RunSpec(scenario, pas)),
+        ("SAS estimator", alert_threshold, RunSpec(scenario, sas_like)),
+    ]
+    return _run_labelled(cases, backend)
 
 
 def ablation_sleep_policy(
@@ -66,20 +89,29 @@ def ablation_sleep_policy(
     max_sleep_interval: float = 10.0,
     alert_threshold: float = 20.0,
     seed: int = 0,
+    backend: Optional[ExecutionBackend] = None,
 ) -> List[Dict[str, float]]:
     """A2: growth law of the safe-state sleep interval."""
     scenario = default_scenario(seed=seed, label="ablation-sleep-policy")
-    rows = []
-    for policy in policies:
-        scheduler = PASScheduler(
-            PASConfig(
-                max_sleep_interval=max_sleep_interval,
-                alert_threshold=alert_threshold,
-                sleep_policy=policy,
-            )
+    cases = [
+        (
+            policy,
+            max_sleep_interval,
+            RunSpec(
+                scenario,
+                SchedulerSpec(
+                    "PAS",
+                    PASConfig(
+                        max_sleep_interval=max_sleep_interval,
+                        alert_threshold=alert_threshold,
+                        sleep_policy=policy,
+                    ),
+                ),
+            ),
         )
-        rows.append(_row(policy, max_sleep_interval, run_scenario(scenario, scheduler)))
-    return rows
+        for policy in policies
+    ]
+    return _run_labelled(cases, backend)
 
 
 def ablation_stimulus_shape(
@@ -88,9 +120,14 @@ def ablation_stimulus_shape(
     max_sleep_interval: float = 10.0,
     alert_threshold: float = 20.0,
     seed: int = 0,
+    backend: Optional[ExecutionBackend] = None,
 ) -> List[Dict[str, float]]:
     """A3: robustness of the prediction across stimulus shapes."""
-    rows = []
+    scheduler = SchedulerSpec(
+        "PAS",
+        PASConfig(max_sleep_interval=max_sleep_interval, alert_threshold=alert_threshold),
+    )
+    cases = []
     for kind in kinds:
         extra = {}
         if kind == "plume":
@@ -102,11 +139,8 @@ def ablation_stimulus_shape(
         scenario = scenario.with_overrides(
             stimulus=StimulusConfig(kind=kind, speed=1.0, extra=extra)
         )
-        scheduler = PASScheduler(
-            PASConfig(max_sleep_interval=max_sleep_interval, alert_threshold=alert_threshold)
-        )
-        rows.append(_row(kind, 1.0, run_scenario(scenario, scheduler)))
-    return rows
+        cases.append((kind, 1.0, RunSpec(scenario, scheduler)))
+    return _run_labelled(cases, backend)
 
 
 def extension_node_failures(
@@ -115,17 +149,19 @@ def extension_node_failures(
     max_sleep_interval: float = 10.0,
     alert_threshold: float = 20.0,
     seed: int = 0,
+    backend: Optional[ExecutionBackend] = None,
 ) -> List[Dict[str, float]]:
     """E1: PAS under increasing node-failure rates (failures per node-hour)."""
-    rows = []
+    scheduler = SchedulerSpec(
+        "PAS",
+        PASConfig(max_sleep_interval=max_sleep_interval, alert_threshold=alert_threshold),
+    )
+    cases = []
     for rate in failure_rates:
         base = default_scenario(seed=seed, label=f"ext-failures-{rate}")
         scenario = base.with_overrides(faults=FaultConfig(node_failure_rate=rate))
-        scheduler = PASScheduler(
-            PASConfig(max_sleep_interval=max_sleep_interval, alert_threshold=alert_threshold)
-        )
-        rows.append(_row(f"failure_rate={rate}", rate, run_scenario(scenario, scheduler)))
-    return rows
+        cases.append((f"failure_rate={rate}", rate, RunSpec(scenario, scheduler)))
+    return _run_labelled(cases, backend)
 
 
 def extension_lossy_channel(
@@ -134,16 +170,18 @@ def extension_lossy_channel(
     max_sleep_interval: float = 10.0,
     alert_threshold: float = 20.0,
     seed: int = 0,
+    backend: Optional[ExecutionBackend] = None,
 ) -> List[Dict[str, float]]:
     """E2: PAS under increasing per-frame message loss."""
-    rows = []
+    scheduler = SchedulerSpec(
+        "PAS",
+        PASConfig(max_sleep_interval=max_sleep_interval, alert_threshold=alert_threshold),
+    )
+    cases = []
     for loss in loss_probabilities:
         base = default_scenario(seed=seed, label=f"ext-loss-{loss}")
         scenario = base.with_overrides(
             faults=FaultConfig(message_loss_probability=loss)
         )
-        scheduler = PASScheduler(
-            PASConfig(max_sleep_interval=max_sleep_interval, alert_threshold=alert_threshold)
-        )
-        rows.append(_row(f"loss={loss}", loss, run_scenario(scenario, scheduler)))
-    return rows
+        cases.append((f"loss={loss}", loss, RunSpec(scenario, scheduler)))
+    return _run_labelled(cases, backend)

@@ -19,10 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.baselines import NoSleepScheduler
 from repro.core.config import PASConfig, SASConfig, SchedulerConfig
-from repro.core.pas import PASScheduler
-from repro.core.sas import SASScheduler
+from repro.exec.backends import ExecutionBackend
+from repro.exec.specs import SchedulerSpec
 from repro.experiments.runner import ExperimentResult, default_scenario, run_sweep
 from repro.metrics.summary import format_table
 from repro.world.scenario import StimulusConfig
@@ -93,23 +92,25 @@ class FigureResult:
 
 
 def _comparison_factories(alert_threshold: float):
-    """NS / PAS / SAS factories parameterised by the max-sleep sweep value."""
+    """NS / PAS / SAS spec factories parameterised by the max-sleep sweep value."""
     return {
-        "NS": lambda max_sleep: NoSleepScheduler(
-            SchedulerConfig(max_sleep_interval=max(max_sleep, 1.0))
+        "NS": lambda max_sleep: SchedulerSpec(
+            "NS", SchedulerConfig(max_sleep_interval=max(max_sleep, 1.0))
         ),
-        "PAS": lambda max_sleep: PASScheduler(
+        "PAS": lambda max_sleep: SchedulerSpec(
+            "PAS",
             PASConfig(
                 max_sleep_interval=max(max_sleep, 1.0),
                 sleep_increment=_increment_for(max_sleep),
                 alert_threshold=alert_threshold,
-            )
+            ),
         ),
-        "SAS": lambda max_sleep: SASScheduler(
+        "SAS": lambda max_sleep: SchedulerSpec(
+            "SAS",
             SASConfig(
                 max_sleep_interval=max(max_sleep, 1.0),
                 sleep_increment=_increment_for(max_sleep),
-            )
+            ),
         ),
     }
 
@@ -122,6 +123,7 @@ def figure4(
     alert_threshold: float = 20.0,
     repetitions: int = 2,
     base_seed: int = 0,
+    backend: Optional[ExecutionBackend] = None,
 ) -> FigureResult:
     """Figure 4: detection delay vs. maximum sleeping interval (NS/PAS/SAS)."""
     sweep = run_sweep(
@@ -137,6 +139,7 @@ def figure4(
         ),
         repetitions=repetitions,
         base_seed=base_seed,
+        backend=backend,
     )
     return FigureResult(
         figure="Figure 4",
@@ -155,15 +158,17 @@ def figure5(
     max_sleep_interval: float = 10.0,
     repetitions: int = 2,
     base_seed: int = 0,
+    backend: Optional[ExecutionBackend] = None,
 ) -> FigureResult:
     """Figure 5: PAS detection delay vs. alert-time threshold."""
     factories = {
-        "PAS": lambda threshold: PASScheduler(
+        "PAS": lambda threshold: SchedulerSpec(
+            "PAS",
             PASConfig(
                 alert_threshold=threshold,
                 max_sleep_interval=max_sleep_interval,
                 sleep_increment=_increment_for(max_sleep_interval),
-            )
+            ),
         )
     }
     sweep = run_sweep(
@@ -179,6 +184,7 @@ def figure5(
         ),
         repetitions=repetitions,
         base_seed=base_seed,
+        backend=backend,
     )
     return FigureResult(
         figure="Figure 5",
@@ -197,6 +203,7 @@ def figure6(
     alert_threshold: float = 20.0,
     repetitions: int = 2,
     base_seed: int = 0,
+    backend: Optional[ExecutionBackend] = None,
 ) -> FigureResult:
     """Figure 6: energy consumption vs. maximum sleeping interval (NS/PAS/SAS)."""
     sweep = run_sweep(
@@ -212,6 +219,7 @@ def figure6(
         ),
         repetitions=repetitions,
         base_seed=base_seed,
+        backend=backend,
     )
     return FigureResult(
         figure="Figure 6",
@@ -230,15 +238,17 @@ def figure7(
     max_sleep_interval: float = 10.0,
     repetitions: int = 2,
     base_seed: int = 0,
+    backend: Optional[ExecutionBackend] = None,
 ) -> FigureResult:
     """Figure 7: PAS energy consumption vs. alert-time threshold."""
     factories = {
-        "PAS": lambda threshold: PASScheduler(
+        "PAS": lambda threshold: SchedulerSpec(
+            "PAS",
             PASConfig(
                 alert_threshold=threshold,
                 max_sleep_interval=max_sleep_interval,
                 sleep_increment=_increment_for(max_sleep_interval),
-            )
+            ),
         )
     }
     sweep = run_sweep(
@@ -254,6 +264,7 @@ def figure7(
         ),
         repetitions=repetitions,
         base_seed=base_seed,
+        backend=backend,
     )
     return FigureResult(
         figure="Figure 7",

@@ -4,25 +4,52 @@ The paper's setup (§4.2): 30 nodes, 10 m transmission range, a diffusion
 stimulus spreading over the monitored region.  :func:`default_scenario`
 encodes that; the sweep helpers replay it for each scheduler and sweep value,
 averaging over several seeds so the printed series are stable.
+
+Execution model
+---------------
+Since the execution-layer refactor, the sweep helpers no longer run
+simulations themselves.  They expand the scheduler x value x seed grid into
+declarative, picklable :class:`~repro.exec.specs.RunSpec` objects (a
+:class:`~repro.world.scenario.ScenarioConfig` plus a
+:class:`~repro.exec.specs.SchedulerSpec` resolved through the registry in
+:mod:`repro.core.registry`) and hand the whole batch to an
+:class:`~repro.exec.backends.ExecutionBackend`:
+
+* the default :class:`~repro.exec.backends.SerialBackend` preserves the old
+  single-process behaviour;
+* :class:`~repro.exec.backends.ProcessPoolBackend` fans the grid out over
+  worker processes with bit-identical results (every run is fully determined
+  by its spec and seed);
+* :class:`~repro.exec.backends.CachingBackend` memoises summaries on disk by
+  spec hash, so repeated or resumed sweeps execute only missing cells.
+
+Scheduler axes are therefore described as *spec factories* -- callables
+mapping the sweep value to a :class:`~repro.exec.specs.SchedulerSpec` --
+instead of closures over live scheduler objects.  Factories returning a
+built :class:`~repro.core.scheduler_base.SleepScheduler` are still accepted
+and converted via :meth:`SchedulerSpec.from_scheduler` (with a warning if
+the scheduler carries non-config state the spec cannot capture).  Note for
+callers migrating keyword calls: :func:`run_sweep`'s factory parameter is
+now named ``scheduler_specs`` (formerly ``scheduler_factories``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import PASConfig, SASConfig, SchedulerConfig
-from repro.core.baselines import NoSleepScheduler
-from repro.core.pas import PASScheduler
-from repro.core.sas import SASScheduler
 from repro.core.scheduler_base import SleepScheduler
+from repro.exec.backends import ExecutionBackend, resolve_backend
+from repro.exec.specs import RunSpec, SchedulerSpec
 from repro.geometry.deployment import DeploymentConfig
 from repro.metrics.summary import RunSummary
-from repro.world.builder import run_scenario
 from repro.world.scenario import ScenarioConfig, StimulusConfig
 
-#: Factory signature: given a sweep value, build a scheduler.
-SchedulerFactory = Callable[[float], SleepScheduler]
+#: Factory signature: given a sweep value, describe the scheduler to run.
+#: Returning a built ``SleepScheduler`` is supported for migration; it is
+#: converted to a spec through the registry.
+SchedulerSpecFactory = Callable[[float], Union[SchedulerSpec, SleepScheduler]]
 #: Factory signature: given a sweep value and seed, build a scenario.
 ScenarioFactory = Callable[[float, int], ScenarioConfig]
 
@@ -69,12 +96,16 @@ class SweepPoint:
 
     @property
     def mean_delay_s(self) -> float:
-        """Mean of the per-run average detection delays."""
+        """Mean of the per-run average detection delays (NaN when empty)."""
+        if not self.summaries:
+            return float("nan")
         return sum(s.average_delay_s for s in self.summaries) / len(self.summaries)
 
     @property
     def mean_energy_j(self) -> float:
-        """Mean of the per-run average per-node energies."""
+        """Mean of the per-run average per-node energies (NaN when empty)."""
+        if not self.summaries:
+            return float("nan")
         return sum(s.average_energy_j for s in self.summaries) / len(self.summaries)
 
 
@@ -125,30 +156,155 @@ class ExperimentResult:
         return rows
 
 
-def run_sweep(
-    name: str,
-    x_label: str,
+def as_scheduler_spec(
+    made: Union[SchedulerSpec, SleepScheduler], *, x: float
+) -> SchedulerSpec:
+    """Coerce a spec-factory result into a :class:`SchedulerSpec`."""
+    if isinstance(made, SchedulerSpec):
+        return made
+    if isinstance(made, SleepScheduler):
+        return SchedulerSpec.from_scheduler(made)
+    raise TypeError(
+        f"scheduler factory for x={x} returned {type(made).__name__}; "
+        "expected a SchedulerSpec (or a SleepScheduler instance)"
+    )
+
+
+def run_keyed_specs(
+    keyed: Sequence[Tuple[Any, RunSpec]],
+    backend: Optional[ExecutionBackend] = None,
+) -> List[Tuple[Any, RunSummary]]:
+    """Execute ``(key, spec)`` pairs and pair each key with its summary.
+
+    The one place where summaries are attributed back to their grid cells;
+    every sweep, ablation and sensitivity study funnels through it, so the
+    attribution logic cannot drift between studies.
+    """
+    keyed = list(keyed)
+    summaries = resolve_backend(backend).run([spec for _, spec in keyed])
+    return [(key, summary) for (key, _), summary in zip(keyed, summaries)]
+
+
+def _sweep_grid(
     x_values: Sequence[float],
-    scheduler_factories: Dict[str, SchedulerFactory],
+    scheduler_specs: Dict[str, SchedulerSpecFactory],
+    scenario_factory: ScenarioFactory,
+    *,
+    repetitions: int,
+    base_seed: int,
+) -> List[Tuple[Tuple[str, float], RunSpec]]:
+    """The sweep grid as ``((scheduler_name, x), run_spec)`` pairs.
+
+    Keeping the key next to each spec lets :func:`run_sweep` attribute the
+    backend's summaries by key rather than by implicit loop order.  The seed
+    is baked into the scenario by ``scenario_factory`` (no ``RunSpec`` seed
+    override), so factories that map seeds non-identically keep their exact
+    pre-refactor semantics.
+    """
+    if repetitions < 1:
+        raise ValueError("repetitions must be at least 1")
+    xs = [float(x) for x in x_values]  # normalise once; x_values may be an iterator
+    if len(set(xs)) != len(xs):
+        # Duplicates would be merged into one (scheduler, x) cell, silently
+        # averaging what the caller asked to run separately.
+        raise ValueError("x_values must be unique")
+    grid: List[Tuple[Tuple[str, float], RunSpec]] = []
+    for scheduler_name, spec_factory in scheduler_specs.items():
+        for x in xs:
+            scheduler_spec = as_scheduler_spec(spec_factory(x), x=x)
+            for rep in range(repetitions):
+                scenario = scenario_factory(x, base_seed + rep)
+                grid.append(
+                    (
+                        (scheduler_name, x),
+                        RunSpec(scenario=scenario, scheduler=scheduler_spec),
+                    )
+                )
+    return grid
+
+
+def build_sweep_specs(
+    x_values: Sequence[float],
+    scheduler_specs: Dict[str, SchedulerSpecFactory],
     scenario_factory: ScenarioFactory,
     *,
     repetitions: int = 1,
     base_seed: int = 0,
+) -> List[RunSpec]:
+    """Expand a sweep grid into the flat, ordered list of run specs.
+
+    Order is scheduler -> sweep value -> repetition.  Exposed so callers can
+    inspect, count, or pre-hash a sweep without running it.
+    """
+    return [
+        spec
+        for _, spec in _sweep_grid(
+            x_values,
+            scheduler_specs,
+            scenario_factory,
+            repetitions=repetitions,
+            base_seed=base_seed,
+        )
+    ]
+
+
+def run_sweep(
+    name: str,
+    x_label: str,
+    x_values: Sequence[float],
+    scheduler_specs: Dict[str, SchedulerSpecFactory],
+    scenario_factory: ScenarioFactory,
+    *,
+    repetitions: int = 1,
+    base_seed: int = 0,
+    backend: Optional[ExecutionBackend] = None,
 ) -> ExperimentResult:
-    """Run every scheduler at every sweep value, averaged over ``repetitions`` seeds."""
-    if repetitions < 1:
-        raise ValueError("repetitions must be at least 1")
+    """Run every scheduler at every sweep value, averaged over ``repetitions`` seeds.
+
+    The grid is expanded into :class:`~repro.exec.specs.RunSpec` objects and
+    executed by ``backend`` (default: :class:`~repro.exec.backends.
+    SerialBackend`); pass a :class:`~repro.exec.backends.ProcessPoolBackend`
+    to parallelise or a :class:`~repro.exec.backends.CachingBackend` to
+    memoise, with identical results in every case.
+    """
+    grid = _sweep_grid(
+        x_values,
+        scheduler_specs,
+        scenario_factory,
+        repetitions=repetitions,
+        base_seed=base_seed,
+    )
+    # Attribute each summary to its grid cell by key, not by re-deriving the
+    # expansion order, so a future reordering of _sweep_grid cannot silently
+    # mislabel results.
+    points: Dict[Tuple[str, float], SweepPoint] = {}
+    for (scheduler_name, x), summary in run_keyed_specs(grid, backend):
+        point = points.get((scheduler_name, x))
+        if point is None:
+            point = points[(scheduler_name, x)] = SweepPoint(scheduler=scheduler_name, x=x)
+        point.summaries.append(summary)
     result = ExperimentResult(name=name, x_label=x_label)
-    for scheduler_name, factory in scheduler_factories.items():
-        for x in x_values:
-            point = SweepPoint(scheduler=scheduler_name, x=float(x))
-            for rep in range(repetitions):
-                seed = base_seed + rep
-                scenario = scenario_factory(float(x), seed)
-                scheduler = factory(float(x))
-                point.summaries.append(run_scenario(scenario, scheduler))
-            result.add(point)
+    for point in points.values():  # dict preserves first-seen (grid) order
+        result.add(point)
     return result
+
+
+def comparison_specs(
+    *,
+    max_sleep_interval: float = 10.0,
+    alert_threshold: float = 20.0,
+) -> List[SchedulerSpec]:
+    """The NS / PAS / SAS scheduler specs of the paper's comparison."""
+    shared = dict(
+        base_sleep_interval=1.0,
+        sleep_increment=1.0,
+        max_sleep_interval=max_sleep_interval,
+    )
+    return [
+        SchedulerSpec("NS", SchedulerConfig(**shared)),
+        SchedulerSpec("PAS", PASConfig(alert_threshold=alert_threshold, **shared)),
+        SchedulerSpec("SAS", SASConfig(**shared)),
+    ]
 
 
 def run_comparison(
@@ -156,16 +312,13 @@ def run_comparison(
     *,
     max_sleep_interval: float = 10.0,
     alert_threshold: float = 20.0,
+    backend: Optional[ExecutionBackend] = None,
 ) -> Dict[str, RunSummary]:
     """Run NS, PAS and SAS once each on the identical scenario."""
-    shared = dict(
-        base_sleep_interval=1.0,
-        sleep_increment=1.0,
-        max_sleep_interval=max_sleep_interval,
+    scheduler_specs = comparison_specs(
+        max_sleep_interval=max_sleep_interval, alert_threshold=alert_threshold
     )
-    schedulers: List[SleepScheduler] = [
-        NoSleepScheduler(SchedulerConfig(**shared)),
-        PASScheduler(PASConfig(alert_threshold=alert_threshold, **shared)),
-        SASScheduler(SASConfig(**shared)),
-    ]
-    return {s.name: run_scenario(scenario, s) for s in schedulers}
+    summaries = resolve_backend(backend).run(
+        [RunSpec(scenario=scenario, scheduler=s) for s in scheduler_specs]
+    )
+    return {spec.name: summary for spec, summary in zip(scheduler_specs, summaries)}

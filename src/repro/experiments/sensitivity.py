@@ -14,7 +14,10 @@ how the PAS-vs-SAS comparison depends on that choice:
   of more RX energy per broadcast.
 
 Each function returns plain dict rows (scheduler, sweep value, delay, energy)
-ready for :func:`repro.metrics.summary.format_table` or CSV export.
+ready for :func:`repro.metrics.summary.format_table` or CSV export.  The
+sweeps are expanded into :class:`~repro.exec.specs.RunSpec` batches executed
+by an :class:`~repro.exec.backends.ExecutionBackend`, so the ``backend=``
+keyword parallelises or caches them without further changes.
 """
 
 from __future__ import annotations
@@ -22,19 +25,23 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import PASConfig, SASConfig
-from repro.core.pas import PASScheduler
-from repro.core.sas import SASScheduler
-from repro.experiments.runner import default_scenario
+from repro.exec.backends import ExecutionBackend
+from repro.exec.specs import RunSpec, SchedulerSpec
+from repro.experiments.runner import default_scenario, run_keyed_specs
 from repro.metrics.summary import RunSummary
-from repro.world.builder import run_scenario
 
 
-def _both_schedulers(max_sleep_interval: float, alert_threshold: float):
+def _both_scheduler_specs(
+    max_sleep_interval: float, alert_threshold: float
+) -> Dict[str, SchedulerSpec]:
     return {
-        "PAS": lambda: PASScheduler(
-            PASConfig(max_sleep_interval=max_sleep_interval, alert_threshold=alert_threshold)
+        "PAS": SchedulerSpec(
+            "PAS",
+            PASConfig(
+                max_sleep_interval=max_sleep_interval, alert_threshold=alert_threshold
+            ),
         ),
-        "SAS": lambda: SASScheduler(SASConfig(max_sleep_interval=max_sleep_interval)),
+        "SAS": SchedulerSpec("SAS", SASConfig(max_sleep_interval=max_sleep_interval)),
     }
 
 
@@ -56,31 +63,40 @@ def density_sensitivity(
     max_sleep_interval: float = 10.0,
     alert_threshold: float = 20.0,
     seeds: Sequence[int] = (0, 1),
+    backend: Optional[ExecutionBackend] = None,
 ) -> List[Dict[str, float]]:
     """PAS and SAS across deployment densities (same area, more nodes)."""
-    rows: List[Dict[str, float]] = []
-    for count in node_counts:
-        for name, factory in _both_schedulers(max_sleep_interval, alert_threshold).items():
-            delays, energies, detected, reached = [], [], 0, 0
+    counts = list(node_counts)
+    if len(set(counts)) != len(counts):
+        # Duplicates would be merged into one grid cell, silently summing
+        # detected/reached over more seeds than the caller asked for.
+        raise ValueError("node_counts must be unique")
+    scheduler_specs = _both_scheduler_specs(max_sleep_interval, alert_threshold)
+    keyed = []
+    for count in counts:
+        for name, scheduler in scheduler_specs.items():
             for seed in seeds:
                 scenario = default_scenario(
                     num_nodes=count, area=area, seed=seed, label=f"density-{count}"
                 )
-                summary = run_scenario(scenario, factory())
-                delays.append(summary.average_delay_s)
-                energies.append(summary.average_energy_j)
-                detected += summary.delay.num_detected
-                reached += summary.delay.num_reached
-            rows.append(
-                {
-                    "scheduler": name,
-                    "num_nodes": count,
-                    "delay_s": sum(delays) / len(delays),
-                    "energy_j": sum(energies) / len(energies),
-                    "detected": detected,
-                    "reached": reached,
-                }
-            )
+                keyed.append(((count, name), RunSpec(scenario, scheduler)))
+    # Group per (density, scheduler) cell by key so result attribution cannot
+    # drift from the expansion order above.
+    grouped: Dict[tuple, List] = {}
+    for key, summary in run_keyed_specs(keyed, backend):
+        grouped.setdefault(key, []).append(summary)
+    rows: List[Dict[str, float]] = []
+    for (count, name), cell in grouped.items():  # dict preserves grid order
+        rows.append(
+            {
+                "scheduler": name,
+                "num_nodes": count,
+                "delay_s": sum(s.average_delay_s for s in cell) / len(cell),
+                "energy_j": sum(s.average_energy_j for s in cell) / len(cell),
+                "detected": sum(s.delay.num_detected for s in cell),
+                "reached": sum(s.delay.num_reached for s in cell),
+            }
+        )
     return rows
 
 
@@ -90,17 +106,18 @@ def speed_sensitivity(
     max_sleep_interval: float = 10.0,
     alert_threshold: float = 20.0,
     seed: int = 0,
+    backend: Optional[ExecutionBackend] = None,
 ) -> List[Dict[str, float]]:
     """PAS and SAS across stimulus spreading speeds."""
-    rows: List[Dict[str, float]] = []
+    scheduler_specs = _both_scheduler_specs(max_sleep_interval, alert_threshold)
+    keyed = []
     for speed in speeds:
-        for name, factory in _both_schedulers(max_sleep_interval, alert_threshold).items():
+        for name, scheduler in scheduler_specs.items():
             scenario = default_scenario(
                 stimulus_speed=speed, seed=seed, label=f"speed-{speed}"
             )
-            summary = run_scenario(scenario, factory())
-            rows.append(_row(name, "speed_mps", speed, summary))
-    return rows
+            keyed.append(((name, "speed_mps", speed), RunSpec(scenario, scheduler)))
+    return [_row(name, x_name, x, s) for (name, x_name, x), s in run_keyed_specs(keyed, backend)]
 
 
 def range_sensitivity(
@@ -109,14 +126,15 @@ def range_sensitivity(
     max_sleep_interval: float = 10.0,
     alert_threshold: float = 20.0,
     seed: int = 0,
+    backend: Optional[ExecutionBackend] = None,
 ) -> List[Dict[str, float]]:
     """PAS and SAS across transmission ranges."""
-    rows: List[Dict[str, float]] = []
+    scheduler_specs = _both_scheduler_specs(max_sleep_interval, alert_threshold)
+    keyed = []
     for tx_range in ranges:
-        for name, factory in _both_schedulers(max_sleep_interval, alert_threshold).items():
+        for name, scheduler in scheduler_specs.items():
             scenario = default_scenario(
                 transmission_range=tx_range, seed=seed, label=f"range-{tx_range}"
             )
-            summary = run_scenario(scenario, factory())
-            rows.append(_row(name, "range_m", tx_range, summary))
-    return rows
+            keyed.append(((name, "range_m", tx_range), RunSpec(scenario, scheduler)))
+    return [_row(name, x_name, x, s) for (name, x_name, x), s in run_keyed_specs(keyed, backend)]

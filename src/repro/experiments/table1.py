@@ -5,6 +5,10 @@ the reproduction uses those exact values via
 :class:`repro.node.energy.TelosPowerModel`.  This regenerator prints them back
 out of the model so the benchmark can assert the configuration actually in
 use matches the paper.
+
+Unlike the figure regenerators, this table is static configuration data --
+there is no simulation grid to expand into run specs, so it is the one
+experiment module that does not take an execution ``backend``.
 """
 
 from __future__ import annotations

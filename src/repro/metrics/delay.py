@@ -49,6 +49,32 @@ class DelayStats:
             "num_missed": self.num_missed,
         }
 
+    def full_dict(self) -> dict:
+        """Lossless dict representation including the per-node delay map.
+
+        Node ids become string keys so the result is JSON-safe;
+        :meth:`from_dict` restores them to ints.
+        """
+        data = self.as_dict()
+        data["per_node_delay"] = {str(k): float(v) for k, v in self.per_node_delay.items()}
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DelayStats":
+        """Rebuild stats from :meth:`full_dict` (or :meth:`as_dict`) output."""
+        per_node = {int(k): float(v) for k, v in data.get("per_node_delay", {}).items()}
+        return cls(
+            mean_s=float(data["mean_s"]),
+            median_s=float(data["median_s"]),
+            max_s=float(data["max_s"]),
+            min_s=float(data["min_s"]),
+            std_s=float(data["std_s"]),
+            num_reached=int(data["num_reached"]),
+            num_detected=int(data["num_detected"]),
+            num_missed=int(data["num_missed"]),
+            per_node_delay=per_node,
+        )
+
 
 class DelayRecorder:
     """Collects first-detection times and computes delay statistics.

@@ -44,6 +44,33 @@ class EnergyStats:
             "mean_tx_j": self.mean_tx_j,
         }
 
+    def full_dict(self) -> dict:
+        """Lossless dict representation including the per-node energy map.
+
+        Node ids become string keys so the result is JSON-safe;
+        :meth:`from_dict` restores them to ints.
+        """
+        data = self.as_dict()
+        data["per_node_j"] = {str(k): float(v) for k, v in self.per_node_j.items()}
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EnergyStats":
+        """Rebuild stats from :meth:`full_dict` (or :meth:`as_dict`) output."""
+        per_node = {int(k): float(v) for k, v in data.get("per_node_j", {}).items()}
+        return cls(
+            mean_j=float(data["mean_j"]),
+            total_j=float(data["total_j"]),
+            max_j=float(data["max_j"]),
+            min_j=float(data["min_j"]),
+            std_j=float(data["std_j"]),
+            mean_active_j=float(data["mean_active_j"]),
+            mean_sleep_j=float(data["mean_sleep_j"]),
+            mean_rx_j=float(data["mean_rx_j"]),
+            mean_tx_j=float(data["mean_tx_j"]),
+            per_node_j=per_node,
+        )
+
 
 def collect_energy_stats(nodes: Iterable[SensorNode]) -> EnergyStats:
     """Aggregate the energy ledgers of ``nodes`` into an :class:`EnergyStats`.

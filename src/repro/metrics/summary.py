@@ -8,11 +8,35 @@ point and print the paper's series from them.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.metrics.delay import DelayStats
 from repro.metrics.energy import EnergyStats
+
+
+def jsonify(value: Any) -> Any:
+    """Convert a value into plain JSON types (NumPy scalars, tuples, ...).
+
+    NumPy scalars and arrays unwrap via ``.tolist()`` (scalars compare equal
+    to the unwrapped float/int, so round-trip equality is preserved); tuples
+    become lists, so callers who need strict equality should store lists in
+    ``extra``.  Anything else falls back to ``str``.
+
+    Shared by the summary serialisation here and the spec-hash
+    canonicalisation in :mod:`repro.exec.specs`, so the cache key and the
+    cached payload can never disagree on how a value is encoded.
+    """
+    if isinstance(value, dict):
+        return {str(k): jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(v) for v in value]
+    if isinstance(value, (str, bool, int, float)) or value is None:
+        return value
+    if hasattr(value, "tolist"):  # NumPy array or scalar
+        return jsonify(value.tolist())
+    return str(value)
 
 
 @dataclass
@@ -52,6 +76,46 @@ class RunSummary:
         row.update({f"messages.{k}": v for k, v in self.messages.items()})
         row.update({f"extra.{k}": v for k, v in self.extra.items()})
         return row
+
+    # ------------------------------------------------------- serialisation
+    def to_dict(self) -> Dict[str, Any]:
+        """Lossless nested dict representation (JSON-safe).
+
+        Unlike :meth:`as_dict` (a flattened CSV row) this keeps the full
+        nested structure, including the per-node delay and energy maps, so
+        the summary can be reconstructed exactly with :meth:`from_dict`.
+        """
+        return {
+            "scheduler": self.scheduler,
+            "scenario": jsonify(self.scenario),
+            "duration_s": float(self.duration_s),
+            "delay": self.delay.full_dict(),
+            "energy": self.energy.full_dict(),
+            "messages": jsonify(self.messages),
+            "extra": jsonify(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunSummary":
+        """Rebuild a summary from :meth:`to_dict` output."""
+        return cls(
+            scheduler=data["scheduler"],
+            scenario=dict(data["scenario"]),
+            duration_s=float(data["duration_s"]),
+            delay=DelayStats.from_dict(data["delay"]),
+            energy=EnergyStats.from_dict(data["energy"]),
+            messages=dict(data["messages"]),
+            extra=dict(data.get("extra", {})),
+        )
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        """Serialise the summary to a JSON document (see :meth:`to_dict`)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSummary":
+        """Deserialise a summary produced by :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
 
 
 def format_table(

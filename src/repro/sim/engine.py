@@ -188,7 +188,18 @@ class Simulator:
         return True
 
     def stop(self) -> None:
-        """Request a clean stop; takes effect via :class:`StopSimulation`."""
+        """Request a clean stop; takes effect via :class:`StopSimulation`.
+
+        Only meaningful from inside an event callback, where :meth:`run`
+        catches the :class:`StopSimulation` it raises.  Calling it while the
+        simulator is not running would leak the control-flow exception to the
+        caller, so that is rejected with a descriptive error instead.
+        """
+        if not self._running:
+            raise SimulationError(
+                "Simulator.stop() called while the simulator is not running; "
+                "it may only be called from inside an event callback"
+            )
         raise StopSimulation()
 
     # ----------------------------------------------------------------- hooks

@@ -1,0 +1,248 @@
+"""Unit tests for the execution backends (serial, process pool, caching)."""
+
+from typing import List, Sequence
+
+import pytest
+
+from repro.core.baselines import NoSleepScheduler
+from repro.core.config import PASConfig, SASConfig
+from repro.core.registry import register_scheduler, scheduler_names
+from repro.exec.backends import (
+    CachingBackend,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    make_backend,
+)
+from repro.exec.specs import RunSpec, SchedulerSpec
+from repro.experiments.runner import default_scenario, run_sweep
+from repro.metrics.summary import RunSummary
+
+
+def _small_specs(n_seeds=2) -> List[RunSpec]:
+    specs = []
+    for name, config in (("PAS", PASConfig()), ("SAS", SASConfig())):
+        for seed in range(n_seeds):
+            scenario = default_scenario(
+                num_nodes=8, area=25.0, duration=20.0, seed=seed, label=f"backend-{name}"
+            )
+            specs.append(RunSpec(scenario, SchedulerSpec(name, config)))
+    return specs
+
+
+class CountingBackend(ExecutionBackend):
+    """Serial backend that counts how many simulations it actually executes."""
+
+    def __init__(self) -> None:
+        self.executed = 0
+
+    def run(self, specs: Sequence[RunSpec]) -> List[RunSummary]:
+        return list(self.run_iter(specs))
+
+    def run_iter(self, specs: Sequence[RunSpec]):
+        for spec in specs:
+            self.executed += 1
+            yield SerialBackend().run_one(spec)
+
+
+class InterruptingBackend(ExecutionBackend):
+    """Yields ``fail_after`` summaries, then simulates an interrupt."""
+
+    def __init__(self, fail_after: int) -> None:
+        self.fail_after = fail_after
+
+    def run(self, specs: Sequence[RunSpec]) -> List[RunSummary]:
+        return list(self.run_iter(specs))
+
+    def run_iter(self, specs: Sequence[RunSpec]):
+        for i, spec in enumerate(specs):
+            if i >= self.fail_after:
+                raise KeyboardInterrupt
+            yield SerialBackend().run_one(spec)
+
+
+class TestSerialBackend:
+    def test_preserves_input_order(self):
+        specs = _small_specs(n_seeds=1)
+        summaries = SerialBackend().run(specs)
+        assert [s.scheduler for s in summaries] == ["PAS", "SAS"]
+
+    def test_run_one(self):
+        spec = _small_specs(n_seeds=1)[0]
+        assert SerialBackend().run_one(spec).scheduler == "PAS"
+
+
+class TestProcessPoolBackend:
+    def test_results_bit_identical_to_serial(self):
+        specs = _small_specs()
+        serial = SerialBackend().run(specs)
+        parallel = ProcessPoolBackend(jobs=2).run(specs)
+        # Dataclass equality covers every stat including per-node maps; the
+        # runs are seed-deterministic, so the results must be bit-identical.
+        assert parallel == serial
+
+    def test_single_spec_falls_back_to_serial(self):
+        spec = _small_specs(n_seeds=1)[0]
+        assert ProcessPoolBackend(jobs=4).run([spec])[0] == SerialBackend().run_one(spec)
+
+    def test_jobs_validation(self):
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(jobs=0)
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(jobs=2, chunk_size=0)
+
+    def test_run_sweep_parallel_matches_serial(self):
+        """Acceptance: run_sweep with a process pool is bit-identical to serial."""
+
+        def factories():
+            return {
+                "PAS": lambda x: SchedulerSpec("PAS", PASConfig(max_sleep_interval=max(x, 1.0))),
+                "SAS": lambda x: SchedulerSpec("SAS", SASConfig(max_sleep_interval=max(x, 1.0))),
+            }
+
+        def scenario_factory(x, seed):
+            return default_scenario(num_nodes=8, area=25.0, duration=20.0, seed=seed)
+
+        kwargs = dict(repetitions=2, base_seed=0)
+        serial = run_sweep(
+            "mini", "max_sleep_s", [2.0, 5.0], factories(), scenario_factory, **kwargs
+        )
+        parallel = run_sweep(
+            "mini",
+            "max_sleep_s",
+            [2.0, 5.0],
+            factories(),
+            scenario_factory,
+            backend=ProcessPoolBackend(jobs=2),
+            **kwargs,
+        )
+        for scheduler in ("PAS", "SAS"):
+            assert parallel.x_values(scheduler) == serial.x_values(scheduler)
+            for metric in ("delay", "energy"):
+                assert parallel.series(scheduler, metric) == serial.series(scheduler, metric)
+
+
+class TestCachingBackend:
+    def test_second_run_executes_zero_simulations(self, tmp_path):
+        """Acceptance: a warmed cache serves every spec without executing."""
+        specs = _small_specs()
+        inner = CountingBackend()
+        backend = CachingBackend(inner, tmp_path / "cache")
+
+        first = backend.run(specs)
+        assert inner.executed == len(specs)
+        assert backend.misses == len(specs)
+        assert backend.hits == 0
+
+        second = backend.run(specs)
+        assert inner.executed == len(specs)  # nothing new executed
+        assert backend.hits == len(specs)
+        assert second == first
+
+    def test_cache_persists_across_backend_instances(self, tmp_path):
+        specs = _small_specs(n_seeds=1)
+        first = CachingBackend(CountingBackend(), tmp_path).run(specs)
+
+        inner = CountingBackend()
+        second = CachingBackend(inner, tmp_path).run(specs)
+        assert inner.executed == 0
+        assert second == first
+
+    def test_partial_cache_executes_only_missing(self, tmp_path):
+        specs = _small_specs(n_seeds=2)
+        backend = CachingBackend(CountingBackend(), tmp_path)
+        backend.run(specs[:2])
+
+        inner = CountingBackend()
+        backend2 = CachingBackend(inner, tmp_path)
+        results = backend2.run(specs)
+        assert inner.executed == 2
+        assert backend2.hits == 2
+        assert backend2.misses == 2
+        assert [s.scheduler for s in results] == [s.scheduler.name for s in specs]
+
+    def test_corrupt_cache_entry_is_a_miss(self, tmp_path):
+        specs = _small_specs(n_seeds=1)[:1]
+        backend = CachingBackend(CountingBackend(), tmp_path)
+        backend.run(specs)
+        cache_file = tmp_path / f"{specs[0].spec_hash()}.json"
+        cache_file.write_text("{ not json")
+
+        inner = CountingBackend()
+        backend2 = CachingBackend(inner, tmp_path)
+        results = backend2.run(specs)
+        assert inner.executed == 1
+        assert results[0].scheduler == "PAS"
+        # The corrupt entry was rewritten with a valid summary.
+        assert CachingBackend(CountingBackend(), tmp_path).run(specs)[0] == results[0]
+
+    def test_interrupted_batch_keeps_completed_cells(self, tmp_path):
+        # Resume-after-interrupt contract: summaries are persisted as they
+        # complete, not after the whole batch succeeds.
+        specs = _small_specs(n_seeds=2)  # 4 specs
+        backend = CachingBackend(InterruptingBackend(fail_after=3), tmp_path)
+        with pytest.raises(KeyboardInterrupt):
+            backend.run(specs)
+        assert len(list(tmp_path.glob("*.json"))) == 3
+
+        inner = CountingBackend()
+        resumed = CachingBackend(inner, tmp_path).run(specs)
+        assert inner.executed == 1  # only the missing cell
+        assert [s.scheduler for s in resumed] == [s.scheduler.name for s in specs]
+
+    def test_cached_summary_round_trips_losslessly(self, tmp_path):
+        spec = _small_specs(n_seeds=1)[0]
+        fresh = SerialBackend().run_one(spec)
+        backend = CachingBackend(SerialBackend(), tmp_path)
+        backend.run_one(spec)  # warm
+        cached = backend.run_one(spec)
+        assert backend.hits == 1
+        assert cached == fresh
+
+
+class RegisteredLateScheduler(NoSleepScheduler):
+    """A scheduler registered at runtime (module level, so it pickles)."""
+
+    name = "LATE_NS"
+
+
+class TestRuntimeRegistration:
+    def test_runtime_registered_scheduler_runs_on_pool(self):
+        # The registry docstring promises registered extensions gain sweep
+        # support; the pool initializer replays parent registrations so this
+        # also holds for workers that re-import (spawn start method).
+        if "LATE_NS" not in scheduler_names():
+            register_scheduler("LATE_NS", RegisteredLateScheduler)
+        specs = [
+            RunSpec(
+                default_scenario(num_nodes=6, area=20.0, duration=15.0, seed=seed),
+                SchedulerSpec("LATE_NS"),
+            )
+            for seed in range(2)
+        ]
+        parallel = ProcessPoolBackend(jobs=2).run(specs)
+        assert parallel == SerialBackend().run(specs)
+        assert all(s.scheduler == "LATE_NS" for s in parallel)
+
+
+class TestMakeBackend:
+    def test_serial_by_default(self):
+        assert isinstance(make_backend(), SerialBackend)
+        assert isinstance(make_backend(jobs=1), SerialBackend)
+
+    def test_jobs_gives_process_pool(self):
+        backend = make_backend(jobs=3)
+        assert isinstance(backend, ProcessPoolBackend)
+        assert backend.jobs == 3
+
+    def test_invalid_jobs_rejected(self):
+        # A silent serial fallback would make --jobs 0 benchmark the wrong thing.
+        with pytest.raises(ValueError):
+            make_backend(jobs=0)
+        with pytest.raises(ValueError):
+            make_backend(jobs=-4)
+
+    def test_cache_dir_wraps(self, tmp_path):
+        backend = make_backend(jobs=2, cache_dir=tmp_path)
+        assert isinstance(backend, CachingBackend)
+        assert isinstance(backend.inner, ProcessPoolBackend)

@@ -1,0 +1,223 @@
+"""Unit tests for the declarative run specs and the scheduler registry."""
+
+import pickle
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.core.baselines import NoSleepScheduler
+from repro.core.config import BaselineConfig, PASConfig, SASConfig, SchedulerConfig
+from repro.core.pas import PASScheduler
+from repro.core.registry import (
+    create_scheduler,
+    default_config,
+    get_registration,
+    register_scheduler,
+    scheduler_names,
+)
+from repro.core.sas import SASScheduler
+from repro.exec.specs import RunSpec, SchedulerSpec, canonicalize, content_hash
+from repro.experiments.runner import default_scenario
+
+
+class TestRegistry:
+    def test_builtin_schedulers_registered(self):
+        assert {"PAS", "SAS", "NS", "PERIODIC", "RANDOM"} <= set(scheduler_names())
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_registration("pas").scheduler_cls is PASScheduler
+
+    def test_unknown_name_raises_with_choices(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            get_registration("FOO")
+
+    def test_create_scheduler_default_config(self):
+        scheduler = create_scheduler("SAS")
+        assert isinstance(scheduler, SASScheduler)
+        assert scheduler.config == SASConfig()
+
+    def test_create_scheduler_rejects_wrong_config_type(self):
+        # PAS needs a PASConfig; a plain SchedulerConfig lacks alert_threshold.
+        with pytest.raises(TypeError, match="PASConfig"):
+            create_scheduler("PAS", SchedulerConfig())
+
+    def test_ns_accepts_any_scheduler_config(self):
+        scheduler = create_scheduler("NS", PASConfig())
+        assert isinstance(scheduler, NoSleepScheduler)
+
+    def test_double_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scheduler("PAS", PASScheduler, PASConfig)
+
+    def test_default_config_type(self):
+        assert isinstance(default_config("PERIODIC"), BaselineConfig)
+
+
+class TestSchedulerSpec:
+    def test_name_normalised_to_upper(self):
+        assert SchedulerSpec("pas").name == "PAS"
+
+    def test_build_resolves_through_registry(self):
+        spec = SchedulerSpec("PAS", PASConfig(alert_threshold=12.0))
+        scheduler = spec.build()
+        assert isinstance(scheduler, PASScheduler)
+        assert scheduler.config.alert_threshold == 12.0
+
+    def test_default_config_used_when_none(self):
+        assert SchedulerSpec("SAS").resolved_config() == SASConfig()
+
+    def test_from_scheduler_round_trip(self):
+        scheduler = PASScheduler(PASConfig(max_sleep_interval=7.0))
+        spec = SchedulerSpec.from_scheduler(scheduler)
+        assert spec.name == "PAS"
+        assert spec.config == scheduler.config
+        rebuilt = spec.build()
+        assert rebuilt.config == scheduler.config
+
+    def test_from_scheduler_warns_on_dropped_extra_state(self):
+        # RandomDutyCycleScheduler carries an rng the spec cannot capture;
+        # the coercion must say so instead of silently changing results.
+        import numpy as np
+
+        from repro.core.baselines import RandomDutyCycleScheduler
+
+        scheduler = RandomDutyCycleScheduler(rng=np.random.default_rng(42))
+        with pytest.warns(UserWarning, match="drops its non-config state"):
+            spec = SchedulerSpec.from_scheduler(scheduler)
+        assert spec.name == "RANDOM"
+
+    def test_from_scheduler_rejects_unregistered_subclass(self):
+        # A subclass inheriting name="PAS" must not silently rebuild as plain
+        # PASScheduler (and alias its cache entries with real PAS runs).
+        class TunedPAS(PASScheduler):
+            pass
+
+        with pytest.raises(ValueError, match="register it under its own name"):
+            SchedulerSpec.from_scheduler(TunedPAS(PASConfig()))
+
+    def test_describe_includes_config(self):
+        description = SchedulerSpec("PAS", PASConfig(alert_threshold=9.0)).describe()
+        assert description["scheduler"] == "PAS"
+        assert description["alert_threshold"] == 9.0
+
+
+class TestCanonicalize:
+    def test_dataclasses_tagged_with_type(self):
+        pas = canonicalize(PASConfig())
+        sas = canonicalize(SASConfig())
+        assert pas["__type__"] == "PASConfig"
+        assert sas["__type__"] == "SASConfig"
+
+    def test_distinct_config_types_hash_differently(self):
+        # Same field values, different dataclass -> different content.
+        assert content_hash(PASConfig()) != content_hash(SASConfig())
+
+    def test_tuples_and_numpy_scalars_normalise(self):
+        import numpy as np
+
+        assert canonicalize((1, 2)) == [1, 2]
+        assert canonicalize(np.float64(2.5)) == 2.5
+        assert canonicalize({"b": 1, "a": np.int64(2)}) == {"b": 1, "a": 2}
+
+    def test_unhashable_config_values_rejected(self):
+        # str() fallback would let Decimal('1.5') collide with '1.5' in the
+        # cache key; the hash path must refuse non-JSON values instead.
+        from decimal import Decimal
+
+        assert canonicalize("1.5") == "1.5"
+        with pytest.raises(TypeError, match="canonicalize"):
+            canonicalize(Decimal("1.5"))
+        with pytest.raises(TypeError, match="canonicalize"):
+            content_hash({"obj": object()})
+
+    def test_numpy_arrays_hash_like_lists(self):
+        # Array-valued scenario fields (e.g. StimulusConfig.source) must hash,
+        # and hash identically to their plain-list equivalents.
+        import numpy as np
+
+        assert canonicalize(np.array([5.0, 6.0])) == [5.0, 6.0]
+        assert content_hash({"source": np.array([5.0, 6.0])}) == content_hash(
+            {"source": [5.0, 6.0]}
+        )
+
+
+class TestRunSpec:
+    def _spec(self, seed=None, **scenario_kwargs):
+        scenario_kwargs.setdefault("num_nodes", 8)
+        scenario_kwargs.setdefault("area", 25.0)
+        scenario_kwargs.setdefault("duration", 20.0)
+        scenario = default_scenario(**scenario_kwargs)
+        return RunSpec(scenario, SchedulerSpec("PAS", PASConfig()), seed=seed)
+
+    def test_hash_is_deterministic(self):
+        assert self._spec().spec_hash() == self._spec().spec_hash()
+
+    def test_hash_changes_with_scenario(self):
+        assert self._spec(seed=0).spec_hash() != self._spec(seed=1).spec_hash()
+
+    def test_hash_changes_with_scheduler_config(self):
+        scenario = default_scenario(num_nodes=8, duration=20.0)
+        a = RunSpec(scenario, SchedulerSpec("PAS", PASConfig(alert_threshold=10.0)))
+        b = RunSpec(scenario, SchedulerSpec("PAS", PASConfig(alert_threshold=20.0)))
+        assert a.spec_hash() != b.spec_hash()
+
+    def test_explicit_seed_overrides_scenario_seed(self):
+        spec = self._spec(seed=5)
+        assert spec.effective_seed() == 5
+        assert spec.resolved_scenario().seed == 5
+        # Hash must reflect the *effective* scenario, so an explicit seed and
+        # a scenario built with that seed hash identically.
+        baked_in = RunSpec(
+            default_scenario(num_nodes=8, area=25.0, duration=20.0, seed=5),
+            SchedulerSpec("PAS", PASConfig()),
+        )
+        assert spec.spec_hash() == baked_in.spec_hash()
+
+    def test_spec_pickles_losslessly(self):
+        spec = self._spec(seed=3)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.spec_hash() == spec.spec_hash()
+
+    def test_hash_stable_across_processes(self):
+        """The content hash must not depend on per-process state (PYTHONHASHSEED)."""
+        spec = self._spec(seed=4)
+        program = textwrap.dedent(
+            """
+            from repro.core.config import PASConfig
+            from repro.exec.specs import RunSpec, SchedulerSpec
+            from repro.experiments.runner import default_scenario
+
+            spec = RunSpec(
+                default_scenario(num_nodes=8, area=25.0, duration=20.0, seed=4),
+                SchedulerSpec("PAS", PASConfig()),
+            )
+            print(spec.spec_hash())
+            """
+        )
+        import os
+        import pathlib
+
+        import repro
+
+        src_dir = str(pathlib.Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = "random"
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src_dir] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        output = subprocess.run(
+            [sys.executable, "-c", program],
+            capture_output=True,
+            text=True,
+            check=True,
+            env=env,
+        )
+        assert output.stdout.strip() == spec.spec_hash()
+
+    def test_execute_runs_the_simulation(self):
+        summary = self._spec(seed=1).execute()
+        assert summary.scheduler == "PAS"
+        assert summary.average_delay_s >= 0.0

@@ -1,12 +1,16 @@
 """Unit tests for the experiment runner and the Table 1 regenerator."""
 
+import math
+
 import pytest
 
 from repro.core.config import PASConfig
 from repro.core.pas import PASScheduler
+from repro.exec.specs import SchedulerSpec
 from repro.experiments.runner import (
     ExperimentResult,
     SweepPoint,
+    build_sweep_specs,
     default_scenario,
     run_comparison,
     run_sweep,
@@ -41,8 +45,15 @@ class TestSweepMachinery:
         assert point.mean_delay_s == pytest.approx(summary.average_delay_s)
         assert point.mean_energy_j == pytest.approx(summary.average_energy_j)
 
+    def test_sweep_point_empty_summaries_yield_nan(self):
+        point = SweepPoint(scheduler="PAS", x=10.0, summaries=[])
+        assert math.isnan(point.mean_delay_s)
+        assert math.isnan(point.mean_energy_j)
+
     def test_run_sweep_grid_structure(self):
-        factories = {"PAS": lambda x: PASScheduler(PASConfig(max_sleep_interval=max(x, 1.0)))}
+        factories = {
+            "PAS": lambda x: SchedulerSpec("PAS", PASConfig(max_sleep_interval=max(x, 1.0)))
+        }
         result = run_sweep(
             "mini",
             "max_sleep_s",
@@ -58,6 +69,58 @@ class TestSweepMachinery:
         rows = result.as_rows("delay")
         assert rows[0]["max_sleep_s"] == 2.0
         assert "PAS" in rows[0]
+
+    def test_run_sweep_accepts_legacy_scheduler_factories(self):
+        # Factories returning built scheduler objects are coerced to specs.
+        factories = {"PAS": lambda x: PASScheduler(PASConfig(max_sleep_interval=max(x, 1.0)))}
+        result = run_sweep(
+            "legacy",
+            "max_sleep_s",
+            [2.0],
+            factories,
+            lambda x, seed: default_scenario(num_nodes=8, area=25.0, duration=25.0, seed=seed),
+        )
+        assert result.schedulers() == ["PAS"]
+        assert len(result.series("PAS", "delay")) == 1
+
+    def test_build_sweep_specs_order_and_seeds(self):
+        specs = build_sweep_specs(
+            [2.0, 4.0],
+            {"PAS": lambda x: SchedulerSpec("PAS", PASConfig(max_sleep_interval=max(x, 1.0)))},
+            lambda x, seed: default_scenario(num_nodes=8, duration=25.0, seed=seed),
+            repetitions=2,
+            base_seed=7,
+        )
+        assert len(specs) == 4  # 1 scheduler x 2 values x 2 repetitions
+        assert [s.effective_seed() for s in specs] == [7, 8, 7, 8]
+        assert [s.scheduler.resolved_config().max_sleep_interval for s in specs] == [
+            2.0,
+            2.0,
+            4.0,
+            4.0,
+        ]
+
+    def test_run_sweep_accepts_generator_x_values(self):
+        factories = {"PAS": lambda x: SchedulerSpec("PAS", PASConfig())}
+        result = run_sweep(
+            "gen",
+            "x",
+            (x for x in [2.0, 4.0]),
+            factories,
+            lambda x, seed: default_scenario(num_nodes=8, area=25.0, duration=25.0, seed=seed),
+        )
+        assert result.x_values("PAS") == [2.0, 4.0]
+
+    def test_run_sweep_rejects_duplicate_x_values(self):
+        factories = {"PAS": lambda x: SchedulerSpec("PAS", PASConfig())}
+        with pytest.raises(ValueError, match="unique"):
+            run_sweep(
+                "dup",
+                "x",
+                [5.0, 5.0],
+                factories,
+                lambda x, seed: default_scenario(num_nodes=8, duration=25.0, seed=seed),
+            )
 
     def test_run_sweep_validates_repetitions(self):
         with pytest.raises(ValueError):

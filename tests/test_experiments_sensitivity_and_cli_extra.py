@@ -86,3 +86,9 @@ class TestFieldCommand:
         assert out.count("--- t =") == 2
         assert "legend" in out
         assert "average delay" in out
+
+
+class TestDensityDuplicateGuard:
+    def test_duplicate_node_counts_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            density_sensitivity(node_counts=[20, 20], seeds=(0,))

@@ -125,7 +125,11 @@ class TestStimulusProperties:
         t = s.arrival_time((px, py))
         assert math.isfinite(t)
         assert s.covers((px, py), t + 1e-6)
-        if t > 1e-6:
+        # covers() allows an absolute slack of 1e-12 on the squared distance,
+        # so points closer than ~1e-6 m to the source count as covered at any
+        # time >= start; the strict "not yet covered" claim only holds when
+        # the 1% radius margin exceeds that slack.
+        if math.hypot(px, py) > 1e-3:
             assert not s.covers((px, py), t * 0.99 - 1e-9)
 
 

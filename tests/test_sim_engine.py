@@ -115,6 +115,22 @@ class TestRun:
         # The clock stays at the stop point rather than jumping to `until`.
         assert sim.now == 1.0
 
+    def test_stop_inside_callback_stops_the_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, sim.stop)
+        sim.schedule_at(2.0, lambda: fired.append("late"))
+        sim.run(until=10.0)
+        assert fired == []
+        assert sim.now == 1.0
+
+    def test_stop_outside_run_raises_clear_error(self):
+        # Regression: stop() used to leak the internal StopSimulation
+        # control-flow exception when called while no run was active.
+        sim = Simulator()
+        with pytest.raises(SimulationError, match="not running"):
+            sim.stop()
+
     def test_callback_exception_wrapped_in_simulation_error(self):
         sim = Simulator()
 

@@ -1,0 +1,103 @@
+"""Round-trip tests for the lossless RunSummary JSON serialisation."""
+
+import json
+
+import pytest
+
+from repro.core.config import PASConfig
+from repro.exec.specs import RunSpec, SchedulerSpec
+from repro.experiments.runner import default_scenario
+from repro.metrics.delay import DelayStats
+from repro.metrics.energy import EnergyStats
+from repro.metrics.summary import RunSummary
+
+
+def _synthetic_summary() -> RunSummary:
+    delay = DelayStats(
+        mean_s=1.25,
+        median_s=1.0,
+        max_s=3.5,
+        min_s=0.0,
+        std_s=0.75,
+        num_reached=10,
+        num_detected=9,
+        num_missed=1,
+        per_node_delay={0: 0.0, 3: 1.5, 7: 3.5},
+    )
+    energy = EnergyStats(
+        mean_j=0.42,
+        total_j=4.2,
+        max_j=0.9,
+        min_j=0.1,
+        std_j=0.2,
+        mean_active_j=0.2,
+        mean_sleep_j=0.01,
+        mean_rx_j=0.15,
+        mean_tx_j=0.06,
+        per_node_j={0: 0.9, 3: 0.3, 7: 0.1},
+    )
+    return RunSummary(
+        scheduler="PAS",
+        scenario={"num_nodes": 10, "seed": 3, "label": "round-trip", "speed": 1.5},
+        duration_s=60.0,
+        delay=delay,
+        energy=energy,
+        messages={"tx_messages": 12, "rx_messages": 30},
+        extra={"events_processed": 400, "average_degree": 3.25, "nested": {"a": [1, 2]}},
+    )
+
+
+class TestStatsRoundTrip:
+    def test_delay_stats_full_dict_round_trip(self):
+        stats = _synthetic_summary().delay
+        clone = DelayStats.from_dict(stats.full_dict())
+        assert clone == stats
+        assert clone.per_node_delay == {0: 0.0, 3: 1.5, 7: 3.5}  # int keys restored
+
+    def test_energy_stats_full_dict_round_trip(self):
+        stats = _synthetic_summary().energy
+        clone = EnergyStats.from_dict(stats.full_dict())
+        assert clone == stats
+        assert clone.per_node_j == {0: 0.9, 3: 0.3, 7: 0.1}
+
+    def test_as_dict_stays_flat_without_per_node_maps(self):
+        # The CSV flattening contract must not grow the per-node maps.
+        stats = _synthetic_summary().delay
+        assert "per_node_delay" not in stats.as_dict()
+
+
+class TestRunSummaryRoundTrip:
+    def test_json_round_trip_equality(self):
+        summary = _synthetic_summary()
+        clone = RunSummary.from_json(summary.to_json())
+        assert clone == summary
+
+    def test_json_round_trip_preserves_extra_and_nested_stats(self):
+        summary = _synthetic_summary()
+        clone = RunSummary.from_json(summary.to_json())
+        assert clone.extra == summary.extra
+        assert clone.extra["nested"] == {"a": [1, 2]}
+        assert clone.delay.per_node_delay == summary.delay.per_node_delay
+        assert clone.energy.per_node_j == summary.energy.per_node_j
+        assert clone.messages == summary.messages
+
+    def test_json_document_is_plain_json(self):
+        document = json.loads(_synthetic_summary().to_json())
+        assert document["scheduler"] == "PAS"
+        assert document["delay"]["per_node_delay"]["3"] == 1.5
+
+    def test_to_json_indent(self):
+        text = _synthetic_summary().to_json(indent=2)
+        assert text.startswith("{\n")
+
+    def test_real_run_summary_round_trips(self):
+        """End-to-end: a summary from an actual simulation survives the trip."""
+        spec = RunSpec(
+            default_scenario(num_nodes=8, area=25.0, duration=20.0, seed=2),
+            SchedulerSpec("PAS", PASConfig()),
+        )
+        summary = spec.execute()
+        clone = RunSummary.from_json(summary.to_json())
+        assert clone == summary
+        assert clone.average_delay_s == pytest.approx(summary.average_delay_s, abs=0.0)
+        assert clone.average_energy_j == pytest.approx(summary.average_energy_j, abs=0.0)
