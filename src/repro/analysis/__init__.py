@@ -12,7 +12,12 @@ ablation benchmarks:
   repeated runs.
 """
 
-from repro.analysis.coverage import CoverageSnapshot, coverage_timeline, detection_quality
+from repro.analysis.coverage import (
+    CoverageSnapshot,
+    coverage_timeline,
+    detected_mask,
+    detection_quality,
+)
 from repro.analysis.contour import contour_error, covered_hull_points
 from repro.analysis.statistics import (
     SweepSeries,
@@ -24,6 +29,7 @@ from repro.analysis.statistics import (
 __all__ = [
     "CoverageSnapshot",
     "coverage_timeline",
+    "detected_mask",
     "detection_quality",
     "contour_error",
     "covered_hull_points",

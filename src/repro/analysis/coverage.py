@@ -33,6 +33,26 @@ class CoverageSnapshot:
     recall: float
 
 
+def detected_mask(
+    detection_times: Dict[int, float], num_nodes: int, time: float
+) -> np.ndarray:
+    """Boolean mask of nodes that have detected by ``time``, vectorised.
+
+    Out-of-range node ids are ignored (mirrors the previous per-item guard);
+    one fancy-indexed scatter replaces the Python loop, which matters when
+    the 10k-node scenarios evaluate quality over many snapshots.
+    """
+    detected = np.zeros(num_nodes, dtype=bool)
+    if detection_times:
+        ids = np.fromiter(detection_times.keys(), dtype=np.int64, count=len(detection_times))
+        times = np.fromiter(
+            detection_times.values(), dtype=float, count=len(detection_times)
+        )
+        keep = (ids >= 0) & (ids < num_nodes) & (times <= time)
+        detected[ids[keep]] = True
+    return detected
+
+
 def detection_quality(
     positions: np.ndarray,
     detection_times: Dict[int, float],
@@ -54,10 +74,7 @@ def detection_quality(
     """
     pts = np.asarray(positions, dtype=float)
     truly_covered = stimulus.covers_many(pts, time)
-    detected = np.zeros(len(pts), dtype=bool)
-    for node_id, t_detect in detection_times.items():
-        if 0 <= node_id < len(pts) and t_detect <= time:
-            detected[node_id] = True
+    detected = detected_mask(detection_times, len(pts), time)
     tp = int(np.sum(truly_covered & detected))
     n_true = int(np.sum(truly_covered))
     n_detected = int(np.sum(detected))

@@ -33,6 +33,7 @@ from repro.experiments.figures import figure4, figure5, figure6, figure7
 from repro.experiments.runner import default_scenario, run_comparison
 from repro.experiments.table1 import print_table1
 from repro.metrics.summary import format_table
+from repro.world.presets import get_preset, preset_names
 
 
 def _make_scheduler_spec(name: str, max_sleep: float, alert_threshold: float) -> SchedulerSpec:
@@ -68,6 +69,15 @@ def _backend_from_args(args: argparse.Namespace) -> ExecutionBackend:
 
 
 def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--preset",
+        default=None,
+        choices=preset_names(),
+        help=(
+            "named scenario preset (e.g. large_grid); overrides the individual "
+            "scenario flags except --seed and --duration"
+        ),
+    )
     parser.add_argument("--nodes", type=int, default=30, help="number of sensors")
     parser.add_argument("--area", type=float, default=50.0, help="square region edge (m)")
     parser.add_argument("--range", type=float, default=10.0, help="transmission range (m)")
@@ -83,6 +93,11 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _scenario_from_args(args: argparse.Namespace):
+    if getattr(args, "preset", None):
+        overrides = {"seed": args.seed}
+        if args.duration is not None:
+            overrides["duration"] = args.duration
+        return get_preset(args.preset, **overrides)
     return default_scenario(
         num_nodes=args.nodes,
         area=args.area,

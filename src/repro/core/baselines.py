@@ -25,6 +25,11 @@ from repro.node.sensor import SensorNode
 class NoSleepController(NodeController):
     """Always awake; detects the stimulus the instant it arrives."""
 
+    # state_name is the pure function "covered" if detected else "active"
+    # (independent of the power state), so the columnar world state derives
+    # it from the detected column alone.
+    state_sync = "detect"
+
     def __init__(self, node: SensorNode, world: WorldServices) -> None:
         super().__init__(node, world)
         self.detection_time: Optional[float] = None
@@ -77,6 +82,10 @@ class NoSleepScheduler(SleepScheduler):
 
 class PeriodicDutyCycleController(NodeController):
     """Awake for ``duty_cycle`` of every period, asleep for the rest."""
+
+    # state_name derives purely from the detected + awake columns:
+    # "covered" if detected, else "active" while awake, else "safe".
+    state_sync = "power"
 
     def __init__(
         self,

@@ -56,6 +56,16 @@ class NodeController(abc.ABC):
     :meth:`sleep_node` so that energy accounting stays consistent.
     """
 
+    #: How the world model mirrors :attr:`state_name` into its columnar
+    #: :class:`~repro.world.state.WorldState` (see that module's sync
+    #: contract).  ``"reported"``: every effective protocol transition is
+    #: pushed through ``world.notify_state_change``.  ``"power"``:
+    #: ``state_name`` is exactly ``"covered"`` if detected, else ``"active"``
+    #: if awake, else ``"safe"``.  ``"detect"``: exactly ``"covered"`` if
+    #: detected else ``"active"``.  ``"scan"`` (default): no guarantee -- the
+    #: world model falls back to reading the property per node.
+    state_sync: str = "scan"
+
     def __init__(self, node: SensorNode, world: WorldServices) -> None:
         self.node = node
         self.world = world

@@ -58,6 +58,11 @@ _PHASE_RATIO = 0.6180339887498949
 class PASController(NodeController):
     """Per-node PAS logic."""
 
+    # Every effective SAFE/ALERT/COVERED transition flows through the state
+    # machine's change hook into world.notify_state_change, so the columnar
+    # world state can mirror this controller exactly (see repro.world.state).
+    state_sync = "reported"
+
     def __init__(self, node: SensorNode, world: WorldServices, config: PASConfig) -> None:
         super().__init__(node, world)
         self.config = config

@@ -84,14 +84,59 @@ class GridIndex:
         return cand[d2 <= radius * radius + 1e-12]
 
     def query_pairs(self, radius: float) -> List[Tuple[int, int]]:
-        """All unordered index pairs ``(i, j)``, ``i < j``, within ``radius``."""
-        pairs: List[Tuple[int, int]] = []
-        for i in range(self.size):
-            neighbours = self.query_radius(self._points[i], radius)
-            for j in neighbours:
-                if j > i:
-                    pairs.append((i, int(j)))
-        return pairs
+        """All unordered index pairs ``(i, j)``, ``i < j``, within ``radius``.
+
+        Single sweep over the hash cells: every unordered *bucket* pair in
+        reach is visited exactly once (half-neighbourhood offsets), and the
+        candidate distances inside each bucket pair are tested with one
+        vectorised NumPy expression.  This replaces the previous
+        one-``query_radius``-per-point construction (N hash probes, N Python
+        loops) with work proportional to the number of occupied cell pairs.
+        Results are sorted ``(i, j)`` ascending, matching the old ordering.
+        """
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        r2 = radius * radius + 1e-12
+        reach = int(math.ceil(radius / self._cell))
+        # Offsets covering each unordered bucket pair once: strictly-right
+        # columns, plus strictly-above cells in the same column.
+        offsets = [
+            (dx, dy)
+            for dx in range(0, reach + 1)
+            for dy in range(-reach, reach + 1)
+            if dx > 0 or (dx == 0 and dy > 0)
+        ]
+        pts = self._points
+        out_i: List[np.ndarray] = []
+        out_j: List[np.ndarray] = []
+        for (kx, ky), bucket in self._buckets.items():
+            a = np.asarray(bucket, dtype=int)
+            pa = pts[a]
+            if len(a) > 1:
+                ii, jj = np.triu_indices(len(a), k=1)
+                keep = np.sum((pa[ii] - pa[jj]) ** 2, axis=1) <= r2
+                if keep.any():
+                    out_i.append(a[ii[keep]])
+                    out_j.append(a[jj[keep]])
+            for dx, dy in offsets:
+                other = self._buckets.get((kx + dx, ky + dy))
+                if not other:
+                    continue
+                b = np.asarray(other, dtype=int)
+                pb = pts[b]
+                d2 = np.sum((pa[:, None, :] - pb[None, :, :]) ** 2, axis=2)
+                ii, jj = np.nonzero(d2 <= r2)
+                if ii.size:
+                    out_i.append(a[ii])
+                    out_j.append(b[jj])
+        if not out_i:
+            return []
+        first = np.concatenate(out_i)
+        second = np.concatenate(out_j)
+        lo = np.minimum(first, second)
+        hi = np.maximum(first, second)
+        order = np.lexsort((hi, lo))
+        return list(zip(lo[order].tolist(), hi[order].tolist()))
 
     def nearest(self, center: Sequence[float]) -> int:
         """Index of the point nearest to ``center`` (brute force fallback).

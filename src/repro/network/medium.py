@@ -115,7 +115,7 @@ class BroadcastMedium:
             if not receiver.is_awake:
                 self.stats.skipped_sleeping += 1
                 continue
-            distance = self.topology.distance(sender_id, neighbour_id)
+            distance = self.topology.link_distance(sender_id, neighbour_id)
             if not self.channel.delivered(sender_id, neighbour_id, distance):
                 self.stats.losses += 1
                 receiver.radio.drop()

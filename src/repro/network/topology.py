@@ -36,10 +36,29 @@ class Topology:
         self.positions = positions
         self.transmission_range = float(transmission_range)
         self._index = GridIndex(positions, cell_size=transmission_range)
-        self._neighbours: Dict[int, Tuple[int, ...]] = {}
-        for node_id in range(len(positions)):
-            in_range = self._index.query_radius(positions[node_id], transmission_range)
-            self._neighbours[node_id] = tuple(int(j) for j in in_range if j != node_id)
+        # One query_pairs sweep yields the neighbour tables, the edge list and
+        # the per-link distances together (instead of N query_radius calls and
+        # an np.hypot per neighbour per broadcast later).
+        pairs = self._index.query_pairs(transmission_range)
+        adjacency: List[List[int]] = [[] for _ in range(len(positions))]
+        for i, j in pairs:
+            adjacency[i].append(j)
+            adjacency[j].append(i)
+        self._neighbours: Dict[int, Tuple[int, ...]] = {
+            node_id: tuple(sorted(neigh)) for node_id, neigh in enumerate(adjacency)
+        }
+        self._edges: List[Tuple[int, int]] = pairs
+        if pairs:
+            pair_arr = np.asarray(pairs, dtype=int)
+            deltas = positions[pair_arr[:, 0]] - positions[pair_arr[:, 1]]
+            # Elementwise np.hypot: the same ufunc the old per-broadcast
+            # scalar computation applied, so cached distances are bit-equal.
+            dists = np.hypot(deltas[:, 0], deltas[:, 1])
+            self._link_distance: Dict[Tuple[int, int], float] = {
+                (int(i), int(j)): float(d) for (i, j), d in zip(pairs, dists)
+            }
+        else:
+            self._link_distance = {}
 
     # ------------------------------------------------------------------ info
     @property
@@ -68,16 +87,29 @@ class Topology:
         self._check_id(b)
         return float(np.hypot(*(self.positions[a] - self.positions[b])))
 
+    def link_distance(self, a: int, b: int) -> float:
+        """Distance between two *connected* nodes, from the cached link table.
+
+        O(1) dict lookup for communication links (the broadcast hot path);
+        falls back to :meth:`distance` for pairs that are not links.
+        """
+        key = (a, b) if a < b else (b, a)
+        cached = self._link_distance.get(key)
+        if cached is not None:
+            return cached
+        return self.distance(a, b)
+
     def are_connected(self, a: int, b: int) -> bool:
         """True if ``a`` and ``b`` are within transmission range (and distinct)."""
         return b in self._neighbours.get(a, ()) if a != b else False
 
     def edges(self) -> List[Tuple[int, int]]:
-        """All unordered communication links ``(i, j)`` with ``i < j``."""
-        out: List[Tuple[int, int]] = []
-        for i, neigh in self._neighbours.items():
-            out.extend((i, j) for j in neigh if j > i)
-        return out
+        """All unordered communication links ``(i, j)`` with ``i < j``.
+
+        Derived from the same ``query_pairs`` pass that built the neighbour
+        tables; returned as a copy so callers cannot mutate the topology.
+        """
+        return list(self._edges)
 
     # ---------------------------------------------------------- connectivity
     def connected_components(self) -> List[Set[int]]:

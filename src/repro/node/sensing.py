@@ -29,12 +29,36 @@ class SensingModel(abc.ABC):
     ) -> bool:
         """Return the node's observation at ``position`` and ``time``."""
 
+    def sense_many(
+        self,
+        stimulus: StimulusModel,
+        positions: np.ndarray,
+        time: float,
+    ) -> np.ndarray:
+        """Vectorised :meth:`sense` over an ``(n, 2)`` array of positions.
+
+        The batch route must consume any internal randomness in exactly the
+        same stream order as ``n`` scalar :meth:`sense` calls over the rows in
+        order, so that the world model can switch between the scalar and
+        batched paths without perturbing seeded runs.  The default simply
+        loops; concrete models override with a truly vectorised path.
+        """
+        pts = np.asarray(positions, dtype=float)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise ValueError(f"positions must have shape (n, 2), got {pts.shape}")
+        return np.array([self.sense(stimulus, p, time) for p in pts], dtype=bool)
+
 
 class PerfectSensing(SensingModel):
     """Ideal sensing: the observation equals the ground truth."""
 
     def sense(self, stimulus: StimulusModel, position: Sequence[float], time: float) -> bool:
         return stimulus.covers(position, time)
+
+    def sense_many(
+        self, stimulus: StimulusModel, positions: np.ndarray, time: float
+    ) -> np.ndarray:
+        return stimulus.covers_many(positions, time)
 
 
 class NoisySensing(SensingModel):
@@ -70,3 +94,20 @@ class NoisySensing(SensingModel):
         if truth:
             return self.rng.random() >= self.miss_probability
         return self.rng.random() < self.false_alarm_probability
+
+    def sense_many(
+        self, stimulus: StimulusModel, positions: np.ndarray, time: float
+    ) -> np.ndarray:
+        """Batched noisy sensing, stream-identical to row-wise scalar calls.
+
+        Each scalar :meth:`sense` consumes exactly one uniform draw, and a
+        single ``rng.random(n)`` call consumes the identical sequence of draws
+        as ``n`` scalar ``rng.random()`` calls, so seeded runs produce the
+        same observations whichever route the world model takes.
+        """
+        pts = np.asarray(positions, dtype=float)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise ValueError(f"positions must have shape (n, 2), got {pts.shape}")
+        truth = stimulus.covers_many(pts, time)
+        draws = self.rng.random(len(pts))
+        return np.where(truth, draws >= self.miss_probability, draws < self.false_alarm_probability)

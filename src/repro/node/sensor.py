@@ -11,7 +11,7 @@ same node implementation serve every scheduler in the comparison.
 from __future__ import annotations
 
 import enum
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.geometry.vec import Vec2
 from repro.node.battery import Battery
@@ -66,6 +66,10 @@ class SensorNode:
         self.radio = RadioModel(energy=self.energy, header_bytes=radio_header_bytes)
         self.battery = battery
         self.power_state = PowerState.AWAKE
+        #: optional ``listener(node_id, new_state)`` mirror of power transitions;
+        #: the world model binds this to its columnar state so awake/failed
+        #: masks never have to be re-derived by scanning nodes
+        self.power_listener: Optional[Callable[[int, "PowerState"], None]] = None
         #: time of the last power-state change; used to charge elapsed energy
         self._state_since = 0.0
         #: cumulative seconds spent awake / asleep (for state-occupancy metrics)
@@ -118,6 +122,8 @@ class SensorNode:
             raise ValueError(f"node {self.id} has failed and cannot be revived")
         self.settle_energy(now)
         self.power_state = state
+        if self.power_listener is not None:
+            self.power_listener(self.id, state)
 
     def wake_up(self, now: float) -> None:
         """Switch to AWAKE (no-op if already awake)."""

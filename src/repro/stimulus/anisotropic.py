@@ -37,6 +37,10 @@ class AnisotropicFrontStimulus(StimulusModel):
         Radius already covered at release, applied uniformly in all directions.
     """
 
+    #: Per-bearing radii only ever grow (speeds are validated positive), so
+    #: coverage is monotone and recession rechecks can be skipped.
+    monotone_coverage = True
+
     def __init__(
         self,
         source: Sequence[float],

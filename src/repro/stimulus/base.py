@@ -22,9 +22,29 @@ class StimulusModel(abc.ABC):
     #: no explicit upper bound (seconds).
     DEFAULT_HORIZON = 10_000.0
 
+    #: True when coverage is monotone in time (a point, once engulfed, stays
+    #: engulfed).  The world model uses this to skip stimulus-recession
+    #: rechecks entirely for front-style models; models where coverage can
+    #: recede (drifting plume, advected fields) must leave it False.
+    monotone_coverage: bool = False
+
     @abc.abstractmethod
     def covers(self, point: Sequence[float], time: float) -> bool:
         """True if ``point`` is inside the stimulus at simulation ``time``."""
+
+    def coverage_disk(self, time: float) -> Optional[tuple]:
+        """Current coverage as a disk ``(cx, cy, radius)``, if it is one.
+
+        Models whose covered region is exactly a disk (circular front,
+        thresholded Gaussian plume) return its centre and radius so the world
+        model can answer "which covered nodes just left the stimulus?" with a
+        single spatial-index query pruned to the nodes near the boundary,
+        instead of a coverage test per covered node.  ``None`` (the default)
+        means the region has no such closed form and callers must fall back
+        to :meth:`covers_many`.  The disk test must use the same
+        ``d2 <= r*r + 1e-12`` tolerance as the model's :meth:`covers_many`.
+        """
+        return None
 
     def covers_many(self, points: np.ndarray, time: float) -> np.ndarray:
         """Vectorised :meth:`covers`; default loops, models may override."""
@@ -89,6 +109,8 @@ class StaticStimulus(StimulusModel):
     Useful in unit tests and as a degenerate case (a spill that has stopped
     spreading): every covered point has the same arrival time ``onset``.
     """
+
+    monotone_coverage = True
 
     def __init__(self, region, onset: float = 0.0) -> None:
         if onset < 0:

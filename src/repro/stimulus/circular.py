@@ -38,6 +38,10 @@ class CircularFrontStimulus(StimulusModel):
         Optional cap after which spreading stops (containment of the spill).
     """
 
+    #: The radius never shrinks (speed profiles are clamped non-negative), so
+    #: covered points stay covered and recession rechecks can be skipped.
+    monotone_coverage = True
+
     def __init__(
         self,
         source: Sequence[float],
@@ -98,6 +102,11 @@ class CircularFrontStimulus(StimulusModel):
         r = self.radius_at(time)
         d2 = (pts[:, 0] - self.source[0]) ** 2 + (pts[:, 1] - self.source[1]) ** 2
         return d2 <= r * r + 1e-12
+
+    def coverage_disk(self, time: float):
+        if time < self.start_time:
+            return None
+        return (self.source[0], self.source[1], self.radius_at(time))
 
     def arrival_time(self, point: Sequence[float], *, horizon=None, tolerance=1e-3) -> float:
         dist = math.hypot(

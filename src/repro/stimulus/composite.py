@@ -24,6 +24,8 @@ class CompositeStimulus(StimulusModel):
         if not kids:
             raise ValueError("CompositeStimulus requires at least one child stimulus")
         self.children = kids
+        # A union of monotone regions is monotone; one receding child spoils it.
+        self.monotone_coverage = all(c.monotone_coverage for c in kids)
 
     def covers(self, point: Sequence[float], time: float) -> bool:
         return any(child.covers(point, time) for child in self.children)

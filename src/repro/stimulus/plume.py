@@ -125,10 +125,21 @@ class GaussianPlumeStimulus(StimulusModel):
         pts = np.asarray(points, dtype=float)
         if time < self.start_time:
             return np.zeros(len(pts), dtype=bool)
-        cx, cy = self.centre_at(time)
         r = self.coverage_radius(time)
+        if r <= 0.0:
+            # Dispersed: the peak concentration is below the threshold, so no
+            # point is covered (the bare d2 test would wrongly keep the exact
+            # centre covered within the 1e-12 tolerance).
+            return np.zeros(len(pts), dtype=bool)
+        cx, cy = self.centre_at(time)
         d2 = (pts[:, 0] - cx) ** 2 + (pts[:, 1] - cy) ** 2
         return d2 <= r * r + 1e-12
+
+    def coverage_disk(self, time: float):
+        if time < self.start_time:
+            return None
+        cx, cy = self.centre_at(time)
+        return (cx, cy, self.coverage_radius(time))
 
     def arrival_time(
         self, point: Sequence[float], *, horizon: Optional[float] = None, tolerance: float = 1e-3
@@ -147,17 +158,76 @@ class GaussianPlumeStimulus(StimulusModel):
         t = self.start_time + step
         while t <= hi:
             if self.covers(point, t):
-                lo, up = t_prev, t
-                while up - lo > tolerance:
-                    mid = 0.5 * (lo + up)
-                    if self.covers(point, mid):
-                        up = mid
-                    else:
-                        lo = mid
-                return up
+                return self._bisect_crossing(point, t_prev, t, tolerance)
             t_prev = t
             t += step
         return math.inf
+
+    def arrival_times(
+        self, points: np.ndarray, *, horizon: Optional[float] = None
+    ) -> np.ndarray:
+        """Batched forward scan sharing the scalar routine's time grid.
+
+        The coarse scan walks the identical accumulated ``t += step`` sequence
+        as :meth:`arrival_time`, but tests all still-unresolved points per
+        instant with one vectorised disk check (the per-instant radius and
+        centre come from the same scalar helpers, so the floats match
+        :meth:`covers_many` exactly).  Each first crossing is then refined by
+        the very same scalar bisection the per-point routine runs, so batch
+        and scalar results coincide.
+        """
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise ValueError(f"points must have shape (n, 2), got {pts.shape}")
+        hi = self.DEFAULT_HORIZON if horizon is None else float(horizon)
+        tolerance = 1e-3
+        step = max(tolerance, 0.25)
+        out = np.full(len(pts), math.inf)
+        if len(pts) == 0:
+            return out
+        alive = np.arange(len(pts))
+        xs, ys = pts[:, 0], pts[:, 1]
+
+        def resolve_hits(time: float, lo_bracket: Optional[float]) -> None:
+            nonlocal alive
+            r = self.coverage_radius(time)
+            if r <= 0.0:
+                return
+            cx, cy = self.centre_at(time)
+            d2 = (xs[alive] - cx) ** 2 + (ys[alive] - cy) ** 2
+            hit = d2 <= r * r + 1e-12
+            if not hit.any():
+                return
+            for idx in alive[hit]:
+                if lo_bracket is None:
+                    out[idx] = self.start_time
+                else:
+                    out[idx] = self._bisect_crossing(
+                        (xs[idx], ys[idx]), lo_bracket, time, tolerance
+                    )
+            alive = alive[~hit]
+
+        # Covered at release time: arrival is exactly start_time.
+        resolve_hits(self.start_time, None)
+        t_prev = self.start_time
+        t = self.start_time + step
+        while t <= hi and alive.size:
+            resolve_hits(t, t_prev)
+            t_prev = t
+            t += step
+        return out
+
+    def _bisect_crossing(
+        self, point: Sequence[float], lo: float, up: float, tolerance: float
+    ) -> float:
+        """The scalar refinement loop of :meth:`arrival_time`, shared verbatim."""
+        while up - lo > tolerance:
+            mid = 0.5 * (lo + up)
+            if self.covers(point, mid):
+                up = mid
+            else:
+                lo = mid
+        return up
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -17,13 +17,19 @@ experiment harness and the CLI.
 
 from repro.world.scenario import ScenarioConfig, StimulusConfig, FaultConfig
 from repro.world.simulation import MonitoringSimulation
+from repro.world.state import WorldState
 from repro.world.builder import build_simulation, run_scenario
+from repro.world.presets import SCENARIO_PRESETS, get_preset, preset_names
 
 __all__ = [
     "ScenarioConfig",
     "StimulusConfig",
     "FaultConfig",
     "MonitoringSimulation",
+    "WorldState",
     "build_simulation",
     "run_scenario",
+    "SCENARIO_PRESETS",
+    "get_preset",
+    "preset_names",
 ]

@@ -26,6 +26,8 @@ from __future__ import annotations
 import math
 from typing import Callable, Dict, List, Optional
 
+import numpy as np
+
 from repro.core.controller import NodeController
 from repro.core.scheduler_base import SleepScheduler
 from repro.metrics.energy import collect_energy_stats
@@ -34,12 +36,13 @@ from repro.metrics.summary import RunSummary
 from repro.network.medium import BroadcastMedium
 from repro.network.messages import Message
 from repro.network.topology import Topology
-from repro.node.sensing import SensingModel
+from repro.node.sensing import PerfectSensing, SensingModel
 from repro.node.sensor import SensorNode
 from repro.sim.engine import Simulator
 from repro.sim.events import EventHandle
 from repro.sim.timers import PeriodicTimer
 from repro.stimulus.base import StimulusModel
+from repro.world.state import WorldState
 
 
 class MonitoringSimulation:
@@ -79,22 +82,51 @@ class MonitoringSimulation:
         self.scenario_description = dict(scenario_description or {})
         self.metrics_interval = occupancy_sample_interval
 
-        # Ground-truth arrival times (per node id).
+        # Columnar mirror of per-node state: SensorNode power transitions and
+        # controller protocol reports push into it (see repro.world.state for
+        # the sync contract), so the per-tick paths below never scan objects.
+        node_ids = list(nodes.keys())
+        positions = np.array(
+            [(n.position.x, n.position.y) for n in nodes.values()], dtype=float
+        ).reshape(len(node_ids), 2)
+        self.world_state = WorldState(node_ids, positions)
+        for node in nodes.values():
+            node.power_listener = self.world_state.set_power
+            self.world_state.sync_from_node(node)
+
+        # Ground-truth arrival times (per node id), one batched query.
         if true_arrival_times is None:
-            positions = {nid: (n.position.x, n.position.y) for nid, n in nodes.items()}
+            times = stimulus.arrival_times(positions, horizon=duration * 2.0)
             true_arrival_times = {
-                nid: stimulus.arrival_time(pos, horizon=duration * 2.0)
-                for nid, pos in positions.items()
+                nid: float(t) for nid, t in zip(node_ids, times)
             }
         self.true_arrival_times = true_arrival_times
         self.metrics = MetricsRecorder(true_arrival_times)
 
-        # Per-node controllers.
+        # Per-node controllers, grouped by how their protocol state is kept in
+        # sync with the columnar world state (NodeController.state_sync).
         self.controllers: Dict[int, NodeController] = {}
+        groups: Dict[str, List[int]] = {"reported": [], "power": [], "detect": [], "scan": []}
         for node_id, node in nodes.items():
             controller = scheduler.create_controller(node, self)
             self.controllers[node_id] = controller
             medium.register_handler(node_id, self._deliver_to_controller)
+            self.world_state.set_protocol_state(node_id, controller.state_name)
+            mode = getattr(controller, "state_sync", "scan")
+            rows = groups.get(mode)
+            (rows if rows is not None else groups["scan"]).append(
+                self.world_state.row_of(node_id)
+            )
+        self._reported_rows = np.array(sorted(groups["reported"]), dtype=int)
+        self._power_rows = np.array(sorted(groups["power"]), dtype=int)
+        self._detect_rows = np.array(sorted(groups["detect"]), dtype=int)
+        self._scan_rows: List[int] = sorted(groups["scan"])
+        self._covered_code = self.world_state.code_of("covered")
+        # Recession rechecks are provably no-ops when sensing is exactly truth
+        # and coverage never recedes (and no opaque "scan" controller could
+        # have entered COVERED without true coverage).
+        self._exact_truth_sensing = type(sensing) is PerfectSensing
+        self._recheck_skippable = self._exact_truth_sensing and not self._scan_rows
 
         self._coverage_recheck = PeriodicTimer(
             sim, coverage_recheck_interval, self._recheck_covered_nodes, name="coverage-recheck"
@@ -133,10 +165,14 @@ class MonitoringSimulation:
 
     def notify_detection(self, node_id: int, time: float) -> None:
         """Metrics hook: a node detected the stimulus for the first time."""
+        if node_id in self.nodes:
+            self.world_state.set_detected(node_id)
         self.metrics.record_detection(node_id, time)
 
     def notify_state_change(self, node_id: int, time: float, old: str, new: str) -> None:
         """Metrics hook: a controller changed protocol state."""
+        if node_id in self.nodes:
+            self.world_state.set_protocol_state(node_id, new)
         self.metrics.record_state_change(node_id, time, old, new)
 
     # ================================================================ running
@@ -216,8 +252,74 @@ class MonitoringSimulation:
 
         return fire
 
+    def _covered_awake_rows(self) -> np.ndarray:
+        """Rows of nodes that are awake and in protocol state "covered".
+
+        Assembled from the columnar world state per sync group: the codes
+        column for "reported" controllers, the detected column for the
+        baseline groups, and a per-node property read only for opaque
+        "scan" controllers.
+        """
+        ws = self.world_state
+        mask = np.zeros(ws.num_nodes, dtype=bool)
+        if self._reported_rows.size:
+            mask[self._reported_rows] = (
+                ws.state_codes[self._reported_rows] == self._covered_code
+            )
+        if self._power_rows.size:
+            mask[self._power_rows] = ws.detected[self._power_rows]
+        if self._detect_rows.size:
+            mask[self._detect_rows] = ws.detected[self._detect_rows]
+        for row in self._scan_rows:
+            mask[row] = self.controllers[int(ws.ids[row])].state_name == "covered"
+        mask &= ws.awake
+        return np.nonzero(mask)[0]
+
     def _recheck_covered_nodes(self) -> None:
-        """Detect stimulus recession for covered nodes (plume-style stimuli)."""
+        """Detect stimulus recession for covered nodes (plume-style stimuli).
+
+        Vectorised: one batched coverage/sensing query over the covered+awake
+        subset instead of a Python-level scan of every node.  The batch draws
+        exactly the same random stream as the scalar loop (see
+        ``SensingModel.sense_many``), keeping seeded runs bit-identical.
+        """
+        now = self.sim.now
+        self.stimulus.advance(now)
+        if self._recheck_skippable and self.stimulus.monotone_coverage:
+            # Truth sensing + non-receding coverage: a covered node can never
+            # observe a departure, so the whole recheck is a no-op.
+            return
+        rows = self._covered_awake_rows()
+        if rows.size == 0:
+            return
+        ws = self.world_state
+        if self._exact_truth_sensing:
+            disk = self.stimulus.coverage_disk(now)
+            if disk is not None:
+                # Disk-shaped coverage: one spatial-index query bounded by the
+                # region prunes the membership test to nodes near/inside the
+                # boundary; same d2 <= r*r + 1e-12 test as covers_many.
+                cx, cy, radius = disk
+                inside = np.zeros(ws.num_nodes, dtype=bool)
+                if radius > 0.0:
+                    inside[ws.index().query_radius((cx, cy), radius)] = True
+                still_covered = inside[rows]
+            else:
+                still_covered = self.stimulus.covers_many(ws.positions[rows], now)
+        else:
+            still_covered = self.sensing.sense_many(
+                self.stimulus, ws.positions[rows], now
+            )
+        for row in rows[~np.asarray(still_covered, dtype=bool)]:
+            self.controllers[int(ws.ids[row])].on_stimulus_departure()
+
+    def _recheck_covered_nodes_scalar(self) -> None:
+        """Reference implementation of the recheck: per-node object scan.
+
+        Kept (unscheduled) so the equivalence tests and the large-scale
+        benchmark can compare the vectorised path against the original
+        semantics on the same live simulation.
+        """
         now = self.sim.now
         self.stimulus.advance(now)
         for node_id, controller in self.controllers.items():
@@ -229,19 +331,36 @@ class MonitoringSimulation:
                 controller.on_stimulus_departure()
 
     def _sample_occupancy(self) -> None:
+        ws = self.world_state
         counts: Dict[str, int] = {}
-        awake = 0
-        asleep = 0
-        for node_id, controller in self.controllers.items():
-            node = self.nodes[node_id]
-            counts[controller.state_name] = counts.get(controller.state_name, 0) + 1
-            if node.is_awake:
-                awake += 1
-            elif not node.is_failed:
-                asleep += 1
+        if self._reported_rows.size:
+            counts.update(ws.count_codes(self._reported_rows))
+        if self._power_rows.size:
+            detected = ws.detected[self._power_rows]
+            active = ~detected & ws.awake[self._power_rows]
+            self._bump(counts, "covered", int(detected.sum()))
+            self._bump(counts, "active", int(active.sum()))
+            self._bump(counts, "safe", int(self._power_rows.size) - int(detected.sum()) - int(active.sum()))
+        if self._detect_rows.size:
+            covered = int(ws.detected[self._detect_rows].sum())
+            self._bump(counts, "covered", covered)
+            self._bump(counts, "active", int(self._detect_rows.size) - covered)
+        for row in self._scan_rows:
+            name = self.controllers[int(ws.ids[row])].state_name
+            counts[name] = counts.get(name, 0) + 1
         self.metrics.record_occupancy(
-            OccupancySample(time=self.sim.now, counts=counts, awake=awake, asleep=asleep)
+            OccupancySample(
+                time=self.sim.now,
+                counts=counts,
+                awake=int(ws.awake.sum()),
+                asleep=int(ws.asleep.sum()),
+            )
         )
+
+    @staticmethod
+    def _bump(counts: Dict[str, int], name: str, by: int) -> None:
+        if by > 0:
+            counts[name] = counts.get(name, 0) + by
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -1,0 +1,199 @@
+"""Columnar world state: contiguous per-node arrays for the hot per-tick paths.
+
+Why this exists
+---------------
+``MonitoringSimulation`` used to re-derive "which nodes are awake / failed /
+covered" every coverage-recheck tick and every occupancy sample by scanning
+the Python ``SensorNode`` / ``NodeController`` objects -- an O(n) interpreted
+loop per tick that dominates wall-clock time well before the paper's 30-node
+evaluation grows to the 5k--10k-node scenarios the roadmap targets.
+:class:`WorldState` keeps the same facts as contiguous NumPy columns so the
+per-tick work becomes a handful of vectorised mask reductions proportional to
+the active set, not the fleet.
+
+Columns (row ``i`` describes the node with id ``ids[i]``):
+
+* ``positions``  -- ``(n, 2)`` float64 node coordinates (immutable).
+* ``awake``      -- bool; node is in the AWAKE power state.
+* ``failed``     -- bool; node has permanently failed.
+* ``detected``   -- bool; node has reported its first stimulus detection.
+* ``state_codes``-- int16; interned protocol-state name (see below).
+
+Sync contract
+-------------
+The columns are *pushed* by the authoritative state holders at their
+transition points -- they are never re-derived by scanning node objects:
+
+* **Power state** (``awake`` / ``failed``): every power transition of a
+  :class:`~repro.node.sensor.SensorNode` funnels through
+  ``SensorNode.set_power_state``, which invokes the node's bound
+  ``power_listener``.  ``MonitoringSimulation`` binds that listener to
+  :meth:`WorldState.set_power` for every node it owns, so controllers,
+  fault injectors and battery death all keep the columns exact for free.
+* **Detections** (``detected``): controllers report first detections through
+  ``WorldServices.notify_detection``; the simulation mirrors the report into
+  :meth:`WorldState.set_detected` before recording metrics.
+* **Protocol state** (``state_codes``): state names are interned to small
+  integer codes (:meth:`WorldState.code_of`).  How a controller's
+  ``state_name`` is mirrored depends on its declared
+  ``NodeController.state_sync`` mode:
+
+  - ``"reported"`` -- the controller pushes every *effective* protocol
+    transition through ``WorldServices.notify_state_change`` (the PAS / SAS
+    state machines do this via their ``StateMachine`` change hook), so the
+    code column is exact at all times.
+  - ``"power"`` / ``"detect"`` -- the controller's ``state_name`` is a pure
+    function of the ``detected`` / ``awake`` columns (duty-cycle baselines
+    and the NS baseline respectively); no extra pushes are needed.
+  - ``"scan"`` -- no guarantee is made; the world model falls back to
+    reading the ``state_name`` property per node.  This is the default for
+    custom controllers, which therefore stay correct (merely slower).
+
+Invariants controllers must uphold
+----------------------------------
+1. Never mutate ``SensorNode.power_state`` directly; always go through
+   ``set_power_state`` / ``wake_up`` / ``go_to_sleep`` / ``fail`` so the
+   listener fires.
+2. A ``"reported"`` controller must emit ``notify_state_change`` for every
+   effective transition of its ``state_name`` (self-loops need not be
+   reported) and its initial ``state_name`` must match what it reports first.
+3. A ``"power"`` / ``"detect"`` controller must keep its ``state_name``
+   exactly the documented pure function of the columns.
+
+Violating these rules does not corrupt the simulation (the columns are a
+mirror, not the source of truth) but desynchronises the vectorised fast
+paths from the object state, which shows up as wrong occupancy counts or
+missed stimulus-departure callbacks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.spatial_index import GridIndex
+from repro.node.sensor import PowerState
+
+
+class WorldState:
+    """Columnar mirror of per-node power, detection and protocol state.
+
+    Parameters
+    ----------
+    node_ids:
+        Iterable of node ids, in the row order the columns should use
+        (ascending id order for the standard builder path).
+    positions:
+        ``(n, 2)`` array of node coordinates, aligned with ``node_ids``.
+    """
+
+    def __init__(self, node_ids: Iterable[int], positions: np.ndarray) -> None:
+        self.ids = np.asarray(list(node_ids), dtype=np.int64)
+        positions = np.asarray(positions, dtype=float)
+        if positions.ndim != 2 or positions.shape[1] != 2:
+            raise ValueError(f"positions must have shape (n, 2), got {positions.shape}")
+        if len(self.ids) != len(positions):
+            raise ValueError(
+                f"{len(self.ids)} node ids but {len(positions)} positions"
+            )
+        if len(np.unique(self.ids)) != len(self.ids):
+            raise ValueError("node ids must be unique")
+        self.positions = positions
+        n = len(self.ids)
+        self.awake = np.ones(n, dtype=bool)
+        self.failed = np.zeros(n, dtype=bool)
+        self.detected = np.zeros(n, dtype=bool)
+        self.state_codes = np.zeros(n, dtype=np.int16)
+        self._row: Dict[int, int] = {int(nid): i for i, nid in enumerate(self.ids)}
+        # Interned protocol-state names; code 0 is reserved for "unset" so a
+        # freshly constructed column maps to a real (if uninformative) name.
+        self._code_of: Dict[str, int] = {"unset": 0}
+        self._name_of: List[str] = ["unset"]
+        self._index: Optional[GridIndex] = None
+
+    # ------------------------------------------------------------------ info
+    @property
+    def num_nodes(self) -> int:
+        """Number of tracked nodes."""
+        return int(len(self.ids))
+
+    def row_of(self, node_id: int) -> int:
+        """Column row index of ``node_id`` (KeyError for unknown ids)."""
+        return self._row[node_id]
+
+    def code_of(self, name: str) -> int:
+        """Interned integer code for a protocol-state name (allocates on first use)."""
+        code = self._code_of.get(name)
+        if code is None:
+            code = len(self._name_of)
+            if code > np.iinfo(self.state_codes.dtype).max:  # pragma: no cover
+                raise OverflowError("too many distinct protocol-state names")
+            self._code_of[name] = code
+            self._name_of.append(name)
+        return code
+
+    def name_of(self, code: int) -> str:
+        """Protocol-state name for an interned code."""
+        return self._name_of[code]
+
+    # ----------------------------------------------------------------- sync
+    def set_power(self, node_id: int, state: PowerState) -> None:
+        """Mirror a power transition (bound as ``SensorNode.power_listener``)."""
+        row = self._row[node_id]
+        self.awake[row] = state == PowerState.AWAKE
+        self.failed[row] = state == PowerState.FAILED
+
+    def set_detected(self, node_id: int) -> None:
+        """Mirror a node's first stimulus detection."""
+        self.detected[self._row[node_id]] = True
+
+    def set_protocol_state(self, node_id: int, name: str) -> None:
+        """Mirror a protocol-state change for a ``"reported"`` controller."""
+        self.state_codes[self._row[node_id]] = self.code_of(name)
+
+    def sync_from_node(self, node) -> None:
+        """Re-read one node's power state (used when binding existing nodes)."""
+        self.set_power(node.id, node.power_state)
+
+    # -------------------------------------------------------------- queries
+    @property
+    def asleep(self) -> np.ndarray:
+        """Boolean mask of nodes that are asleep (not awake, not failed)."""
+        return ~self.awake & ~self.failed
+
+    def count_codes(self, rows: Optional[np.ndarray] = None) -> Dict[str, int]:
+        """Occupancy counts ``{state_name: n}`` over ``rows`` via one bincount."""
+        codes = self.state_codes if rows is None else self.state_codes[rows]
+        counts = np.bincount(codes, minlength=len(self._name_of))
+        return {
+            self._name_of[code]: int(c)
+            for code, c in enumerate(counts)
+            if c > 0
+        }
+
+    def index(self, cell_size: Optional[float] = None) -> GridIndex:
+        """Spatial hash over the node positions (built lazily, then cached).
+
+        Used by the coverage-recheck fast path to prune disk-shaped coverage
+        queries to the nodes actually near the region.  ``cell_size`` is only
+        honoured on the first call; positions are immutable so the index never
+        goes stale.
+        """
+        if self._index is None:
+            if cell_size is None:
+                # Aim for O(1) nodes per cell at uniform density.
+                if self.num_nodes > 0:
+                    extent = np.ptp(self.positions, axis=0)
+                    area = float(max(extent[0], 1e-9) * max(extent[1], 1e-9))
+                    cell_size = max(np.sqrt(area / self.num_nodes), 1e-6)
+                else:  # pragma: no cover - degenerate empty world
+                    cell_size = 1.0
+            self._index = GridIndex(self.positions, cell_size=float(cell_size))
+        return self._index
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WorldState(n={self.num_nodes}, awake={int(self.awake.sum())}, "
+            f"failed={int(self.failed.sum())}, detected={int(self.detected.sum())})"
+        )

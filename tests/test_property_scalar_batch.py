@@ -1,0 +1,232 @@
+"""Property tests: the batched APIs must agree with their scalar originals.
+
+The vectorised kernel routes every hot path through the batch APIs
+(``covers_many``, ``arrival_times``, ``sense_many``); these properties pin
+the contract that lets it do so safely:
+
+* ``covers_many(points, t)`` equals ``[covers(p, t) for p in points]`` for
+  every stimulus model, including NaN coordinates and dispersed (never/inf
+  arrival) regimes;
+* ``arrival_times(points)`` equals the mapped scalar ``arrival_time``,
+  including points whose arrival is 0 (inside the initial region) or inf
+  (never covered within the horizon);
+* ``sense_many`` equals mapped ``sense`` for both sensing models, and for
+  :class:`NoisySensing` the batch consumes the *identical* random stream so
+  scalar and batched simulations stay bit-for-bit interchangeable.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.regions import Circle
+from repro.node.sensing import NoisySensing, PerfectSensing
+from repro.stimulus.advection_diffusion import AdvectionDiffusionStimulus
+from repro.stimulus.anisotropic import AnisotropicFrontStimulus
+from repro.stimulus.base import StaticStimulus
+from repro.stimulus.circular import CircularFrontStimulus
+from repro.stimulus.composite import CompositeStimulus
+from repro.stimulus.plume import GaussianPlumeStimulus
+
+coords = st.floats(min_value=-60.0, max_value=60.0, allow_nan=False)
+points_arrays = st.lists(st.tuples(coords, coords), min_size=0, max_size=24).map(
+    lambda pts: np.array(pts, dtype=float).reshape(len(pts), 2)
+)
+times = st.floats(min_value=0.0, max_value=80.0, allow_nan=False)
+
+
+def make_circular(seed):
+    rng = np.random.default_rng(seed)
+    return CircularFrontStimulus(
+        (float(rng.uniform(-10, 10)), float(rng.uniform(-10, 10))),
+        speed=float(rng.uniform(0.2, 3.0)),
+        start_time=float(rng.uniform(0.0, 5.0)),
+        initial_radius=float(rng.uniform(0.0, 4.0)),
+        max_radius=float(rng.uniform(10.0, 40.0)) if seed % 2 else None,
+    )
+
+
+def make_anisotropic(seed):
+    rng = np.random.default_rng(seed)
+    return AnisotropicFrontStimulus(
+        (float(rng.uniform(-5, 5)), float(rng.uniform(-5, 5))),
+        rng.uniform(0.3, 2.5, size=int(rng.integers(3, 9))),
+        start_time=float(rng.uniform(0.0, 4.0)),
+        initial_radius=float(rng.uniform(0.0, 2.0)),
+    )
+
+
+def make_plume(seed):
+    rng = np.random.default_rng(seed)
+    return GaussianPlumeStimulus(
+        (float(rng.uniform(-10, 10)), float(rng.uniform(-10, 10))),
+        wind=(float(rng.uniform(-1.5, 1.5)), float(rng.uniform(-1.5, 1.5))),
+        diffusivity=float(rng.uniform(0.1, 2.0)),
+        emission=float(rng.uniform(10.0, 500.0)),
+        threshold=float(rng.uniform(0.01, 0.3)),
+        sigma0=float(rng.uniform(0.5, 3.0)),
+        start_time=float(rng.uniform(0.0, 3.0)),
+    )
+
+
+def make_static(seed):
+    rng = np.random.default_rng(seed)
+    return StaticStimulus(
+        Circle(float(rng.uniform(-5, 5)), float(rng.uniform(-5, 5)), float(rng.uniform(1.0, 20.0))),
+        onset=float(rng.uniform(0.0, 5.0)),
+    )
+
+
+def make_composite(seed):
+    return CompositeStimulus([make_circular(seed), make_plume(seed + 1)])
+
+
+MODEL_FACTORIES = [make_circular, make_anisotropic, make_plume, make_static, make_composite]
+
+
+class TestCoversManyAgreesWithCovers:
+    @pytest.mark.parametrize("factory", MODEL_FACTORIES)
+    @settings(max_examples=40, deadline=None)
+    @given(pts=points_arrays, t=times, seed=st.integers(min_value=0, max_value=50))
+    def test_agreement(self, factory, pts, t, seed):
+        model = factory(seed)
+        batch = model.covers_many(pts, t)
+        scalar = np.array([model.covers(p, t) for p in pts], dtype=bool)
+        assert np.array_equal(batch, scalar)
+
+    def test_advection_diffusion_agreement(self):
+        # The PDE model mutates internal state on advance(); exercise it on a
+        # fixed grid of probes rather than under hypothesis shrinking.
+        m = AdvectionDiffusionStimulus(
+            (30.0, 30.0), source=(5.0, 15.0), velocity=(0.8, 0.1), threshold=0.4
+        )
+        xs, ys = np.meshgrid(np.linspace(0, 30, 7), np.linspace(0, 30, 7))
+        pts = np.column_stack([xs.ravel(), ys.ravel()])
+        for t in (0.5, 3.0, 8.0):
+            batch = m.covers_many(pts, t)
+            scalar = np.array([m.covers(p, t) for p in pts], dtype=bool)
+            assert np.array_equal(batch, scalar)
+
+    @pytest.mark.parametrize("factory", [make_circular, make_plume, make_static])
+    def test_nan_positions_uncovered_both_routes(self, factory):
+        model = factory(0)
+        pts = np.array([[np.nan, 0.0], [0.0, np.nan], [np.nan, np.nan], [1.0, 1.0]])
+        t = 20.0
+        batch = model.covers_many(pts, t)
+        scalar = np.array([model.covers(p, t) for p in pts], dtype=bool)
+        assert np.array_equal(batch, scalar)
+        assert not batch[:3].any(), "NaN coordinates must never be covered"
+
+    def test_dispersed_plume_covers_nothing_anywhere(self):
+        p = GaussianPlumeStimulus((0.0, 0.0), wind=(0.0, 0.0), diffusivity=2.0,
+                                  emission=10.0, threshold=0.2)
+        t = 500.0  # long after dilution drops the peak below threshold
+        assert p.coverage_radius(t) == 0.0
+        pts = np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 5.0]])
+        assert not p.covers_many(pts, t).any()
+        assert not any(p.covers(q, t) for q in pts)
+
+
+class TestArrivalTimesAgreeWithArrivalTime:
+    @pytest.mark.parametrize("factory", MODEL_FACTORIES)
+    @settings(max_examples=25, deadline=None)
+    @given(pts=points_arrays, seed=st.integers(min_value=0, max_value=50))
+    def test_agreement_including_inf(self, factory, pts, seed):
+        model = factory(seed)
+        horizon = 60.0
+        batch = model.arrival_times(pts, horizon=horizon)
+        scalar = np.array([model.arrival_time(p, horizon=horizon) for p in pts])
+        # Exact equality, inf included: the world model swapped its scalar
+        # precompute loop for one arrival_times call and seeded runs must not
+        # move by a ULP.
+        assert batch.shape == scalar.shape
+        assert np.array_equal(batch, scalar)
+
+    def test_capped_circular_front_yields_inf_outside_cap(self):
+        s = CircularFrontStimulus((0.0, 0.0), speed=1.0, max_radius=10.0)
+        pts = np.array([[0.0, 0.0], [5.0, 0.0], [50.0, 0.0]])
+        batch = s.arrival_times(pts, horizon=1000.0)
+        assert batch[0] == 0.0
+        assert batch[1] == pytest.approx(5.0)
+        assert math.isinf(batch[2])
+
+
+class TestSenseManyAgreesWithSense:
+    @settings(max_examples=30, deadline=None)
+    @given(pts=points_arrays, t=times, seed=st.integers(min_value=0, max_value=50))
+    def test_perfect_sensing(self, pts, t, seed):
+        model = make_circular(seed)
+        sensing = PerfectSensing()
+        batch = sensing.sense_many(model, pts, t)
+        scalar = np.array([sensing.sense(model, p, t) for p in pts], dtype=bool)
+        assert np.array_equal(batch, scalar)
+
+    @pytest.mark.parametrize("factory", [make_circular, make_plume])
+    @settings(max_examples=30, deadline=None)
+    @given(
+        pts=points_arrays,
+        t=times,
+        seed=st.integers(min_value=0, max_value=50),
+        miss=st.floats(min_value=0.0, max_value=1.0),
+        false_alarm=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_noisy_sensing_stream_identical(self, factory, pts, t, seed, miss, false_alarm):
+        model = factory(seed)
+        scalar_sensing = NoisySensing(miss, false_alarm, rng=np.random.default_rng(seed))
+        batch_sensing = NoisySensing(miss, false_alarm, rng=np.random.default_rng(seed))
+        scalar = np.array(
+            [scalar_sensing.sense(model, p, t) for p in pts], dtype=bool
+        )
+        batch = batch_sensing.sense_many(model, pts, t)
+        assert np.array_equal(batch, scalar)
+        # Both routes must have consumed the same number of draws, leaving the
+        # generators in identical states.
+        assert scalar_sensing.rng.random() == batch_sensing.rng.random()
+
+    def test_default_sense_many_loops_scalar(self):
+        class Flaky(PerfectSensing):
+            """Subclass overriding sense only; inherits the base loop."""
+
+            def sense(self, stimulus, position, time):
+                return position[0] > 0
+
+            sense_many = NoisySensing.__mro__[1].sense_many  # SensingModel's loop
+
+        model = make_circular(0)
+        sensing = Flaky()
+        pts = np.array([[1.0, 0.0], [-1.0, 0.0]])
+        assert list(sensing.sense_many(model, pts, 1.0)) == [True, False]
+
+    def test_sense_many_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            NoisySensing(0.1, 0.1, rng=np.random.default_rng(0)).sense_many(
+                make_circular(0), np.zeros((2, 3)), 1.0
+            )
+
+
+class TestSimulationArrivalPrecomputeUsesBatch:
+    def test_batch_precompute_matches_scalar_loop(self):
+        from repro.core.config import PASConfig
+        from repro.core.pas import PASScheduler
+        from repro.geometry.deployment import DeploymentConfig
+        from repro.world.builder import build_simulation
+        from repro.world.scenario import ScenarioConfig, StimulusConfig
+
+        config = ScenarioConfig(
+            deployment=DeploymentConfig(num_nodes=12, width=30.0, height=30.0),
+            transmission_range=12.0,
+            stimulus=StimulusConfig(kind="anisotropic", speed=1.0),
+            duration=25.0,
+            seed=2,
+        )
+        sim = build_simulation(config, PASScheduler(PASConfig()))
+        expected = {
+            nid: sim.stimulus.arrival_time(
+                (node.position.x, node.position.y), horizon=sim.duration * 2.0
+            )
+            for nid, node in sim.nodes.items()
+        }
+        assert sim.true_arrival_times == expected

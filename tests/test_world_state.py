@@ -1,0 +1,213 @@
+"""Tests for the columnar WorldState and its sync with the live simulation.
+
+The columns are a *mirror* pushed by the authoritative state holders
+(``SensorNode`` power transitions, controller protocol reports); these tests
+assert the mirror stays exact through real runs and that the vectorised
+per-tick paths built on it (coverage recheck, occupancy sampling) agree with
+the original object-scanning implementations on the same live simulation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import NoSleepScheduler, PeriodicDutyCycleScheduler
+from repro.core.config import BaselineConfig, PASConfig, SchedulerConfig
+from repro.core.pas import PASScheduler
+from repro.core.sas import SASScheduler
+from repro.core.config import SASConfig
+from repro.geometry.deployment import DeploymentConfig
+from repro.geometry.vec import Vec2
+from repro.node.sensor import SensorNode
+from repro.world.builder import build_simulation
+from repro.world.scenario import FaultConfig, ScenarioConfig, StimulusConfig
+from repro.world.state import WorldState
+
+
+def scenario(**kwargs):
+    defaults = dict(
+        deployment=DeploymentConfig(num_nodes=16, width=40.0, height=40.0),
+        transmission_range=14.0,
+        stimulus=StimulusConfig(kind="circular", speed=1.0),
+        duration=30.0,
+        seed=3,
+    )
+    defaults.update(kwargs)
+    return ScenarioConfig(**defaults)
+
+
+def plume_scenario(**kwargs):
+    return scenario(
+        stimulus=StimulusConfig(kind="plume", speed=1.0),
+        duration=45.0,
+        **kwargs,
+    )
+
+
+class TestWorldStateUnit:
+    def test_columns_initialised_awake(self):
+        ws = WorldState([0, 1, 2], np.zeros((3, 2)))
+        assert ws.awake.all()
+        assert not ws.failed.any()
+        assert not ws.detected.any()
+        assert ws.num_nodes == 3
+
+    def test_shape_and_id_validation(self):
+        with pytest.raises(ValueError):
+            WorldState([0], np.zeros((1, 3)))
+        with pytest.raises(ValueError):
+            WorldState([0, 1], np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            WorldState([5, 5], np.zeros((2, 2)))
+
+    def test_power_sync_via_listener(self):
+        node = SensorNode(7, Vec2(1.0, 2.0))
+        ws = WorldState([7], np.array([[1.0, 2.0]]))
+        node.power_listener = ws.set_power
+        node.go_to_sleep(1.0)
+        assert not ws.awake[0] and not ws.failed[0]
+        assert ws.asleep[0]
+        node.wake_up(2.0)
+        assert ws.awake[0]
+        node.fail(3.0)
+        assert not ws.awake[0] and ws.failed[0]
+        assert not ws.asleep[0]
+
+    def test_sync_from_node_picks_up_existing_state(self):
+        node = SensorNode(0, Vec2(0.0, 0.0))
+        node.fail(0.0)
+        ws = WorldState([0], np.array([[0.0, 0.0]]))
+        ws.sync_from_node(node)
+        assert ws.failed[0] and not ws.awake[0]
+
+    def test_code_interning_round_trips(self):
+        ws = WorldState([0], np.zeros((1, 2)))
+        a = ws.code_of("safe")
+        assert ws.code_of("safe") == a
+        assert ws.name_of(a) == "safe"
+        b = ws.code_of("alert")
+        assert b != a
+
+    def test_count_codes_bincount(self):
+        ws = WorldState(range(5), np.zeros((5, 2)))
+        for nid, name in enumerate(["safe", "safe", "alert", "covered", "safe"]):
+            ws.set_protocol_state(nid, name)
+        assert ws.count_codes() == {"safe": 3, "alert": 1, "covered": 1}
+        rows = np.array([0, 2, 3])
+        assert ws.count_codes(rows) == {"safe": 1, "alert": 1, "covered": 1}
+
+    def test_row_of_unknown_id_raises(self):
+        ws = WorldState([3, 9], np.zeros((2, 2)))
+        assert ws.row_of(9) == 1
+        with pytest.raises(KeyError):
+            ws.row_of(4)
+
+
+def _object_scan_occupancy(sim):
+    """The original per-node occupancy scan, as ground truth."""
+    counts = {}
+    awake = asleep = 0
+    for node_id, controller in sim.controllers.items():
+        node = sim.nodes[node_id]
+        counts[controller.state_name] = counts.get(controller.state_name, 0) + 1
+        if node.is_awake:
+            awake += 1
+        elif not node.is_failed:
+            asleep += 1
+    return counts, awake, asleep
+
+
+def _object_scan_covered_awake_ids(sim):
+    return [
+        nid
+        for nid, controller in sim.controllers.items()
+        if not sim.nodes[nid].is_failed
+        and sim.nodes[nid].is_awake
+        and controller.state_name == "covered"
+    ]
+
+
+SCHEDULERS = [
+    ("PAS", lambda: PASScheduler(PASConfig())),
+    ("SAS", lambda: SASScheduler(SASConfig())),
+    ("NS", lambda: NoSleepScheduler(SchedulerConfig())),
+    ("PERIODIC", lambda: PeriodicDutyCycleScheduler(BaselineConfig())),
+]
+
+
+class TestMirrorStaysExactDuringRuns:
+    @pytest.mark.parametrize("name,make", SCHEDULERS)
+    def test_columns_match_objects_at_checkpoints(self, name, make):
+        sim = build_simulation(plume_scenario(), make())
+        sim.start()
+        for until in (5.0, 12.0, 25.0, 40.0):
+            sim.sim.run(until=until)
+            ws = sim.world_state
+            for nid, node in sim.nodes.items():
+                row = ws.row_of(nid)
+                assert ws.awake[row] == node.is_awake, (name, nid, until)
+                assert ws.failed[row] == node.is_failed
+            counts, awake, asleep = _object_scan_occupancy(sim)
+            sim._sample_occupancy()
+            sample = sim.metrics.occupancy[-1]
+            assert sample.counts == counts, (name, until)
+            assert sample.awake == awake
+            assert sample.asleep == asleep
+
+    def test_columns_track_failures(self):
+        sim = build_simulation(
+            plume_scenario(faults=FaultConfig(node_failure_rate=20.0)),
+            PASScheduler(PASConfig()),
+        )
+        sim.run()
+        ws = sim.world_state
+        failed_rows = {ws.row_of(nid) for nid, n in sim.nodes.items() if n.is_failed}
+        assert failed_rows, "failure rate high enough that some node failed"
+        assert set(np.nonzero(ws.failed)[0]) == failed_rows
+
+    def test_detected_column_matches_metrics(self):
+        sim = build_simulation(scenario(), PASScheduler(PASConfig()))
+        sim.run()
+        ws = sim.world_state
+        detected_rows = {ws.row_of(nid) for nid in sim.metrics.detections}
+        assert set(np.nonzero(ws.detected)[0]) == detected_rows
+        assert detected_rows, "the front reaches nodes in this scenario"
+
+
+class TestVectorisedRecheckEquivalence:
+    @pytest.mark.parametrize("name,make", SCHEDULERS)
+    def test_covered_rows_match_object_scan(self, name, make):
+        sim = build_simulation(plume_scenario(), make())
+        sim.start()
+        for until in (6.0, 18.0, 33.0):
+            sim.sim.run(until=until)
+            ws = sim.world_state
+            ids = [int(ws.ids[r]) for r in sim._covered_awake_rows()]
+            assert ids == _object_scan_covered_awake_ids(sim), (name, until)
+
+    def test_departures_identical_to_scalar_recheck(self):
+        """Run twin simulations, recheck one vectorised and one scalar."""
+        make = lambda: PASScheduler(PASConfig())
+        sim_a = build_simulation(plume_scenario(seed=8), make())
+        sim_b = build_simulation(plume_scenario(seed=8), make())
+        # Replace the scheduled vectorised recheck with the scalar reference
+        # implementation in sim_b; runs must stay identical step for step.
+        sim_b._coverage_recheck.callback = sim_b._recheck_covered_nodes_scalar
+        summary_a = sim_a.run()
+        summary_b = sim_b.run()
+        assert summary_a.to_json() == summary_b.to_json()
+
+    def test_departures_identical_with_noisy_sensing(self):
+        make = lambda: PASScheduler(PASConfig())
+        noisy = dict(sensing_noise=(0.15, 0.01))
+        sim_a = build_simulation(plume_scenario(seed=21, **noisy), make())
+        sim_b = build_simulation(plume_scenario(seed=21, **noisy), make())
+        sim_b._coverage_recheck.callback = sim_b._recheck_covered_nodes_scalar
+        assert sim_a.run().to_json() == sim_b.run().to_json()
+
+    def test_monotone_perfect_recheck_short_circuits(self):
+        sim = build_simulation(scenario(), PASScheduler(PASConfig()))
+        assert sim._recheck_skippable
+        assert sim.stimulus.monotone_coverage
+        sim.run()
+        # No COVERED -> SAFE departures for a growing circular front.
+        assert sim.metrics.count_transitions(old="covered", new="safe") == 0
