@@ -27,6 +27,7 @@ import sys
 from typing import List, Optional
 
 from repro.core.registry import get_registration, scheduler_names
+from repro.engine import ENGINES
 from repro.exec.backends import ExecutionBackend, make_backend
 from repro.exec.specs import RunSpec, SchedulerSpec
 from repro.experiments.figures import figure4, figure5, figure6, figure7
@@ -66,6 +67,19 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
 
 def _backend_from_args(args: argparse.Namespace) -> ExecutionBackend:
     return make_backend(jobs=args.jobs, cache_dir=args.cache_dir)
+
+
+def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine",
+        default="scalar",
+        choices=list(ENGINES),
+        help=(
+            "simulation engine: 'scalar' reference path or 'batched' "
+            "calendar-queue + columnar message bus (bit-identical results, "
+            "much faster at large fleet sizes)"
+        ),
+    )
 
 
 def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
@@ -120,6 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p = sub.add_parser("run", help="run one scenario with one scheduler")
     _add_scenario_arguments(run_p)
     _add_execution_arguments(run_p)
+    _add_engine_argument(run_p)
     run_p.add_argument(
         "--scheduler",
         default="PAS",
@@ -131,6 +146,7 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p = sub.add_parser("compare", help="run NS, PAS and SAS on the same scenario")
     _add_scenario_arguments(cmp_p)
     _add_execution_arguments(cmp_p)
+    _add_engine_argument(cmp_p)
     cmp_p.add_argument("--max-sleep", type=float, default=10.0)
     cmp_p.add_argument("--alert-threshold", type=float, default=20.0)
 
@@ -145,12 +161,14 @@ def build_parser() -> argparse.ArgumentParser:
     export_p = sub.add_parser("export", help="run the NS/PAS/SAS comparison and write CSV")
     _add_scenario_arguments(export_p)
     _add_execution_arguments(export_p)
+    _add_engine_argument(export_p)
     export_p.add_argument("--max-sleep", type=float, default=10.0)
     export_p.add_argument("--alert-threshold", type=float, default=20.0)
     export_p.add_argument("--output", required=True, help="CSV file to write")
 
     field_p = sub.add_parser("field", help="print ASCII snapshots of a PAS run")
     _add_scenario_arguments(field_p)
+    _add_engine_argument(field_p)
     field_p.add_argument("--max-sleep", type=float, default=10.0)
     field_p.add_argument("--alert-threshold", type=float, default=20.0)
     field_p.add_argument(
@@ -172,7 +190,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         scenario = _scenario_from_args(args)
         scheduler = _make_scheduler_spec(args.scheduler, args.max_sleep, args.alert_threshold)
         backend = _backend_from_args(args)
-        summary = backend.run_one(RunSpec(scenario=scenario, scheduler=scheduler))
+        summary = backend.run_one(
+            RunSpec(scenario=scenario, scheduler=scheduler, engine=args.engine)
+        )
         rows = [
             {"metric": "scheduler", "value": summary.scheduler},
             {"metric": "average detection delay (s)", "value": summary.average_delay_s},
@@ -191,6 +211,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             max_sleep_interval=args.max_sleep,
             alert_threshold=args.alert_threshold,
             backend=_backend_from_args(args),
+            engine=args.engine,
         )
         rows = [
             {
@@ -223,6 +244,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             max_sleep_interval=args.max_sleep,
             alert_threshold=args.alert_threshold,
             backend=_backend_from_args(args),
+            engine=args.engine,
         )
         path = write_csv(summary_rows(results.values()), args.output)
         print(f"wrote {len(results)} rows to {path}")
@@ -236,7 +258,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         scenario = _scenario_from_args(args)
         scheduler = _make_scheduler_spec("PAS", args.max_sleep, args.alert_threshold).build()
-        simulation = build_simulation(scenario, scheduler)
+        simulation = build_simulation(scenario, scheduler, engine=args.engine)
         positions = np.array(
             [[n.position.x, n.position.y] for _, n in sorted(simulation.nodes.items())]
         )

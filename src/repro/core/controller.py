@@ -10,7 +10,7 @@ the simulation plumbing and can be unit tested against a tiny fake world.
 from __future__ import annotations
 
 import abc
-from typing import Optional, Protocol, runtime_checkable
+from typing import Optional, Protocol, Sequence, runtime_checkable
 
 from repro.network.messages import Message
 from repro.node.sensor import SensorNode
@@ -80,6 +80,22 @@ class NodeController(abc.ABC):
     @abc.abstractmethod
     def on_message(self, message: Message) -> None:
         """Called when the node receives a message while awake."""
+
+    @classmethod
+    def handle_batch(cls, controllers: Sequence["NodeController"], message: Message) -> None:
+        """Deliver one message to many receivers (the batched bus's entry point).
+
+        The batched message bus coalesces a broadcast's same-tick fan-out
+        into a single call carrying the receiving controllers in delivery
+        order.  Overrides MUST be behaviourally identical to calling
+        :meth:`on_message` on each controller in order -- that is the
+        bit-identity contract between the scalar and batched engines -- and
+        may only amortise per-message work that is independent of receiver
+        state (type dispatch, shared precomputation).  The default simply
+        performs the scalar calls.
+        """
+        for controller in controllers:
+            controller.on_message(message)
 
     @abc.abstractmethod
     def on_stimulus_arrival(self) -> None:

@@ -208,6 +208,32 @@ class PASController(NodeController):
         elif isinstance(message, Response):
             self._handle_response(message)
 
+    @classmethod
+    def handle_batch(cls, controllers, message: Message) -> None:
+        """Batched fan-in: one type dispatch for the whole receiver group.
+
+        Behaviourally identical to calling :meth:`on_message` per controller
+        in order (the batched bus's bit-identity contract); the per-receiver
+        ``isinstance`` dispatch is hoisted out of the loop.  SAS inherits
+        this verbatim -- its overridden ``_handle_request`` /
+        ``_handle_response`` supply the divergent behaviour.
+        """
+        if isinstance(message, Request):
+            for controller in controllers:
+                node = controller.node
+                if node.is_failed or not node.is_awake:
+                    continue
+                controller._handle_request()
+        elif isinstance(message, Response):
+            for controller in controllers:
+                node = controller.node
+                if node.is_failed or not node.is_awake:
+                    continue
+                controller._handle_response(message)
+        else:  # unknown message kinds keep the scalar path
+            for controller in controllers:
+                controller.on_message(message)
+
     def _handle_request(self) -> None:
         """Any awake node answers a REQUEST with its current knowledge."""
         if self.machine.state == ProtocolState.SAFE and not self._has_knowledge():

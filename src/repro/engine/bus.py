@@ -1,0 +1,313 @@
+"""Columnar message bus: vectorised one-hop broadcast delivery.
+
+:class:`BatchMedium` is the batched engine's drop-in replacement for
+:class:`~repro.network.medium.BroadcastMedium`.  The scalar medium walks a
+sender's neighbourhood one Python iteration at a time -- per-neighbour dict
+lookups, property reads, a channel call, a closure and a heap push each --
+and later pops one delivery event per receiver.  At 5k--10k nodes the
+PAS/SAS REQUEST/RESPONSE fan-out makes that loop the dominant cost of a run.
+
+``BatchMedium`` replaces it with column-at-a-time operations:
+
+* the fan-out comes from the topology's CSR neighbour table
+  (:meth:`~repro.network.topology.Topology.neighbour_table`) -- one slice per
+  broadcast;
+* awake/failed eligibility is two mask reductions over the bound
+  :class:`~repro.world.state.WorldState` columns;
+* channel losses and extra latencies are drawn in one batched
+  :meth:`~repro.network.channel.ChannelModel.transmit_many` call that
+  consumes the RNG stream in exactly the scalar per-neighbour order;
+* all receivers sharing an arrival timestamp are delivered by a *single*
+  event whose callback charges grouped RX energy and hands the surviving
+  receiver-id array to one batch-aware handler call
+  (:meth:`~repro.core.controller.NodeController.handle_batch`).
+
+Bit-identity contract
+---------------------
+Seeded runs must produce byte-identical :class:`~repro.metrics.summary.
+RunSummary` output under either medium.  The invariants that guarantee it:
+
+* channel RNG draws happen per *eligible* receiver in ascending-neighbour
+  order, exactly like the scalar loop (``transmit_many`` contract);
+* receivers are grouped by their exact arrival timestamp, in first-occurrence
+  order, so the delivery sequence the event queue pops is the scalar one:
+  same-timestamp receivers fire in neighbour order, distinct timestamps in
+  time order;
+* within a delivery, a receiver's handler cannot change another node's power
+  or protocol state (controllers own exactly one node), so checking the
+  awake/failed columns once per batch equals the scalar per-event checks;
+* grouped RX charging adds the identical per-frame energy float to each
+  receiver's ledger in the same per-node order as per-event charging;
+* the elided per-receiver events are re-counted through
+  :meth:`~repro.sim.engine.Simulator.note_synthetic_events`, keeping
+  ``events_processed`` engine-independent.
+
+Until :meth:`BatchMedium.bind_world_state` is called the bus has no columns
+to vectorise over and transparently falls back to the scalar broadcast path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.network.channel import ChannelModel, PerfectChannel
+from repro.network.medium import BroadcastMedium
+from repro.network.messages import Message
+from repro.network.topology import Topology
+from repro.node.sensor import SensorNode
+from repro.sim.engine import Simulator
+
+#: A batch receive callback: ``handler(receiver_ids, message)`` where
+#: ``receiver_ids`` is an int array in delivery order.
+BatchDeliveryHandler = Callable[[np.ndarray, Message], None]
+
+
+class BatchMedium(BroadcastMedium):
+    """Vectorised broadcast medium over the columnar world state.
+
+    Construction mirrors :class:`~repro.network.medium.BroadcastMedium`; the
+    world model attaches the columns afterwards via :meth:`bind_world_state`
+    (they do not exist yet when the medium is built) and optionally installs
+    a fan-in callback via :meth:`register_batch_handler`.  Stats semantics,
+    energy charging and handler/tap ordering match the scalar medium
+    exactly -- see the module docstring for the bit-identity contract.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        nodes: Dict[int, SensorNode],
+        *,
+        channel: Optional[ChannelModel] = None,
+    ) -> None:
+        super().__init__(sim, topology, nodes, channel=channel)
+        self._world_state = None
+        self._batch_handler: Optional[BatchDeliveryHandler] = None
+        self._id_to_row: Optional[np.ndarray] = None
+        self._radio_of: Optional[np.ndarray] = None
+        self._indptr: Optional[np.ndarray] = None
+        self._nbr_ids: Optional[np.ndarray] = None
+        self._nbr_dists: Optional[np.ndarray] = None
+        #: payload_bytes -> (frame_size, energy_j) when every radio is
+        #: identical; lets a batch charge RX without re-deriving per receiver
+        self._rx_cost: Dict[int, Tuple[int, float]] = {}
+        self._uniform_radios = False
+        #: node ids ARE world-state rows (the standard builder layout);
+        #: lets the hot paths skip the id->row indirection entirely
+        self._identity_rows = False
+        #: per-id (EnergyBreakdown, RadioStats) pairs for grouped RX charging
+        self._rx_breakdown: Optional[np.ndarray] = None
+        self._rx_stats: Optional[np.ndarray] = None
+        #: PerfectChannel: every frame delivered, zero extra latency -- the
+        #: whole channel step collapses to "one group at now + air_time"
+        self._perfect_channel = type(self.channel) is PerfectChannel
+
+    # ------------------------------------------------------------------ setup
+    def bind_world_state(self, world_state) -> None:
+        """Attach the columnar world state whose masks gate deliveries.
+
+        ``world_state`` must track exactly this medium's nodes.  Binding also
+        snapshots the CSR neighbour table and per-id radio references, and
+        detects whether every node shares one radio configuration (header
+        bytes + power model), which enables grouped RX charging.
+        """
+        ids = {int(node_id) for node_id in world_state.ids}
+        if ids != set(self.nodes):
+            raise ValueError(
+                "world state tracks different node ids than the medium"
+            )
+        self._world_state = world_state
+        max_id = max(self.nodes) if self.nodes else -1
+        id_to_row = np.full(max_id + 1, -1, dtype=np.intp)
+        radio_of = np.empty(max_id + 1, dtype=object)
+        for node_id, node in self.nodes.items():
+            id_to_row[node_id] = world_state.row_of(node_id)
+            radio_of[node_id] = node.radio
+        self._id_to_row = id_to_row
+        self._radio_of = radio_of
+        self._identity_rows = bool(
+            len(id_to_row) == len(self.nodes)
+            and (id_to_row == np.arange(len(id_to_row))).all()
+        )
+        self._rx_breakdown = np.empty(max_id + 1, dtype=object)
+        self._rx_stats = np.empty(max_id + 1, dtype=object)
+        for node_id, node in self.nodes.items():
+            self._rx_breakdown[node_id] = node.radio.energy.breakdown
+            self._rx_stats[node_id] = node.radio.stats
+        self._indptr, self._nbr_ids, self._nbr_dists = self.topology.neighbour_table()
+        radios = [node.radio for node in self.nodes.values()]
+        self._uniform_radios = bool(radios) and all(
+            radio.header_bytes == radios[0].header_bytes
+            and radio.energy.power == radios[0].energy.power
+            for radio in radios
+        )
+        self._rx_cost = {}
+
+    def register_batch_handler(self, handler: BatchDeliveryHandler) -> None:
+        """Install ``handler(receiver_ids, message)`` for whole-batch fan-in.
+
+        When registered (and no per-delivery taps are attached), an arriving
+        batch makes one handler call instead of one per receiver; the world
+        model routes it into :meth:`NodeController.handle_batch`.  Without
+        it, deliveries fall back to the per-node handlers registered via
+        :meth:`register_handler`.
+        """
+        self._batch_handler = handler
+
+    # ------------------------------------------------------------- broadcast
+    def broadcast(self, sender_id: int, message: Message) -> int:
+        """Broadcast ``message`` from ``sender_id`` to its awake neighbours.
+
+        Same semantics and return value as the scalar medium; the fan-out is
+        computed with array operations and scheduled as one delivery event
+        per distinct arrival timestamp.
+        """
+        world_state = self._world_state
+        if world_state is None:
+            return super().broadcast(sender_id, message)
+        sender = self.nodes[sender_id]
+        if sender.is_failed:
+            return 0
+        air_time = sender.radio.transmit(message.payload_bytes)
+        self.stats.broadcasts += 1
+        start = self._indptr[sender_id]
+        end = self._indptr[sender_id + 1]
+        if start == end:
+            return 0
+        neighbours = self._nbr_ids[start:end]
+        eligible, num_eligible = self._eligibility(neighbours)
+        if num_eligible == 0:
+            return 0
+        if num_eligible == len(neighbours):
+            eligible_ids = neighbours
+        else:
+            eligible_ids = neighbours[eligible]
+        if self._perfect_channel:
+            # Every frame lands after exactly the air time: one group, no
+            # channel draws, no latency array.
+            self._schedule_batch(self.sim.now + air_time, eligible_ids, message)
+            return num_eligible
+        eligible_dists = self._nbr_dists[start:end][eligible]
+        delivered, extra = self.channel.transmit_many(
+            sender_id, eligible_ids, eligible_dists
+        )
+        delivered = np.asarray(delivered, dtype=bool)
+        extra = np.asarray(extra, dtype=float)
+        num_lost = num_eligible - int(np.count_nonzero(delivered))
+        if num_lost:
+            self.stats.losses += num_lost
+            for radio in self._radio_of[eligible_ids[~delivered]]:
+                radio.drop()
+            eligible_ids = eligible_ids[delivered]
+            if eligible_ids.size == 0:
+                return 0
+            extra = extra[delivered]
+        arrivals = self.sim.now + air_time + extra
+        # Group by the exact arrival timestamp, in first-occurrence order.
+        # The scalar medium schedules one event per receiver in neighbour
+        # order, so same-timestamp receivers pop FIFO in neighbour order and
+        # distinct timestamps pop in time order -- one event per distinct
+        # timestamp reproduces that pop sequence exactly.
+        first_arrival = arrivals[0]
+        if arrivals.size == 1 or (arrivals == first_arrival).all():
+            self._schedule_batch(float(first_arrival), eligible_ids, message)
+        else:
+            values, first_seen = np.unique(arrivals, return_index=True)
+            for _, value in sorted(zip(first_seen, values)):
+                self._schedule_batch(
+                    float(value), eligible_ids[arrivals == value], message
+                )
+        return int(eligible_ids.size)
+
+    # -------------------------------------------------------------- delivery
+    def _schedule_batch(
+        self, when: float, receiver_ids: np.ndarray, message: Message
+    ) -> None:
+        self.sim.schedule_at(
+            when,
+            lambda: self._deliver_batch(receiver_ids, message),
+            name="deliver-batch",
+        )
+
+    def _eligibility(self, node_ids: np.ndarray) -> Tuple[np.ndarray, int]:
+        """Awake-and-not-failed mask over ``node_ids``, with skip accounting.
+
+        Shared by the send side (skips counted at broadcast time, like the
+        scalar loop) and the delivery side (receivers that slept or failed
+        during the air time), so the eligibility semantics and the
+        ``skipped_failed`` / ``skipped_sleeping`` counters can never drift
+        apart between the two.
+        """
+        world_state = self._world_state
+        rows = node_ids if self._identity_rows else self._id_to_row[node_ids]
+        if world_state.any_failed:
+            failed = world_state.failed[rows]
+            mask = world_state.awake[rows] & ~failed
+            num_failed = int(failed.sum())
+            self.stats.skipped_failed += num_failed
+        else:
+            mask = world_state.awake[rows]
+            num_failed = 0
+        num_eligible = int(mask.sum())
+        self.stats.skipped_sleeping += len(node_ids) - num_failed - num_eligible
+        return mask, num_eligible
+
+    def _deliver_batch(self, receiver_ids: np.ndarray, message: Message) -> None:
+        # Receivers may have gone to sleep or failed during the air time;
+        # handlers cannot change *other* nodes' power state, so one columnar
+        # check per batch equals the scalar per-event checks.
+        alive, num_alive = self._eligibility(receiver_ids)
+        # One event stands in for receiver_ids.size scalar delivery events.
+        self.sim.note_synthetic_events(int(receiver_ids.size) - 1)
+        if num_alive == 0:
+            return
+        alive_ids = (
+            receiver_ids if num_alive == receiver_ids.size else receiver_ids[alive]
+        )
+        self._charge_rx(alive_ids, message.payload_bytes)
+        self.stats.deliveries += num_alive
+        if self._batch_handler is not None and not self._taps:
+            self._batch_handler(alive_ids, message)
+            return
+        # Tap users (traces, metrics) observe handler/tap interleaving per
+        # receiver; keep the scalar ordering for them.
+        sender_id = message.sender_id
+        for receiver_id in alive_ids.tolist():
+            handler = self._handlers.get(receiver_id)
+            if handler is not None:
+                handler(receiver_id, message)
+            for tap in self._taps:
+                tap(sender_id, receiver_id, message)
+
+    def _charge_rx(self, receiver_ids: np.ndarray, payload_bytes: int) -> None:
+        """Charge RX energy and counters for every receiver of one frame.
+
+        With uniform radios the per-frame size and energy are derived once
+        per payload size and applied as plain increments (bit-identical to
+        ``RadioModel.receive``, which recomputes the same floats per call);
+        heterogeneous fleets keep the per-receiver scalar call.
+        """
+        if not self._uniform_radios:
+            for radio in self._radio_of[receiver_ids]:
+                radio.receive(payload_bytes)
+            return
+        cost = self._rx_cost.get(payload_bytes)
+        if cost is None:
+            radio = self._radio_of[receiver_ids[0]]
+            size = radio.frame_bytes(payload_bytes)
+            cost = (size, radio.energy.power.receive_energy(size))
+            self._rx_cost[payload_bytes] = cost
+        size, energy = cost
+        for breakdown, stats in zip(
+            self._rx_breakdown[receiver_ids], self._rx_stats[receiver_ids]
+        ):
+            breakdown.rx_j += energy
+            stats.rx_messages += 1
+            stats.rx_bytes += size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        bound = "bound" if self._world_state is not None else "unbound"
+        return f"BatchMedium(nodes={len(self.nodes)}, {bound}, {self.stats.as_dict()})"

@@ -30,9 +30,11 @@ from repro.core.scheduler_base import SleepScheduler
 from repro.metrics.summary import RunSummary, jsonify
 from repro.world.scenario import ScenarioConfig
 
-#: Bumped whenever the canonical hash payload changes shape, so stale cache
-#: entries from older code versions can never be mistaken for current ones.
-SPEC_HASH_VERSION = 1
+#: Bumped whenever the canonical hash payload changes shape -- or the summary
+#: a spec produces changes content (v2: MediumStats skip counters joined the
+#: messages dict) -- so stale cache entries from older code versions can
+#: never be mistaken for current ones.
+SPEC_HASH_VERSION = 2
 
 
 def canonicalize(value: Any) -> Any:
@@ -150,11 +152,25 @@ class RunSpec:
     ``seed=None`` keeps the seed already inside ``scenario``; an explicit
     seed overrides it (the sweep machinery uses this to fan one scenario out
     over repetitions without rebuilding it).
+
+    ``engine`` picks the execution substrate (``"scalar"`` or ``"batched"``,
+    see :mod:`repro.engine`).  Engines are bit-identical by contract, so the
+    choice affects wall-clock only -- never the summary.
     """
 
     scenario: ScenarioConfig
     scheduler: SchedulerSpec
     seed: Optional[int] = None
+    engine: str = "scalar"
+
+    def __post_init__(self) -> None:
+        # Fail at spec construction, not deep inside a worker process.
+        from repro.engine import ENGINES
+
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINES}"
+            )
 
     def effective_seed(self) -> int:
         """The seed the run will actually use."""
@@ -171,7 +187,10 @@ class RunSpec:
 
         Two specs hash equal iff they resolve to the same scenario and the
         same scheduler (name + config) -- the key used by
-        :class:`~repro.exec.backends.CachingBackend`.
+        :class:`~repro.exec.backends.CachingBackend`.  ``engine`` is
+        deliberately *excluded*: both engines produce byte-identical
+        summaries (enforced by tests/test_engine_equivalence.py), so a cache
+        warmed by one engine must serve the other.
         """
         payload = {
             "version": SPEC_HASH_VERSION,
@@ -189,4 +208,6 @@ class RunSpec:
         # which spec construction (e.g. in a CLI parsing path) does not need.
         from repro.world.builder import run_scenario
 
-        return run_scenario(self.resolved_scenario(), self.scheduler.build())
+        return run_scenario(
+            self.resolved_scenario(), self.scheduler.build(), engine=self.engine
+        )

@@ -313,12 +313,20 @@ def run_comparison(
     max_sleep_interval: float = 10.0,
     alert_threshold: float = 20.0,
     backend: Optional[ExecutionBackend] = None,
+    engine: str = "scalar",
 ) -> Dict[str, RunSummary]:
-    """Run NS, PAS and SAS once each on the identical scenario."""
+    """Run NS, PAS and SAS once each on the identical scenario.
+
+    ``engine`` selects the simulation substrate per run (see
+    :mod:`repro.engine`); results are bit-identical across engines.
+    """
     scheduler_specs = comparison_specs(
         max_sleep_interval=max_sleep_interval, alert_threshold=alert_threshold
     )
     summaries = resolve_backend(backend).run(
-        [RunSpec(scenario=scenario, scheduler=s) for s in scheduler_specs]
+        [
+            RunSpec(scenario=scenario, scheduler=s, engine=engine)
+            for s in scheduler_specs
+        ]
     )
     return {spec.name: summary for spec, summary in zip(scheduler_specs, summaries)}

@@ -9,7 +9,7 @@ much extra latency (beyond air time) does it incur.
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,12 +25,50 @@ class ChannelModel(abc.ABC):
         """Additional propagation / MAC latency in seconds (default: none)."""
         return 0.0
 
+    def transmit_many(
+        self,
+        sender_id: int,
+        receiver_ids: Sequence[int],
+        distances: Sequence[float],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-link outcomes for one broadcast's eligible receivers, batched.
+
+        Returns ``(delivered, extra_latency)`` arrays aligned with
+        ``receiver_ids``; ``extra_latency`` is only meaningful where
+        ``delivered`` is true.  The base implementation performs the scalar
+        calls in receiver order -- ``delivered`` then, for delivered frames,
+        ``extra_latency`` per link -- which is exactly the order the scalar
+        broadcast loop interleaves them, so stochastic channels consume
+        their RNG stream identically on both paths.  Vectorised overrides
+        MUST preserve that draw order (the batched engine's bit-identity
+        contract rests on it).
+        """
+        count = len(receiver_ids)
+        delivered = np.zeros(count, dtype=bool)
+        extra = np.zeros(count, dtype=float)
+        for k in range(count):
+            receiver_id = int(receiver_ids[k])
+            distance = float(distances[k])
+            if self.delivered(sender_id, receiver_id, distance):
+                delivered[k] = True
+                extra[k] = self.extra_latency(sender_id, receiver_id, distance)
+        return delivered, extra
+
 
 class PerfectChannel(ChannelModel):
     """Every frame within range is delivered with zero extra latency."""
 
     def delivered(self, sender_id: int, receiver_id: int, distance: float) -> bool:
         return True
+
+    def transmit_many(
+        self,
+        sender_id: int,
+        receiver_ids: Sequence[int],
+        distances: Sequence[float],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        count = len(receiver_ids)
+        return np.ones(count, dtype=bool), np.zeros(count, dtype=float)
 
 
 class LossyChannel(ChannelModel):
@@ -69,14 +107,43 @@ class LossyChannel(ChannelModel):
         self.jitter_s = float(jitter_s)
         self.rng = rng if rng is not None else np.random.default_rng()
 
-    def link_loss_probability(self, distance: float) -> float:
-        """Total loss probability for a link of the given ``distance``."""
-        return min(1.0, self.loss_probability + self.distance_factor * max(0.0, distance))
+    def link_loss_probability(self, distance):
+        """Total loss probability for a link of the given ``distance``.
+
+        Accepts a scalar or an array (np.minimum/np.maximum are elementwise
+        and IEEE-identical to min/max on scalars).  Single source of the
+        loss formula for both the scalar ``delivered`` path and the
+        vectorised ``transmit_many`` path -- editing it cannot desynchronise
+        the two engines.
+        """
+        return np.minimum(
+            1.0, self.loss_probability + self.distance_factor * np.maximum(0.0, distance)
+        )
 
     def delivered(self, sender_id: int, receiver_id: int, distance: float) -> bool:
-        return self.rng.random() >= self.link_loss_probability(distance)
+        return bool(self.rng.random() >= self.link_loss_probability(distance))
 
     def extra_latency(self, sender_id: int, receiver_id: int, distance: float) -> float:
         if self.jitter_s <= 0:
             return 0.0
         return float(self.rng.uniform(0.0, self.jitter_s))
+
+    def transmit_many(
+        self,
+        sender_id: int,
+        receiver_ids: Sequence[int],
+        distances: Sequence[float],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        if self.jitter_s > 0:
+            # Jitter interleaves a uniform draw after every successful loss
+            # draw; only the scalar loop reproduces that stream order.
+            return super().transmit_many(sender_id, receiver_ids, distances)
+        count = len(receiver_ids)
+        if count == 0:
+            return np.zeros(0, dtype=bool), np.zeros(0, dtype=float)
+        # A size-k batch draw consumes the generator stream exactly like k
+        # scalar .random() calls, so the outcomes are bit-identical to the
+        # scalar broadcast loop's per-neighbour draws.
+        draws = self.rng.random(count)
+        loss = self.link_loss_probability(np.asarray(distances, dtype=float))
+        return draws >= loss, np.zeros(count, dtype=float)

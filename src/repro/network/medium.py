@@ -131,7 +131,10 @@ class BroadcastMedium:
         def deliver() -> None:
             receiver = self.nodes[receiver_id]
             # The receiver may have gone to sleep or failed during the air time.
-            if receiver.is_failed or not receiver.is_awake:
+            if receiver.is_failed:
+                self.stats.skipped_failed += 1
+                return
+            if not receiver.is_awake:
                 self.stats.skipped_sleeping += 1
                 return
             receiver.radio.receive(message.payload_bytes)

@@ -39,6 +39,13 @@ class Simulator:
     ----------
     start_time:
         Initial clock value in seconds (default ``0.0``).
+    queue:
+        Event-queue implementation (default: the binary-heap
+        :class:`~repro.sim.events.EventQueue`).  Any object implementing the
+        same interface (``push``/``pop``/``peek_time``/``note_cancelled``/
+        ``clear``/``__len__``) and the same ``(time, priority, sequence)``
+        total order works; :class:`~repro.engine.calendar.CalendarQueue` is
+        the array-backed fast path for protocol-dense large fleets.
 
     Examples
     --------
@@ -51,11 +58,13 @@ class Simulator:
     [1.0, 2.0]
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(
+        self, start_time: float = 0.0, *, queue: Optional[EventQueue] = None
+    ) -> None:
         if start_time < 0:
             raise ValueError("start_time must be non-negative")
         self._now = float(start_time)
-        self._queue = EventQueue()
+        self._queue = queue if queue is not None else EventQueue()
         self._running = False
         self._stopped = False
         self._events_processed = 0
@@ -71,8 +80,20 @@ class Simulator:
 
     @property
     def events_processed(self) -> int:
-        """Total number of callbacks executed so far."""
+        """Total number of callbacks executed so far (including synthetic ones)."""
         return self._events_processed
+
+    def note_synthetic_events(self, count: int) -> None:
+        """Account for logical events a batching component coalesced away.
+
+        The batched message bus delivers one broadcast fan-out as a single
+        event where the scalar medium schedules one event per receiver.
+        Recording the elided events here keeps :attr:`events_processed` --
+        and therefore the run summary -- independent of the engine choice.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        self._events_processed += count
 
     @property
     def pending_events(self) -> int:

@@ -8,6 +8,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.core.scheduler_base import SleepScheduler
+from repro.engine import ENGINES, BatchMedium, CalendarQueue
 from repro.faults.failure import NodeFailureInjector
 from repro.geometry.deployment import make_deployment
 from repro.geometry.vec import Vec2
@@ -94,25 +95,40 @@ def build_simulation(
     scheduler: SleepScheduler,
     *,
     occupancy_sample_interval: Optional[float] = None,
+    engine: str = "scalar",
 ) -> MonitoringSimulation:
     """Assemble a runnable :class:`MonitoringSimulation`.
 
     The same ``scenario`` (same seed) always yields the same deployment,
     stimulus and fault schedule regardless of the scheduler, which is what
     makes the PAS / SAS / NS comparison in the figures apples-to-apples.
+
+    ``engine`` selects the execution substrate: ``"scalar"`` is the
+    reference path (binary-heap event queue, per-receiver broadcast loop);
+    ``"batched"`` swaps in the calendar-queue event core and the columnar
+    message bus from :mod:`repro.engine`.  Seeded results are bit-identical
+    either way -- the engine is a speed knob, not a model change.
     """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
     streams = RandomStreams(scenario.seed)
     positions = make_deployment(scenario.deployment, streams.get("deployment"))
     stimulus = build_stimulus(scenario.stimulus, scenario, streams.get("stimulus"))
     sensing = build_sensing(scenario, streams.get("sensing"))
     channel = build_channel(scenario, streams.get("channel"))
 
-    sim = Simulator()
     nodes: Dict[int, SensorNode] = {
         i: SensorNode(i, Vec2(float(x), float(y))) for i, (x, y) in enumerate(positions)
     }
     topology = Topology(positions, scenario.transmission_range)
-    medium = BroadcastMedium(sim, topology, nodes, channel=channel)
+    if engine == "batched":
+        # Bucket-count hint: protocol storms keep O(n) events in flight, so
+        # starting near the fleet size avoids the initial growth resizes.
+        sim = Simulator(queue=CalendarQueue(num_buckets=2 * len(nodes)))
+        medium: BroadcastMedium = BatchMedium(sim, topology, nodes, channel=channel)
+    else:
+        sim = Simulator()
+        medium = BroadcastMedium(sim, topology, nodes, channel=channel)
     duration = scenario.effective_duration()
 
     description = scenario.describe()
@@ -150,9 +166,13 @@ def run_scenario(
     scheduler: SleepScheduler,
     *,
     occupancy_sample_interval: Optional[float] = None,
+    engine: str = "scalar",
 ) -> RunSummary:
     """Build, run and summarise a scenario in one call."""
     simulation = build_simulation(
-        scenario, scheduler, occupancy_sample_interval=occupancy_sample_interval
+        scenario,
+        scheduler,
+        occupancy_sample_interval=occupancy_sample_interval,
+        engine=engine,
     )
     return simulation.run()

@@ -23,6 +23,7 @@ COVERED -> SAFE timeout path is exercised.
 
 from __future__ import annotations
 
+import itertools
 import math
 from typing import Callable, Dict, List, Optional
 
@@ -117,6 +118,16 @@ class MonitoringSimulation:
             (rows if rows is not None else groups["scan"]).append(
                 self.world_state.row_of(node_id)
             )
+        # Batched engine wiring: hand the columnar state to a batch-aware
+        # medium (repro.engine.bus.BatchMedium) so it can vectorise fan-out
+        # eligibility, and route its whole-batch fan-in through the
+        # controllers' handle_batch hook.  The scalar BroadcastMedium simply
+        # lacks these methods and keeps the per-receiver path.
+        if hasattr(medium, "bind_world_state"):
+            medium.bind_world_state(self.world_state)
+        if hasattr(medium, "register_batch_handler"):
+            medium.register_batch_handler(self._deliver_batch_to_controllers)
+
         self._reported_rows = np.array(sorted(groups["reported"]), dtype=int)
         self._power_rows = np.array(sorted(groups["power"]), dtype=int)
         self._detect_rows = np.array(sorted(groups["detect"]), dtype=int)
@@ -218,10 +229,11 @@ class MonitoringSimulation:
         messages = {
             "tx_messages": sum(n.radio.stats.tx_messages for n in self.nodes.values()),
             "rx_messages": sum(n.radio.stats.rx_messages for n in self.nodes.values()),
-            "broadcasts": self.medium.stats.broadcasts,
-            "deliveries": self.medium.stats.deliveries,
-            "losses": self.medium.stats.losses,
         }
+        # The full MediumStats (broadcasts, deliveries, losses, both skip
+        # counters) ride along so sweeps and cached summaries expose the
+        # protocol cost; RunSummary.to_json/from_json round-trips them.
+        messages.update(self.medium.stats.as_dict())
         self._summary = RunSummary(
             scheduler=self.scheduler.name,
             scenario=self.scenario_description,
@@ -241,6 +253,19 @@ class MonitoringSimulation:
         controller = self.controllers.get(receiver_id)
         if controller is not None:
             controller.on_message(message)
+
+    def _deliver_batch_to_controllers(self, receiver_ids, message: Message) -> None:
+        """Fan one arriving batch into the controllers' ``handle_batch`` hook.
+
+        ``receiver_ids`` is the delivery-ordered id array from the batched
+        medium.  Controllers are grouped by concrete class (one group in
+        practice -- a run uses a single scheduler) so each class's batch
+        handler sees its receivers in delivery order.
+        """
+        controllers = self.controllers
+        batch = [controllers[receiver_id] for receiver_id in receiver_ids.tolist()]
+        for cls, group in itertools.groupby(batch, key=type):
+            cls.handle_batch(list(group), message)
 
     def _make_arrival_event(self, node_id: int) -> Callable[[], None]:
         def fire() -> None:

@@ -103,6 +103,7 @@ class WorldState:
         n = len(self.ids)
         self.awake = np.ones(n, dtype=bool)
         self.failed = np.zeros(n, dtype=bool)
+        self._num_failed = 0
         self.detected = np.zeros(n, dtype=bool)
         self.state_codes = np.zeros(n, dtype=np.int16)
         self._row: Dict[int, int] = {int(nid): i for i, nid in enumerate(self.ids)}
@@ -142,7 +143,10 @@ class WorldState:
         """Mirror a power transition (bound as ``SensorNode.power_listener``)."""
         row = self._row[node_id]
         self.awake[row] = state == PowerState.AWAKE
-        self.failed[row] = state == PowerState.FAILED
+        failed = state == PowerState.FAILED
+        if failed != bool(self.failed[row]):
+            self.failed[row] = failed
+            self._num_failed += 1 if failed else -1
 
     def set_detected(self, node_id: int) -> None:
         """Mirror a node's first stimulus detection."""
@@ -161,6 +165,11 @@ class WorldState:
     def asleep(self) -> np.ndarray:
         """Boolean mask of nodes that are asleep (not awake, not failed)."""
         return ~self.awake & ~self.failed
+
+    @property
+    def any_failed(self) -> bool:
+        """O(1): has any tracked node failed?  (Batched-bus fast-path gate.)"""
+        return self._num_failed > 0
 
     def count_codes(self, rows: Optional[np.ndarray] = None) -> Dict[str, int]:
         """Occupancy counts ``{state_name: n}`` over ``rows`` via one bincount."""

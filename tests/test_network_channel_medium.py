@@ -135,6 +135,20 @@ class TestBroadcastMedium:
         nodes[1].go_to_sleep(0.0)
         sim.run()
         assert medium.stats.deliveries == 0
+        assert medium.stats.skipped_sleeping == 1
+        assert medium.stats.skipped_failed == 0
+
+    def test_receiver_failed_during_air_time_counts_as_skipped_failed(self):
+        """A receiver that fails mid-flight is a failed skip, not a sleeping one."""
+        sim, nodes, medium = build_medium(num_nodes=2)
+        medium.register_handler(1, lambda nid, msg: None)
+        medium.broadcast(0, Response(sender_id=0, timestamp=0.0))
+        # Node 1 dies while the frame is in the air.
+        nodes[1].fail(0.0)
+        sim.run()
+        assert medium.stats.deliveries == 0
+        assert medium.stats.skipped_failed == 1
+        assert medium.stats.skipped_sleeping == 0
 
     def test_tap_sees_deliveries(self):
         sim, nodes, medium = build_medium()
