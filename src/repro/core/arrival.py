@@ -16,6 +16,47 @@ Neighbours whose velocity points *away* from X (``cos(theta) <= 0``)
 contribute ``+inf`` -- the front is not approaching along that report.  The
 node's expected arrival time is the minimum over neighbours, exactly as in
 the paper.
+
+Portable numerics (the bit-identity contract)
+---------------------------------------------
+These functions are the *scalar reference spec* for the vectorized kernels in
+:mod:`repro.core.estimation`: a seeded run must produce byte-identical output
+whether estimates come from this per-neighbour code or from the columnar
+kernels.  Every floating-point operation is therefore written in a form NumPy
+reproduces bit-for-bit on float64:
+
+* Euclidean norms are spelled ``math.sqrt(dx*dx + dy*dy)``, never
+  ``math.hypot`` -- CPython's ``hypot`` uses a correctly-rounded correction
+  algorithm that ``np.sqrt`` of the squared sum does not match in the last
+  ulp.
+* The approach cosine is the directly clipped ratio
+  ``dot / (|v_I| * |IX|)`` rather than ``math.cos(angle_between(...))``.
+  Mathematically identical (the ``acos`` / ``cos`` round-trip cancels), but
+  ``np.arccos`` (SIMD) is not bit-equal to ``math.acos``, so the round-trip
+  is eliminated from the spec instead of vectorized.
+* Comparisons, ``+ - * /`` and ``min``/``max`` reductions are bit-exact
+  between scalar Python and NumPy and may be used freely; *sums* are not
+  (NumPy reduces pairwise) and the velocity estimators therefore fix a
+  sequential, ascending-neighbour-id summation order (see
+  :mod:`repro.core.velocity` and ``NeighborTable.__iter__``).
+
+SAS fallback divergence (intended)
+----------------------------------
+:func:`sas_arrival_time` and :func:`arrival_time_from_neighbor` treat a
+neighbour whose reported speed is below ``MIN_SPEED`` differently *by
+design*:
+
+* PAS needs the velocity **direction** to project the front's travel; a
+  (near-)zero vector has no direction, so the report is uninformative and
+  contributes ``inf``.  ``fallback_speed`` could not repair it.
+* SAS uses only the **scalar** speed over the straight-line distance; a
+  missing/zero speed can be substituted by the configured ``fallback_speed``
+  (the paper's SAS has a crude local estimate precisely because covered
+  neighbours may not know a velocity yet).
+
+The divergence is pinned by ``tests/test_core_arrival.py``
+(``TestSASFallbackDivergence``) so the vectorized kernels have one
+unambiguous spec to mirror.
 """
 
 from __future__ import annotations
@@ -24,10 +65,19 @@ import math
 from typing import Iterable, Optional
 
 from repro.core.neighbors import NeighborInfo
-from repro.geometry.vec import Vec2, angle_between
+from repro.geometry.vec import Vec2
 
 #: Velocity magnitudes below this are treated as "no usable estimate".
 MIN_SPEED = 1e-9
+
+#: Approach cosines at or below this are perpendicular/receding motion; the
+#: tolerance keeps a numerically-perpendicular report from collapsing the
+#: projected travel distance to zero.
+COS_TOLERANCE = 1e-9
+
+#: Displacements shorter than this count as "co-located" (matches the Vec2
+#: zero tolerance used elsewhere in the geometry layer).
+ZERO_DISPLACEMENT = 1e-12
 
 
 def arrival_time_from_neighbor(
@@ -39,24 +89,28 @@ def arrival_time_from_neighbor(
     uninformative for node ``position`` (no velocity, zero speed, stimulus
     moving away, or no time reference).
     """
-    if info.velocity is None:
+    velocity = info.velocity
+    if velocity is None:
         return math.inf
-    speed = info.velocity.norm()
+    speed = math.sqrt(velocity.x * velocity.x + velocity.y * velocity.y)
     if speed < MIN_SPEED:
         return math.inf
-    displacement = position - info.position
-    if displacement.is_zero():
+    dx = position.x - info.position.x
+    dy = position.y - info.position.y
+    dist = math.sqrt(dx * dx + dy * dy)
+    if dist < ZERO_DISPLACEMENT:
         # Co-located with the reporting neighbour: the front is effectively here.
         reference = _reference_time(info, now)
         return reference if reference is not None else math.inf
-    theta = angle_between(info.velocity, displacement)
-    cos_theta = math.cos(theta)
-    # Perpendicular or receding motion never brings the front here; use a small
-    # tolerance so a numerically-perpendicular report does not collapse the
-    # projected travel distance to zero.
-    if cos_theta <= 1e-9:
+    cos_theta = (velocity.x * dx + velocity.y * dy) / (speed * dist)
+    if cos_theta < -1.0:
+        cos_theta = -1.0
+    elif cos_theta > 1.0:
+        cos_theta = 1.0
+    # Perpendicular or receding motion never brings the front here.
+    if cos_theta <= COS_TOLERANCE:
         return math.inf
-    travel = displacement.norm() * cos_theta / speed
+    travel = dist * cos_theta / speed
     reference = _reference_time(info, now)
     if reference is None:
         return math.inf
@@ -129,17 +183,28 @@ def sas_arrival_time(
     ``distance(X, I) / speed`` measured from the neighbour's detection time,
     where ``speed`` is the scalar reported by that neighbour (the magnitude of
     its velocity field in our message format) or ``fallback_speed``.
+
+    A sub-``MIN_SPEED`` report falls through to ``fallback_speed`` here while
+    :func:`arrival_time_from_neighbor` returns ``inf`` for the same report;
+    that asymmetry is intentional -- see the module docstring ("SAS fallback
+    divergence").
     """
     best = math.inf
     for info in covered_neighbors:
         if info.detection_time is None:
             continue
-        speed = info.velocity.norm() if info.velocity is not None else 0.0
+        velocity = info.velocity
+        if velocity is None:
+            speed = 0.0
+        else:
+            speed = math.sqrt(velocity.x * velocity.x + velocity.y * velocity.y)
         if speed < MIN_SPEED:
             if fallback_speed is None or fallback_speed < MIN_SPEED:
                 continue
             speed = fallback_speed
-        dist = position.distance_to(info.position)
+        dx = position.x - info.position.x
+        dy = position.y - info.position.y
+        dist = math.sqrt(dx * dx + dy * dy)
         best = min(best, info.detection_time + dist / speed)
     if not math.isfinite(best):
         return math.inf

@@ -1,0 +1,497 @@
+"""Columnar controller-estimation layer: struct-of-arrays neighbour knowledge.
+
+Why this exists
+---------------
+The batched message bus (PR 3) made delivery cheap, leaving per-receiver
+estimation math -- ``expected_arrival_time`` / ``actual_velocity`` loops run
+one neighbour at a time inside every ``_handle_response`` -- as the dominant
+cost of a large PAS/SAS run (>90% of wall-clock at 1k nodes).  This module
+keeps the same neighbour knowledge as contiguous NumPy columns so a whole
+RESPONSE fan-in batch is estimated with a handful of kernel calls, and a
+REQUEST batch is answered from boolean columns without touching most Python
+controller objects.
+
+Columnar layout
+---------------
+One CSR edge table over the communication topology, aligned with
+``Topology.neighbour_table()``: edge slot ``k`` in
+``indptr[i]:indptr[i + 1]`` holds what receiver ``i`` last heard *about* its
+``k``-th neighbour (neighbour ids ascending per row, the same order as
+``NeighborTable`` iteration).  Per-edge columns:
+
+* ``valid``    -- bool; a report is cached in this slot.
+* ``px, py``   -- reported neighbour position.
+* ``vx, vy``   -- reported velocity components (NaN when none).
+* ``has_vel``  -- bool; a velocity was reported.
+* ``pred``     -- reported predicted arrival (inf when unknown).
+* ``det``      -- reported detection time (NaN when none).
+* ``has_det``  -- bool; a detection time was reported.
+* ``report``   -- when the report was received (staleness filtering).
+* ``state``    -- int8 protocol state code (SAFE/ALERT/COVERED).
+
+Plus one per-node column ``knows`` mirroring
+``PASController._has_knowledge`` for the REQUEST fast path, written through
+the controller's velocity / predicted-arrival / detection-time setters.
+
+Sync contract
+-------------
+The columns are a *mirror* of the per-controller ``NeighborTable`` dicts
+(which stay authoritative for the scalar code paths).  Two writers keep them
+exact:
+
+* ``NeighborTable.update`` on a bound table calls :meth:`record_update` for
+  every stored record (the scalar path, also exercised when taps force the
+  bus back to per-receiver delivery);
+* the batched RESPONSE path mirrors a whole receiver group in one
+  vectorized :meth:`record_response_batch` write, then stores the shared
+  record dict-side via ``NeighborTable.store_newest``.
+
+Bit-identity contract
+---------------------
+Every kernel reproduces its scalar reference (:mod:`repro.core.arrival`,
+:mod:`repro.core.velocity`) bit-for-bit:
+
+* the scalar spec uses only operations NumPy matches exactly on float64
+  (``sqrt`` norms, clipped-ratio cosines, ``+ - * /``, ``min``/``max``);
+* sums are accumulated column-at-a-time over the padded 2-D slot matrix --
+  a *sequential* accumulation in slot order, bit-equal to the scalar loops'
+  ascending-id sums (``np.add.reduce``/``reduceat`` reduce pairwise and are
+  deliberately not used);
+* masked-out lanes contribute the exact identity element (0.0 for sums, inf
+  for mins), so padding cannot perturb a result.
+
+``tests/test_estimation_vectorized.py`` pins the equivalence property-based
+per kernel; ``tests/test_engine_equivalence.py`` pins it end-to-end.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.neighbors import NeighborInfo
+from repro.core.states import ProtocolState
+
+from repro.core.arrival import COS_TOLERANCE, MIN_SPEED, ZERO_DISPLACEMENT
+from repro.core.velocity import MIN_ELAPSED_S
+
+#: Interned per-edge protocol-state codes (independent of the WorldState
+#: interning, which allocates codes in first-use order).
+STATE_CODES: Dict[ProtocolState, int] = {
+    ProtocolState.SAFE: 0,
+    ProtocolState.ALERT: 1,
+    ProtocolState.COVERED: 2,
+}
+_SAFE, _ALERT, _COVERED = (
+    STATE_CODES[ProtocolState.SAFE],
+    STATE_CODES[ProtocolState.ALERT],
+    STATE_CODES[ProtocolState.COVERED],
+)
+
+#: A padded view over a receiver subset: ``idx`` is the (rows, max_degree)
+#: matrix of edge-slot indices (0 where padded) and ``in_bounds`` masks the
+#: real slots.
+PaddedSlots = Tuple[np.ndarray, np.ndarray]
+
+
+class EstimationColumns:
+    """Struct-of-arrays neighbour knowledge plus the vectorized estimators.
+
+    Parameters
+    ----------
+    world_state:
+        The :class:`repro.world.state.WorldState` mirror; supplies receiver
+        positions and the awake/failed/protocol-state columns for gating.
+        Its rows must be identity (``ids[i] == i``, the standard builder
+        layout) so topology ids index the columns directly.
+    indptr, neighbour_ids:
+        The CSR neighbour table from ``Topology.neighbour_table()``.
+    staleness_limit:
+        The (uniform) ``NeighborTable.staleness_limit`` of the bound tables.
+    """
+
+    def __init__(
+        self,
+        world_state,
+        indptr: np.ndarray,
+        neighbour_ids: np.ndarray,
+        *,
+        staleness_limit: Optional[float] = None,
+    ) -> None:
+        n = world_state.num_nodes
+        if not world_state.identity_rows:
+            raise ValueError(
+                "EstimationColumns requires identity world-state rows "
+                "(ids[i] == i); got a permuted fleet"
+            )
+        if len(indptr) != n + 1:
+            raise ValueError(f"indptr describes {len(indptr) - 1} nodes, world has {n}")
+        self.ws = world_state
+        self.indptr = np.asarray(indptr, dtype=np.intp)
+        self.nbr_ids = np.asarray(neighbour_ids, dtype=np.int64)
+        self.staleness_limit = staleness_limit
+        nnz = len(self.nbr_ids)
+
+        self.valid = np.zeros(nnz, dtype=bool)
+        self.px = np.zeros(nnz, dtype=float)
+        self.py = np.zeros(nnz, dtype=float)
+        self.vx = np.full(nnz, np.nan)
+        self.vy = np.full(nnz, np.nan)
+        self.has_vel = np.zeros(nnz, dtype=bool)
+        self.pred = np.full(nnz, np.inf)
+        self.det = np.full(nnz, np.nan)
+        self.has_det = np.zeros(nnz, dtype=bool)
+        self.report = np.zeros(nnz, dtype=float)
+        self.state = np.zeros(nnz, dtype=np.int8)
+
+        #: per-node mirror of PASController._has_knowledge
+        self.knows = np.zeros(n, dtype=bool)
+        #: per-node controller objects, filled by register_controller
+        self.controllers = np.empty(n, dtype=object)
+
+        # Transpose map: edge k = (owner i -> neighbour j) mirrors to the slot
+        # of (j -> i).  Keys i*n + j are ascending (owners ascending, ids
+        # ascending per row), so one searchsorted inverts the whole table.
+        owners = np.repeat(np.arange(n, dtype=np.int64), np.diff(self.indptr))
+        forward = owners * n + self.nbr_ids
+        backward = self.nbr_ids * n + owners
+        self._mirror = np.searchsorted(forward, backward)
+        if nnz and not np.array_equal(forward[self._mirror], backward):
+            raise ValueError("neighbour table is not symmetric")
+
+        # WorldState protocol-state codes for the receiver-side gating.  The
+        # safe/covered codes already exist at build time; interning "alert"
+        # here gives it the same code the first ALERT transition would.
+        self._ws_safe = world_state.code_of(ProtocolState.SAFE.value)
+        self._ws_covered = world_state.code_of(ProtocolState.COVERED.value)
+        self._ws_alert = world_state.code_of(ProtocolState.ALERT.value)
+
+    # ----------------------------------------------------------------- wiring
+    def register_controller(self, row: int, controller) -> None:
+        """Attach the controller owning ``row`` (for batch dispatch)."""
+        self.controllers[row] = controller
+
+    def set_knowledge(self, row: int, knows: bool) -> None:
+        """Mirror one controller's ``_has_knowledge`` bit."""
+        self.knows[row] = knows
+
+    # ----------------------------------------------------------------- writes
+    def record_update(self, owner_row: int, info: NeighborInfo) -> None:
+        """Mirror one stored ``NeighborTable`` record into its edge slot."""
+        start = self.indptr[owner_row]
+        end = self.indptr[owner_row + 1]
+        pos = np.searchsorted(self.nbr_ids[start:end], info.node_id)
+        slot = start + pos
+        if pos >= end - start or self.nbr_ids[slot] != info.node_id:
+            raise ValueError(
+                f"node {info.node_id} is not a topology neighbour of row {owner_row}"
+            )
+        self.valid[slot] = True
+        self.px[slot] = info.position.x
+        self.py[slot] = info.position.y
+        velocity = info.velocity
+        if velocity is None:
+            self.has_vel[slot] = False
+            self.vx[slot] = np.nan
+            self.vy[slot] = np.nan
+        else:
+            self.has_vel[slot] = True
+            self.vx[slot] = velocity.x
+            self.vy[slot] = velocity.y
+        self.pred[slot] = info.predicted_arrival
+        detection = info.detection_time
+        self.has_det[slot] = detection is not None
+        self.det[slot] = np.nan if detection is None else detection
+        self.report[slot] = info.report_time
+        self.state[slot] = STATE_CODES[info.state]
+
+    def record_response_batch(
+        self, sender_id: int, receiver_ids: np.ndarray, info: NeighborInfo
+    ) -> None:
+        """Mirror one RESPONSE into every receiver's (receiver, sender) slot.
+
+        ``info`` is the shared record built from the response;
+        ``info.report_time`` is the current time and therefore at least as
+        new as anything previously stored, so the write is unconditional
+        (matching the ``report_time >=`` overwrite rule of the dict side).
+        """
+        start = self.indptr[sender_id]
+        end = self.indptr[sender_id + 1]
+        block = self.nbr_ids[start:end]
+        pos = np.searchsorted(block, receiver_ids)
+        if pos.size and (
+            bool((pos >= end - start).any())
+            or not np.array_equal(block[np.minimum(pos, end - start - 1)], receiver_ids)
+        ):
+            raise ValueError(
+                f"batch receivers are not all topology neighbours of {sender_id}"
+            )
+        slots = self._mirror[start + pos]
+        self.valid[slots] = True
+        self.px[slots] = info.position.x
+        self.py[slots] = info.position.y
+        velocity = info.velocity
+        if velocity is None:
+            self.has_vel[slots] = False
+            self.vx[slots] = np.nan
+            self.vy[slots] = np.nan
+        else:
+            self.has_vel[slots] = True
+            self.vx[slots] = velocity.x
+            self.vy[slots] = velocity.y
+        self.pred[slots] = info.predicted_arrival
+        detection = info.detection_time
+        self.has_det[slots] = detection is not None
+        self.det[slots] = np.nan if detection is None else detection
+        self.report[slots] = info.report_time
+        self.state[slots] = STATE_CODES[info.state]
+
+    def clear_row(self, owner_row: int) -> None:
+        """Invalidate every cached report of one receiver (table.clear())."""
+        self.valid[self.indptr[owner_row] : self.indptr[owner_row + 1]] = False
+
+    # ------------------------------------------------------------ REQUEST path
+    def alive_rows(self, receiver_ids: np.ndarray) -> np.ndarray:
+        """Awake-and-not-failed subset of a receiver batch, order preserved.
+
+        Mirrors the per-controller ``node.is_failed or not node.is_awake``
+        guard of the scalar ``handle_batch`` loop (the power columns are
+        exact mirrors of the node objects).
+        """
+        ws = self.ws
+        mask = ws.awake[receiver_ids]
+        if ws.any_failed:
+            mask = mask & ~ws.failed[receiver_ids]
+        if mask.all():
+            return receiver_ids
+        return receiver_ids[mask]
+
+    def pas_request_responders(self, receiver_ids: np.ndarray) -> np.ndarray:
+        """Receivers that answer a PAS REQUEST, from columns alone.
+
+        PAS rule: every awake, unfailed node answers unless it is SAFE with
+        nothing to report (``_has_knowledge`` false) -- the state codes and
+        the ``knows`` column are exact mirrors of the controller state, so no
+        Python controller object is touched for the silent majority.
+        """
+        ws = self.ws
+        mask = ws.awake[receiver_ids]
+        if ws.any_failed:
+            mask = mask & ~ws.failed[receiver_ids]
+        quiet = (ws.state_codes[receiver_ids] == self._ws_safe) & ~self.knows[
+            receiver_ids
+        ]
+        return receiver_ids[mask & ~quiet]
+
+    def sas_request_responders(self, receiver_ids: np.ndarray) -> np.ndarray:
+        """Receivers that answer a SAS REQUEST: awake, unfailed and COVERED."""
+        ws = self.ws
+        mask = ws.awake[receiver_ids]
+        if ws.any_failed:
+            mask = mask & ~ws.failed[receiver_ids]
+        return receiver_ids[mask & (ws.state_codes[receiver_ids] == self._ws_covered)]
+
+    def covered_receiver_mask(self, receiver_rows: np.ndarray) -> np.ndarray:
+        """Which receivers are currently in the COVERED protocol state."""
+        return self.ws.state_codes[receiver_rows] == self._ws_covered
+
+    # ----------------------------------------------------------- kernel inputs
+    def padded(self, rows: np.ndarray) -> PaddedSlots:
+        """Pad the subset's CSR rows into a dense (len(rows), max_deg) matrix."""
+        starts = self.indptr[rows]
+        counts = self.indptr[rows + 1] - starts
+        width = int(counts.max()) if counts.size else 0
+        offsets = np.arange(width, dtype=np.intp)
+        in_bounds = offsets[None, :] < counts[:, None]
+        idx = np.where(in_bounds, starts[:, None] + offsets[None, :], 0)
+        return idx, in_bounds
+
+    def _fresh_mask(self, padded: PaddedSlots, now: float) -> np.ndarray:
+        """Valid, in-bounds, non-stale slots (NeighborTable.fresh_records)."""
+        idx, in_bounds = padded
+        mask = self.valid[idx] & in_bounds
+        if self.staleness_limit is not None:
+            mask &= (now - self.report[idx]) <= self.staleness_limit
+        return mask
+
+    def covered_mask(self, padded: PaddedSlots, now: float) -> np.ndarray:
+        """Slots mirroring ``NeighborTable.covered_neighbors``."""
+        return self._fresh_mask(padded, now) & (self.state[padded[0]] == _COVERED)
+
+    def informative_mask(self, padded: PaddedSlots, now: float) -> np.ndarray:
+        """Slots mirroring ``NeighborTable.informative_neighbors``."""
+        idx = padded[0]
+        state = self.state[idx]
+        informative = self.has_vel[idx] | self.has_det[idx] | np.isfinite(
+            self.pred[idx]
+        )
+        return (
+            self._fresh_mask(padded, now)
+            & ((state == _COVERED) | (state == _ALERT))
+            & informative
+        )
+
+    # ---------------------------------------------------------------- kernels
+    def arrival_times_many(
+        self, rows: np.ndarray, padded: PaddedSlots, mask: np.ndarray, now: float
+    ) -> np.ndarray:
+        """Per-slot ``arrival_time_from_neighbor`` over a receiver subset.
+
+        Returns the (len(rows), max_deg) matrix of absolute arrival
+        estimates, ``inf`` in uninformative or masked-out lanes.
+        """
+        idx, _ = padded
+        vx = self.vx[idx]
+        vy = self.vy[idx]
+        speed = np.sqrt(vx * vx + vy * vy)
+        usable = mask & self.has_vel[idx]
+        usable &= ~(speed < MIN_SPEED)
+        positions = self.ws.positions[rows]
+        dx = positions[:, 0][:, None] - self.px[idx]
+        dy = positions[:, 1][:, None] - self.py[idx]
+        dist = np.sqrt(dx * dx + dy * dy)
+        colocated = dist < ZERO_DISPLACEMENT
+        has_ref = self.has_det[idx] | np.isfinite(self.pred[idx])
+        reference = np.where(self.has_det[idx], self.det[idx], self.pred[idx])
+        with np.errstate(divide="ignore", invalid="ignore"):
+            cos_theta = (vx * dx + vy * dy) / (speed * dist)
+            cos_theta = np.minimum(1.0, np.maximum(-1.0, cos_theta))
+            approaching = cos_theta > COS_TOLERANCE
+            travel = dist * cos_theta / speed
+            estimate = np.where(
+                usable & colocated & has_ref,
+                reference,
+                np.where(
+                    usable & ~colocated & approaching & has_ref,
+                    reference + travel,
+                    np.inf,
+                ),
+            )
+        return estimate
+
+    def expected_arrival_time_many(
+        self,
+        rows: np.ndarray,
+        padded: PaddedSlots,
+        mask: np.ndarray,
+        now: float,
+        *,
+        min_reports: int = 1,
+    ) -> np.ndarray:
+        """Vectorized ``expected_arrival_time`` over a receiver subset."""
+        if min_reports < 1:
+            raise ValueError("min_reports must be at least 1")
+        if padded[0].shape[1] == 0:
+            return np.full(len(rows), np.inf)
+        estimates = self.arrival_times_many(rows, padded, mask, now)
+        finite = np.isfinite(estimates)
+        count = finite.sum(axis=1)
+        # min is order-insensitive (no rounding), so the axis reduction is
+        # bit-equal to the scalar sequential min; inf lanes are the identity.
+        best = estimates.min(axis=1)
+        return np.where(count >= min_reports, np.maximum(now, best), np.inf)
+
+    def expected_velocity_many(
+        self, padded: PaddedSlots, mask: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized ``expected_velocity``: masked mean of reported velocities.
+
+        Returns ``(mean_x, mean_y, count)``; a receiver with ``count == 0``
+        has no estimate (scalar returns ``None``) and its mean lanes are 0.
+        """
+        idx, _ = padded
+        use = mask & self.has_vel[idx]
+        return self._masked_mean(self.vx[idx], self.vy[idx], use)
+
+    def actual_velocity_many(
+        self,
+        rows: np.ndarray,
+        detection_times: np.ndarray,
+        padded: PaddedSlots,
+        mask: np.ndarray,
+        *,
+        outward: bool = False,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized ``actual_velocity`` / ``outward_velocity``.
+
+        ``detection_times`` holds each receiver's own detection time (NaN for
+        receivers without one, which yields ``count == 0`` exactly like the
+        scalar early return).  ``outward=True`` flips both the elapsed-time
+        and displacement directions, giving ``outward_velocity``.
+        """
+        idx, _ = padded
+        own = detection_times[:, None]
+        neighbour = self.det[idx]
+        elapsed = neighbour - own if outward else own - neighbour
+        usable = mask & self.has_det[idx]
+        # NaN elapsed (receiver without detection time) compares False, so
+        # require the >= explicitly rather than mirroring `< MIN_ELAPSED_S`.
+        usable &= elapsed >= MIN_ELAPSED_S
+        positions = self.ws.positions[rows]
+        if outward:
+            dx = self.px[idx] - positions[:, 0][:, None]
+            dy = self.py[idx] - positions[:, 1][:, None]
+        else:
+            dx = positions[:, 0][:, None] - self.px[idx]
+            dy = positions[:, 1][:, None] - self.py[idx]
+        usable &= ~(np.sqrt(dx * dx + dy * dy) < ZERO_DISPLACEMENT)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            cx = dx / elapsed
+            cy = dy / elapsed
+        return self._masked_mean(cx, cy, usable)
+
+    def sas_arrival_time_many(
+        self,
+        rows: np.ndarray,
+        padded: PaddedSlots,
+        mask: np.ndarray,
+        now: float,
+        fallback_speed: Optional[float] = None,
+    ) -> np.ndarray:
+        """Vectorized ``sas_arrival_time`` over a receiver subset."""
+        idx, _ = padded
+        if idx.shape[1] == 0:
+            return np.full(len(rows), np.inf)
+        vx = self.vx[idx]
+        vy = self.vy[idx]
+        with np.errstate(invalid="ignore"):
+            speed = np.where(self.has_vel[idx], np.sqrt(vx * vx + vy * vy), 0.0)
+        slow = speed < MIN_SPEED
+        usable = mask & self.has_det[idx]
+        if fallback_speed is None or fallback_speed < MIN_SPEED:
+            usable &= ~slow
+        else:
+            speed = np.where(slow, fallback_speed, speed)
+        positions = self.ws.positions[rows]
+        dx = positions[:, 0][:, None] - self.px[idx]
+        dy = positions[:, 1][:, None] - self.py[idx]
+        dist = np.sqrt(dx * dx + dy * dy)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            candidate = np.where(usable, self.det[idx] + dist / speed, np.inf)
+        best = candidate.min(axis=1)
+        return np.where(np.isfinite(best), np.maximum(now, best), np.inf)
+
+    # ---------------------------------------------------------------- helpers
+    @staticmethod
+    def _masked_mean(
+        values_x: np.ndarray, values_y: np.ndarray, use: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sequential masked column mean, bit-equal to the scalar loops.
+
+        The accumulator starts at 0.0 (``Vec2.zero()``) and adds one slot
+        column at a time; masked lanes add exactly 0.0, which cannot change
+        any partial sum, so the result equals the scalar sequential sum over
+        the used entries in ascending-id order.
+        """
+        count = use.sum(axis=1)
+        acc_x = np.zeros(use.shape[0])
+        acc_y = np.zeros(use.shape[0])
+        masked_x = np.where(use, values_x, 0.0)
+        masked_y = np.where(use, values_y, 0.0)
+        for column in range(use.shape[1]):
+            acc_x += masked_x[:, column]
+            acc_y += masked_y[:, column]
+        denominator = np.maximum(count, 1).astype(float)
+        return acc_x / denominator, acc_y / denominator, count

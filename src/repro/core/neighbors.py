@@ -4,11 +4,24 @@ Every RESPONSE a node hears updates its :class:`NeighborTable`; the velocity
 and arrival-time estimators then operate on the cached
 :class:`NeighborInfo` records rather than on raw messages, which keeps the
 estimation code purely functional and easy to test.
+
+Two properties of the table are part of the engine bit-identity contract
+(see :mod:`repro.core.arrival`):
+
+* iteration (and every filtered view) yields records in **ascending
+  neighbour-id order** -- the same order as the CSR slots of the columnar
+  mirror in :mod:`repro.core.estimation`, so sequential scalar sums and
+  column-at-a-time vector sums accumulate in the same order;
+* a table may be **bound** to that columnar mirror
+  (:meth:`NeighborTable.bind_columns`), after which every store/clear also
+  writes the matching per-(receiver, neighbour) column slots, keeping dict
+  and columns exact mirrors of each other.
 """
 
 from __future__ import annotations
 
 import math
+from bisect import insort
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
@@ -80,25 +93,74 @@ class NeighborInfo:
 
 
 class NeighborTable:
-    """Most recent report per neighbour, with optional staleness filtering."""
+    """Most recent report per neighbour, with optional staleness filtering.
+
+    Records are iterated (and filtered) in ascending neighbour-id order; the
+    sorted id list is maintained incrementally on insert, so the hot read
+    paths pay no sorting cost.
+    """
 
     def __init__(self, staleness_limit: Optional[float] = None) -> None:
         if staleness_limit is not None and staleness_limit <= 0:
             raise ValueError("staleness_limit must be positive when given")
         self.staleness_limit = staleness_limit
         self._records: Dict[int, NeighborInfo] = {}
+        self._ids: List[int] = []  # ascending; mirrors _records' keys
+        self._columns = None  # optional EstimationColumns mirror
+        self._row = -1  # this table's owner row in the columnar mirror
 
     def __len__(self) -> int:
         return len(self._records)
 
+    def __bool__(self) -> bool:
+        # Explicit O(1) emptiness check: the estimators short-circuit on empty
+        # tables before paying any per-record or kernel cost.
+        return bool(self._records)
+
     def __contains__(self, node_id: int) -> bool:
         return node_id in self._records
 
+    # ---------------------------------------------------------------- binding
+    def bind_columns(self, columns, row: int) -> None:
+        """Attach the columnar mirror slice this table must keep in sync.
+
+        ``columns`` is the :class:`repro.core.estimation.EstimationColumns`
+        holding the whole fleet's neighbour knowledge; ``row`` is this
+        table's owner node.  Binding an already-populated table replays its
+        records into the columns.
+        """
+        self._columns = columns
+        self._row = row
+        for node_id in self._ids:
+            columns.record_update(row, self._records[node_id])
+
+    # ----------------------------------------------------------------- writes
+    def _store(self, info: NeighborInfo) -> bool:
+        """Dict-and-id-list store; True if the record was kept."""
+        existing = self._records.get(info.node_id)
+        if existing is None:
+            insort(self._ids, info.node_id)
+        elif info.report_time < existing.report_time:
+            return False
+        self._records[info.node_id] = info
+        return True
+
     def update(self, info: NeighborInfo) -> None:
         """Insert or overwrite the record for ``info.node_id``."""
-        existing = self._records.get(info.node_id)
-        if existing is None or info.report_time >= existing.report_time:
-            self._records[info.node_id] = info
+        if self._store(info) and self._columns is not None:
+            self._columns.record_update(self._row, info)
+
+    def store_newest(self, info: NeighborInfo) -> None:
+        """Store a record whose column slots are written elsewhere.
+
+        The batched RESPONSE path mirrors a whole receiver group's column
+        slots in one vectorized write (``record_response_batch``) and then
+        calls this per receiver for the dict side only.  ``info.report_time``
+        must be the current time, i.e. at least as new as any stored record
+        (simulation time is monotone), so dict and columns cannot disagree on
+        which report wins.
+        """
+        self._store(info)
 
     def update_from_response(self, response: Response, report_time: float) -> NeighborInfo:
         """Convenience wrapper: convert a RESPONSE and store it."""
@@ -106,33 +168,64 @@ class NeighborTable:
         self.update(info)
         return info
 
+    def clear(self) -> None:
+        """Drop every cached record."""
+        self._records.clear()
+        self._ids.clear()
+        if self._columns is not None:
+            self._columns.clear_row(self._row)
+
+    # ------------------------------------------------------------------ reads
     def get(self, node_id: int) -> Optional[NeighborInfo]:
         """The cached record for ``node_id``, or ``None``."""
         return self._records.get(node_id)
 
     def fresh_records(self, now: float) -> List[NeighborInfo]:
-        """All records, dropping those older than the staleness limit."""
-        if self.staleness_limit is None:
-            return list(self._records.values())
-        return [
-            r for r in self._records.values() if now - r.report_time <= self.staleness_limit
-        ]
+        """All records (ascending id), dropping those older than the limit."""
+        records = self._records
+        limit = self.staleness_limit
+        if limit is None:
+            return [records[node_id] for node_id in self._ids]
+        out = []
+        for node_id in self._ids:
+            record = records[node_id]
+            if now - record.report_time <= limit:
+                out.append(record)
+        return out
 
     def covered_neighbors(self, now: float) -> List[NeighborInfo]:
-        """Fresh records from neighbours reporting the COVERED state."""
-        return [r for r in self.fresh_records(now) if r.is_covered]
+        """Fresh records from neighbours reporting the COVERED state.
+
+        Single pass: staleness and state are tested record by record, with no
+        intermediate fresh-records list (this is the hottest read path).
+        """
+        records = self._records
+        limit = self.staleness_limit
+        out = []
+        for node_id in self._ids:
+            record = records[node_id]
+            if limit is not None and now - record.report_time > limit:
+                continue
+            if record.state == ProtocolState.COVERED:
+                out.append(record)
+        return out
 
     def informative_neighbors(self, now: float) -> List[NeighborInfo]:
         """Fresh records from COVERED or ALERT neighbours carrying estimates."""
-        return [
-            r
-            for r in self.fresh_records(now)
-            if r.state in (ProtocolState.COVERED, ProtocolState.ALERT) and r.is_informative
-        ]
-
-    def clear(self) -> None:
-        """Drop every cached record."""
-        self._records.clear()
+        records = self._records
+        limit = self.staleness_limit
+        out = []
+        for node_id in self._ids:
+            record = records[node_id]
+            if limit is not None and now - record.report_time > limit:
+                continue
+            if (
+                record.state in (ProtocolState.COVERED, ProtocolState.ALERT)
+                and record.is_informative
+            ):
+                out.append(record)
+        return out
 
     def __iter__(self) -> Iterator[NeighborInfo]:
-        return iter(self._records.values())
+        records = self._records
+        return iter([records[node_id] for node_id in self._ids])

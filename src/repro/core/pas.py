@@ -31,10 +31,12 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+import numpy as np
+
 from repro.core.arrival import expected_arrival_time, time_to_arrival
 from repro.core.config import PASConfig
 from repro.core.controller import NodeController, WorldServices
-from repro.core.neighbors import NeighborTable
+from repro.core.neighbors import NeighborInfo, NeighborTable
 from repro.core.scheduler_base import SleepScheduler
 from repro.core.sleep_policy import make_sleep_policy
 from repro.core.states import ProtocolState, StateMachine
@@ -63,6 +65,12 @@ class PASController(NodeController):
     # world state can mirror this controller exactly (see repro.world.state).
     state_sync = "reported"
 
+    # The batched engine may wire the columnar estimation layer
+    # (repro.core.estimation) for fleets of this controller class: RESPONSE
+    # fan-in batches are then estimated by vectorized kernels and REQUEST
+    # batches answered from WorldState-style columns (handle_batch_columnar).
+    columnar_estimation = True
+
     def __init__(self, node: SensorNode, world: WorldServices, config: PASConfig) -> None:
         super().__init__(node, world)
         self.config = config
@@ -71,12 +79,15 @@ class PASController(NodeController):
         )
         self.neighbors = NeighborTable()
         self.sleep_policy = make_sleep_policy(config)
+        #: bound EstimationColumns (None on the scalar path); set before the
+        #: estimate fields so their setters can consult it
+        self._est = None
         #: current spreading-velocity estimate (actual or expected)
-        self.velocity: Optional[Vec2] = None
+        self._velocity: Optional[Vec2] = None
         #: absolute predicted arrival time of the stimulus at this node
-        self.predicted_arrival: float = math.inf
+        self._predicted_arrival: float = math.inf
         #: absolute time of this node's own stimulus detection
-        self.detection_time: Optional[float] = None
+        self._detection_time: Optional[float] = None
         #: pending "decide after listen window" event
         self._decision_handle: Optional[EventHandle] = None
         #: pending covered -> safe timeout event
@@ -90,6 +101,50 @@ class PASController(NodeController):
     def state(self) -> ProtocolState:
         """Current protocol state."""
         return self.machine.state
+
+    # The three knowledge fields are write-through properties: when the
+    # columnar estimation layer is bound, every assignment refreshes the
+    # per-node ``knows`` column so REQUEST batches can evaluate
+    # ``_has_knowledge`` without touching this object.
+    @property
+    def velocity(self) -> Optional[Vec2]:
+        """Current spreading-velocity estimate (actual or expected)."""
+        return self._velocity
+
+    @velocity.setter
+    def velocity(self, value: Optional[Vec2]) -> None:
+        self._velocity = value
+        if self._est is not None:
+            self._est.set_knowledge(self.node.id, self._has_knowledge())
+
+    @property
+    def predicted_arrival(self) -> float:
+        """Absolute predicted arrival time of the stimulus at this node."""
+        return self._predicted_arrival
+
+    @predicted_arrival.setter
+    def predicted_arrival(self, value: float) -> None:
+        self._predicted_arrival = value
+        if self._est is not None:
+            self._est.set_knowledge(self.node.id, self._has_knowledge())
+
+    @property
+    def detection_time(self) -> Optional[float]:
+        """Absolute time of this node's own stimulus detection."""
+        return self._detection_time
+
+    @detection_time.setter
+    def detection_time(self, value: Optional[float]) -> None:
+        self._detection_time = value
+        if self._est is not None:
+            self._est.set_knowledge(self.node.id, self._has_knowledge())
+
+    def bind_estimation(self, est) -> None:
+        """Attach the fleet's :class:`~repro.core.estimation.EstimationColumns`."""
+        self._est = est
+        est.register_controller(self.node.id, self)
+        est.set_knowledge(self.node.id, self._has_knowledge())
+        self.neighbors.bind_columns(est, self.node.id)
 
     @property
     def state_name(self) -> str:
@@ -234,6 +289,142 @@ class PASController(NodeController):
             for controller in controllers:
                 controller.on_message(message)
 
+    # ----------------------------------------------------- columnar batching
+    @classmethod
+    def handle_batch_columnar(cls, est, receiver_ids, message: Message, now: float) -> None:
+        """Columnar fan-in: answer a whole batch with vectorized kernels.
+
+        Behaviourally identical to :meth:`handle_batch` (and hence to
+        per-receiver ``on_message`` in delivery order); ``est`` is the
+        fleet's :class:`~repro.core.estimation.EstimationColumns`.
+
+        * REQUEST batches take the fast path: the responder set is computed
+          from the awake/failed/state/knowledge columns and only actual
+          responders run any Python controller code.
+        * RESPONSE batches are mirrored into the columns with one vectorized
+          write, estimated with one kernel call per quantity over the
+          covered / uncovered receiver partitions, and the results applied
+          per receiver *in delivery order* -- preserving the broadcast (and
+          hence RNG-draw and event-insertion) order of the scalar loop.
+        """
+        if isinstance(message, Request):
+            for controller in est.controllers[cls._request_responder_rows(est, receiver_ids)]:
+                controller._send_response()
+        elif isinstance(message, Response):
+            cls._handle_response_batch(est, receiver_ids, message, now)
+        else:  # unknown message kinds keep the object path
+            cls.handle_batch(est.controllers[receiver_ids].tolist(), message)
+
+    @classmethod
+    def _request_responder_rows(cls, est, receiver_ids):
+        """Receivers that answer a REQUEST (PAS rule; SAS overrides)."""
+        return est.pas_request_responders(receiver_ids)
+
+    @classmethod
+    def _handle_response_batch(cls, est, receiver_ids, response: Response, now: float) -> None:
+        rows = est.alive_rows(receiver_ids)
+        if rows.size == 0:
+            return
+        # One shared immutable record serves every receiver's table (the
+        # scalar path builds per-receiver copies with identical contents).
+        info = NeighborInfo.from_response(response, now)
+        est.record_response_batch(response.sender_id, rows, info)
+        controllers = est.controllers[rows]
+        for controller in controllers:
+            controller.neighbors.store_newest(info)
+        cls._estimate_and_apply(est, rows, controllers, now)
+
+    @classmethod
+    def _estimate_and_apply(cls, est, rows, controllers, now: float) -> None:
+        """Kernel phase + delivery-ordered apply phase for a RESPONSE batch.
+
+        Receivers are independent within a batch (a controller owns exactly
+        one node and broadcasts only schedule *future* deliveries), so all
+        estimates may be computed up front; only the apply loop -- which
+        broadcasts and transitions states -- must run in delivery order.
+        """
+        covered_sel = est.covered_receiver_mask(rows)
+        sub_index = np.where(
+            covered_sel, np.cumsum(covered_sel) - 1, np.cumsum(~covered_sel) - 1
+        )
+        if covered_sel.any():
+            cov_rows = rows[covered_sel]
+            cov_controllers = controllers[covered_sel]
+            det_times = np.array(
+                [
+                    np.nan if c._detection_time is None else c._detection_time
+                    for c in cov_controllers
+                ],
+                dtype=float,
+            )
+            pad = est.padded(cov_rows)
+            cmask = est.covered_mask(pad, now)
+            back = est.actual_velocity_many(cov_rows, det_times, pad, cmask)
+            fwd = est.actual_velocity_many(cov_rows, det_times, pad, cmask, outward=True)
+            mean = est.expected_velocity_many(pad, cmask)
+        uncovered_sel = ~covered_sel
+        if uncovered_sel.any():
+            unc_rows = rows[uncovered_sel]
+            pad_u = est.padded(unc_rows)
+            imask = est.informative_mask(pad_u, now)
+            vel = est.expected_velocity_many(pad_u, imask)
+            pred = est.expected_arrival_time_many(
+                unc_rows,
+                pad_u,
+                imask,
+                now,
+                min_reports=controllers[0].config.min_neighbors_for_estimate,
+            )
+        for position, controller in enumerate(controllers):
+            k = sub_index[position]
+            if covered_sel[position]:
+                controller._apply_covered_refresh(
+                    back[0][k], back[1][k], back[2][k],
+                    fwd[0][k], fwd[1][k], fwd[2][k],
+                    mean[0][k], mean[1][k], mean[2][k],
+                )
+            else:
+                controller._apply_prediction(
+                    vel[0][k], vel[1][k], vel[2][k], pred[k]
+                )
+
+    def _apply_covered_refresh(
+        self, bx, by, bn, fx, fy, fn, mx, my, mn
+    ) -> None:
+        """Apply precomputed kernels exactly as ``_refresh_actual_velocity``.
+
+        ``(bx, by, bn)`` / ``(fx, fy, fn)`` / ``(mx, my, mn)`` are the
+        backward finite-difference, outward finite-difference and
+        covered-mean velocity (x, y, contribution count) for this receiver;
+        a zero count means the scalar estimator would have returned ``None``.
+        """
+        if self._detection_time is None:
+            return
+        had_estimate = self._velocity is not None
+        if bn:
+            estimate = Vec2(float(bx), float(by))
+        elif fn:
+            estimate = Vec2(float(fx), float(fy))
+        else:
+            estimate = None
+        if estimate is not None:
+            self.velocity = blend_velocities(self._velocity, estimate, 0.5)
+        elif self._velocity is None:
+            self.velocity = Vec2(float(mx), float(my)) if mn else None
+        if self._velocity is not None and not had_estimate:
+            self._send_response()
+
+    def _apply_prediction(self, vx, vy, vn, pred) -> None:
+        """Apply precomputed kernels exactly as the uncovered RESPONSE path."""
+        previous = self._predicted_arrival
+        if vn:
+            self.velocity = Vec2(float(vx), float(vy))
+        self.predicted_arrival = float(pred)
+        if self.machine.state == ProtocolState.ALERT:
+            if self._changed_significantly(previous, self._predicted_arrival):
+                self._send_response()
+            self._evaluate_alert_membership()
+
     def _handle_request(self) -> None:
         """Any awake node answers a REQUEST with its current knowledge."""
         if self.machine.state == ProtocolState.SAFE and not self._has_knowledge():
@@ -244,9 +435,9 @@ class PASController(NodeController):
 
     def _has_knowledge(self) -> bool:
         return (
-            self.velocity is not None
-            or self.detection_time is not None
-            or math.isfinite(self.predicted_arrival)
+            self._velocity is not None
+            or self._detection_time is not None
+            or math.isfinite(self._predicted_arrival)
         )
 
     def _handle_response(self, response: Response) -> None:
@@ -278,6 +469,12 @@ class PASController(NodeController):
     # ------------------------------------------------------------ estimation
     def _recompute_prediction(self) -> None:
         """Refresh the expected velocity and expected arrival time."""
+        if not self.neighbors and self.config.min_neighbors_for_estimate >= 1:
+            # Empty table: expected_velocity([]) is None (velocity unchanged)
+            # and expected_arrival_time(..., []) is inf -- skip the filtering
+            # and estimator calls entirely.
+            self.predicted_arrival = math.inf
+            return
         now = self.world.now
         informative = self.neighbors.informative_neighbors(now)
         velocity = expected_velocity(informative)

@@ -42,10 +42,44 @@ class SASController(PASController):
     # ------------------------------------------------------------ estimation
     def _recompute_prediction(self) -> None:
         """SAS estimate: covered neighbours only, scalar speed, straight line."""
+        if not self.neighbors:
+            # Empty table: sas_arrival_time(..., []) is inf.
+            self.predicted_arrival = math.inf
+            return
         now = self.world.now
         covered = self.neighbors.covered_neighbors(now)
         self.predicted_arrival = sas_arrival_time(self.node.position, covered, now)
         # SAS keeps no vector velocity for uncovered nodes.
+
+    # ----------------------------------------------------- columnar batching
+    @classmethod
+    def _request_responder_rows(cls, est, receiver_ids):
+        """SAS rule: only COVERED receivers answer a REQUEST."""
+        return est.sas_request_responders(receiver_ids)
+
+    @classmethod
+    def _estimate_and_apply(cls, est, rows, controllers, now: float) -> None:
+        """SAS RESPONSE batch: covered receivers ignore it; the rest
+        recompute their arrival estimate with the SAS kernel."""
+        covered_sel = est.covered_receiver_mask(rows)
+        uncovered_sel = ~covered_sel
+        if not uncovered_sel.any():
+            return
+        unc_rows = rows[uncovered_sel]
+        pad = est.padded(unc_rows)
+        cmask = est.covered_mask(pad, now)
+        pred = est.sas_arrival_time_many(unc_rows, pad, cmask, now)
+        k = 0
+        for position, controller in enumerate(controllers):
+            if uncovered_sel[position]:
+                controller._apply_sas_prediction(pred[k])
+                k += 1
+
+    def _apply_sas_prediction(self, pred) -> None:
+        """Apply a precomputed SAS arrival estimate (uncovered receiver)."""
+        self.predicted_arrival = float(pred)
+        if self.machine.state == ProtocolState.ALERT:
+            self._evaluate_alert_membership()
 
     def _after_covered_listen(self) -> None:
         """On detection SAS estimates a scalar local speed and announces it."""

@@ -17,6 +17,18 @@ property-testable; the PAS controller simply feeds them its neighbour table.
 The SAS baseline uses :func:`scalar_speed_estimate`, a direction-less local
 speed average, reflecting the "simple method for the local velocity
 estimation" the paper attributes to SAS.
+
+Portable numerics: these loops are the scalar reference spec for the
+vectorized kernels in :mod:`repro.core.estimation` (see
+:mod:`repro.core.arrival` for the full contract).  Concretely:
+
+* norms are ``math.sqrt(dx*dx + dy*dy)`` (bit-equal to ``np.sqrt``), never
+  ``math.hypot``;
+* per-neighbour contributions are summed *sequentially* in the iteration
+  order of the input, which :class:`~repro.core.neighbors.NeighborTable`
+  fixes to ascending neighbour id -- the same slot order as the CSR columns,
+  so a masked column-at-a-time accumulation reproduces the sum bit-for-bit
+  (a NumPy ``sum``/``reduceat``, which reduces pairwise, would not).
 """
 
 from __future__ import annotations
@@ -26,6 +38,10 @@ from typing import Iterable, Optional, Sequence
 
 from repro.core.neighbors import NeighborInfo
 from repro.geometry.vec import Vec2
+
+#: Displacements shorter than this count as "co-located" (kept numerically
+#: identical to repro.core.arrival.ZERO_DISPLACEMENT and the Vec2 tolerance).
+ZERO_DISPLACEMENT = 1e-12
 
 #: Elapsed-time floor (seconds) below which a covered neighbour's report is
 #: considered simultaneous with our own detection and therefore uninformative
@@ -65,10 +81,11 @@ def actual_velocity(
         if elapsed < MIN_ELAPSED_S:
             # Simultaneous or out-of-order detection: no finite-difference signal.
             continue
-        displacement = position - info.position
-        if displacement.is_zero():
+        dx = position.x - info.position.x
+        dy = position.y - info.position.y
+        if math.sqrt(dx * dx + dy * dy) < ZERO_DISPLACEMENT:
             continue
-        contributions.append(displacement / elapsed)
+        contributions.append(Vec2(dx / elapsed, dy / elapsed))
     if not contributions:
         return None
     total = Vec2.zero()
@@ -99,10 +116,11 @@ def outward_velocity(
         elapsed = info.detection_time - detection_time
         if elapsed < MIN_ELAPSED_S:
             continue
-        displacement = info.position - position
-        if displacement.is_zero():
+        dx = info.position.x - position.x
+        dy = info.position.y - position.y
+        if math.sqrt(dx * dx + dy * dy) < ZERO_DISPLACEMENT:
             continue
-        contributions.append(displacement / elapsed)
+        contributions.append(Vec2(dx / elapsed, dy / elapsed))
     if not contributions:
         return None
     total = Vec2.zero()

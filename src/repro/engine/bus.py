@@ -19,8 +19,10 @@ PAS/SAS REQUEST/RESPONSE fan-out makes that loop the dominant cost of a run.
   consumes the RNG stream in exactly the scalar per-neighbour order;
 * all receivers sharing an arrival timestamp are delivered by a *single*
   event whose callback charges grouped RX energy and hands the surviving
-  receiver-id array to one batch-aware handler call
-  (:meth:`~repro.core.controller.NodeController.handle_batch`).
+  receiver-id array to one batch-aware handler call -- either the
+  controllers' ``handle_batch`` hook or, when the columnar estimation layer
+  is wired (:mod:`repro.core.estimation`), ``handle_batch_columnar``, which
+  answers the whole group with vectorized kernels over that same id array.
 
 Bit-identity contract
 ---------------------
@@ -128,10 +130,7 @@ class BatchMedium(BroadcastMedium):
             radio_of[node_id] = node.radio
         self._id_to_row = id_to_row
         self._radio_of = radio_of
-        self._identity_rows = bool(
-            len(id_to_row) == len(self.nodes)
-            and (id_to_row == np.arange(len(id_to_row))).all()
-        )
+        self._identity_rows = bool(world_state.identity_rows)
         self._rx_breakdown = np.empty(max_id + 1, dtype=object)
         self._rx_stats = np.empty(max_id + 1, dtype=object)
         for node_id, node in self.nodes.items():

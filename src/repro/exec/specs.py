@@ -156,12 +156,18 @@ class RunSpec:
     ``engine`` picks the execution substrate (``"scalar"`` or ``"batched"``,
     see :mod:`repro.engine`).  Engines are bit-identical by contract, so the
     choice affects wall-clock only -- never the summary.
+
+    ``estimation`` picks the controller-estimation path on the batched
+    engine (``"columnar"`` kernels or the ``"scalar"`` reference
+    estimators); like ``engine`` it is a pure speed knob, bit-identical by
+    contract, and excluded from :meth:`spec_hash`.
     """
 
     scenario: ScenarioConfig
     scheduler: SchedulerSpec
     seed: Optional[int] = None
     engine: str = "scalar"
+    estimation: str = "columnar"
 
     def __post_init__(self) -> None:
         # Fail at spec construction, not deep inside a worker process.
@@ -170,6 +176,11 @@ class RunSpec:
         if self.engine not in ENGINES:
             raise ValueError(
                 f"unknown engine {self.engine!r}; expected one of {ENGINES}"
+            )
+        if self.estimation not in ("scalar", "columnar"):
+            raise ValueError(
+                f"unknown estimation {self.estimation!r}; "
+                "expected 'scalar' or 'columnar'"
             )
 
     def effective_seed(self) -> int:
@@ -187,10 +198,11 @@ class RunSpec:
 
         Two specs hash equal iff they resolve to the same scenario and the
         same scheduler (name + config) -- the key used by
-        :class:`~repro.exec.backends.CachingBackend`.  ``engine`` is
-        deliberately *excluded*: both engines produce byte-identical
-        summaries (enforced by tests/test_engine_equivalence.py), so a cache
-        warmed by one engine must serve the other.
+        :class:`~repro.exec.backends.CachingBackend`.  ``engine`` and
+        ``estimation`` are deliberately *excluded*: every combination
+        produces byte-identical summaries (enforced by
+        tests/test_engine_equivalence.py), so a cache warmed by one path
+        must serve the others.
         """
         payload = {
             "version": SPEC_HASH_VERSION,
@@ -209,5 +221,8 @@ class RunSpec:
         from repro.world.builder import run_scenario
 
         return run_scenario(
-            self.resolved_scenario(), self.scheduler.build(), engine=self.engine
+            self.resolved_scenario(),
+            self.scheduler.build(),
+            engine=self.engine,
+            estimation=self.estimation,
         )

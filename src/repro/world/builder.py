@@ -96,6 +96,7 @@ def build_simulation(
     *,
     occupancy_sample_interval: Optional[float] = None,
     engine: str = "scalar",
+    estimation: str = "columnar",
 ) -> MonitoringSimulation:
     """Assemble a runnable :class:`MonitoringSimulation`.
 
@@ -108,6 +109,14 @@ def build_simulation(
     ``"batched"`` swaps in the calendar-queue event core and the columnar
     message bus from :mod:`repro.engine`.  Seeded results are bit-identical
     either way -- the engine is a speed knob, not a model change.
+
+    ``estimation`` selects the controller-estimation path on the batched
+    engine: ``"columnar"`` (default) answers whole REQUEST/RESPONSE batches
+    with the vectorized kernels of :mod:`repro.core.estimation`;
+    ``"scalar"`` keeps the per-neighbour reference estimators.  Also a pure
+    speed knob -- seeded results are bit-identical -- kept selectable so the
+    equivalence suite and benchmarks can compare the two paths.  The scalar
+    engine always uses scalar estimation.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
@@ -145,6 +154,7 @@ def build_simulation(
         duration,
         scenario_description=description,
         occupancy_sample_interval=occupancy_sample_interval,
+        estimation=estimation,
     )
 
     if scenario.faults.node_failure_rate > 0:
@@ -167,6 +177,7 @@ def run_scenario(
     *,
     occupancy_sample_interval: Optional[float] = None,
     engine: str = "scalar",
+    estimation: str = "columnar",
 ) -> RunSummary:
     """Build, run and summarise a scenario in one call."""
     simulation = build_simulation(
@@ -174,5 +185,6 @@ def run_scenario(
         scheduler,
         occupancy_sample_interval=occupancy_sample_interval,
         engine=engine,
+        estimation=estimation,
     )
     return simulation.run()

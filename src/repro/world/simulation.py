@@ -30,6 +30,7 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro.core.controller import NodeController
+from repro.core.estimation import EstimationColumns
 from repro.core.scheduler_base import SleepScheduler
 from repro.metrics.energy import collect_energy_stats
 from repro.metrics.recorder import MetricsRecorder, OccupancySample
@@ -69,6 +70,7 @@ class MonitoringSimulation:
         true_arrival_times: Optional[Dict[int, float]] = None,
         coverage_recheck_interval: float = 1.0,
         occupancy_sample_interval: Optional[float] = None,
+        estimation: str = "columnar",
     ) -> None:
         if duration <= 0:
             raise ValueError("duration must be positive")
@@ -133,6 +135,44 @@ class MonitoringSimulation:
         self._detect_rows = np.array(sorted(groups["detect"]), dtype=int)
         self._scan_rows: List[int] = sorted(groups["scan"])
         self._covered_code = self.world_state.code_of("covered")
+
+        # Columnar controller estimation (repro.core.estimation): built when
+        # the batched bus delivers whole receiver groups, every controller is
+        # the same estimation-aware class, and node ids are world-state rows.
+        # ``estimation="scalar"`` keeps the per-neighbour reference path (the
+        # pre-columnar behaviour) for equivalence tests and benchmarks.
+        if estimation not in ("columnar", "scalar"):
+            raise ValueError(
+                f"unknown estimation path {estimation!r}; "
+                "expected 'columnar' or 'scalar'"
+            )
+        self._estimation: Optional[EstimationColumns] = None
+        self._controller_cls = None
+        classes = {type(c) for c in self.controllers.values()}
+        if len(classes) == 1:
+            self._controller_cls = classes.pop()
+        if (
+            estimation == "columnar"
+            and self.controllers
+            and self._controller_cls is not None
+            and getattr(self._controller_cls, "columnar_estimation", False)
+            and hasattr(medium, "register_batch_handler")
+            and self.world_state.identity_rows
+        ):
+            staleness = {
+                c.neighbors.staleness_limit for c in self.controllers.values()
+            }
+            if len(staleness) == 1:
+                indptr, neighbour_ids, _ = topology.neighbour_table()
+                est = EstimationColumns(
+                    self.world_state,
+                    indptr,
+                    neighbour_ids,
+                    staleness_limit=staleness.pop(),
+                )
+                for controller in self.controllers.values():
+                    controller.bind_estimation(est)
+                self._estimation = est
         # Recession rechecks are provably no-ops when sensing is exactly truth
         # and coverage never recedes (and no opaque "scan" controller could
         # have entered COVERED without true coverage).
@@ -258,10 +298,18 @@ class MonitoringSimulation:
         """Fan one arriving batch into the controllers' ``handle_batch`` hook.
 
         ``receiver_ids`` is the delivery-ordered id array from the batched
-        medium.  Controllers are grouped by concrete class (one group in
+        medium.  With the columnar estimation layer wired, the whole group is
+        answered by the controller class's vectorized
+        ``handle_batch_columnar`` without building a controller list at all;
+        otherwise controllers are grouped by concrete class (one group in
         practice -- a run uses a single scheduler) so each class's batch
         handler sees its receivers in delivery order.
         """
+        if self._estimation is not None:
+            self._controller_cls.handle_batch_columnar(
+                self._estimation, receiver_ids, message, self.sim.now
+            )
+            return
         controllers = self.controllers
         batch = [controllers[receiver_id] for receiver_id in receiver_ids.tolist()]
         for cls, group in itertools.groupby(batch, key=type):

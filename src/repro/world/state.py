@@ -107,6 +107,12 @@ class WorldState:
         self.detected = np.zeros(n, dtype=bool)
         self.state_codes = np.zeros(n, dtype=np.int16)
         self._row: Dict[int, int] = {int(nid): i for i, nid in enumerate(self.ids)}
+        #: node ids ARE row indices (the standard builder layout); the
+        #: batched bus and the columnar estimation layer key their fast
+        #: paths off this flag.
+        self.identity_rows: bool = bool(
+            np.array_equal(self.ids, np.arange(n, dtype=self.ids.dtype))
+        )
         # Interned protocol-state names; code 0 is reserved for "unset" so a
         # freshly constructed column maps to a real (if uninformative) name.
         self._code_of: Dict[str, int] = {"unset": 0}
@@ -122,6 +128,17 @@ class WorldState:
     def row_of(self, node_id: int) -> int:
         """Column row index of ``node_id`` (KeyError for unknown ids)."""
         return self._row[node_id]
+
+    def rows_of(self, node_ids: Iterable[int]) -> np.ndarray:
+        """Vectorised :meth:`row_of`: column rows for an id array.
+
+        Identity fleets return the input ids directly (as intp); permuted
+        fleets pay one dict lookup per id.
+        """
+        ids = np.asarray(node_ids)
+        if self.identity_rows:
+            return ids.astype(np.intp, copy=False)
+        return np.array([self._row[int(nid)] for nid in ids], dtype=np.intp)
 
     def code_of(self, name: str) -> int:
         """Interned integer code for a protocol-state name (allocates on first use)."""

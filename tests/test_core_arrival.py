@@ -146,3 +146,45 @@ class TestTimeToArrival:
         assert time_to_arrival(15.0, now=10.0) == 5.0
         assert time_to_arrival(5.0, now=10.0) == 0.0
         assert math.isinf(time_to_arrival(math.inf, now=10.0))
+
+
+class TestSASFallbackDivergence:
+    """Pin the intentional asymmetry documented in ``repro.core.arrival``:
+
+    a covered neighbour whose reported speed is below ``MIN_SPEED`` yields
+    ``inf`` from the PAS per-neighbour estimator (no direction to project
+    onto), but falls through to ``fallback_speed`` in the SAS estimator
+    (which only ever consumes the speed's magnitude).
+    """
+
+    def test_sub_min_speed_pas_inf_sas_fallback(self):
+        info = covered_info(1, 0, 0, Vec2(5e-10, 0.0), detection_time=0.0)
+        assert math.isinf(arrival_time_from_neighbor(Vec2(4, 0), info, now=0.0))
+        estimate = sas_arrival_time(Vec2(4, 0), [info], now=0.0, fallback_speed=2.0)
+        assert estimate == pytest.approx(2.0)
+
+    def test_zero_velocity_pas_inf_sas_fallback(self):
+        info = covered_info(1, 0, 0, Vec2(0.0, 0.0), detection_time=1.0)
+        assert math.isinf(arrival_time_from_neighbor(Vec2(3, 4), info, now=1.0))
+        estimate = sas_arrival_time(Vec2(3, 4), [info], now=1.0, fallback_speed=1.0)
+        assert estimate == pytest.approx(1.0 + 5.0)
+
+    def test_without_fallback_both_are_inf(self):
+        info = covered_info(1, 0, 0, Vec2(0.0, 5e-10), detection_time=0.0)
+        assert math.isinf(arrival_time_from_neighbor(Vec2(4, 0), info, now=0.0))
+        assert math.isinf(sas_arrival_time(Vec2(4, 0), [info], now=0.0))
+
+    def test_sub_min_fallback_is_ignored(self):
+        # A fallback below MIN_SPEED would divide by ~0; the neighbour is
+        # skipped instead.
+        info = covered_info(1, 0, 0, None, detection_time=0.0)
+        assert math.isinf(
+            sas_arrival_time(Vec2(4, 0), [info], now=0.0, fallback_speed=5e-10)
+        )
+
+    def test_ordinary_speed_no_divergence_in_reachability(self):
+        # With a healthy head-on report both estimators agree the front
+        # arrives (finite), fallback or not.
+        info = covered_info(1, 0, 0, Vec2(2.0, 0.0), detection_time=0.0)
+        assert arrival_time_from_neighbor(Vec2(4, 0), info, now=0.0) == pytest.approx(2.0)
+        assert sas_arrival_time(Vec2(4, 0), [info], now=0.0) == pytest.approx(2.0)

@@ -83,17 +83,32 @@ class TestRunSummaryBitIdentity:
         ids=[case[0] for case in CASES],
     )
     def test_summary_json_identical(self, scenario, scheduler_cls):
+        """Three-way: scalar engine == batched+scalar == batched+columnar."""
         scalar = run_scenario(scenario, scheduler_cls(), engine="scalar")
-        batched = run_scenario(scenario, scheduler_cls(), engine="batched")
+        batched = run_scenario(
+            scenario, scheduler_cls(), engine="batched", estimation="scalar"
+        )
+        columnar = run_scenario(
+            scenario, scheduler_cls(), engine="batched", estimation="columnar"
+        )
         assert scalar.to_json() == batched.to_json()
+        assert scalar.to_json() == columnar.to_json()
 
     def test_occupancy_samples_identical(self):
         """Beyond the summary: the sampled occupancy trajectory matches too."""
         scenario = _scenario(30, stimulus_kind="plume", duration=60.0)
         trajectories = []
-        for engine in ("scalar", "batched"):
+        for engine, estimation in (
+            ("scalar", "scalar"),
+            ("batched", "scalar"),
+            ("batched", "columnar"),
+        ):
             simulation = build_simulation(
-                scenario, PASScheduler(), occupancy_sample_interval=2.0, engine=engine
+                scenario,
+                PASScheduler(),
+                occupancy_sample_interval=2.0,
+                engine=engine,
+                estimation=estimation,
             )
             simulation.run()
             trajectories.append(
@@ -103,6 +118,7 @@ class TestRunSummaryBitIdentity:
                 ]
             )
         assert trajectories[0] == trajectories[1]
+        assert trajectories[0] == trajectories[2]
         assert len(trajectories[0]) > 5
 
     def test_summary_surfaces_full_medium_stats(self):
@@ -145,6 +161,31 @@ class TestRunSpecEngine:
         )
         # bit-identical results => one cache entry must serve both engines
         assert scalar.spec_hash() == batched.spec_hash()
+
+    def test_estimation_excluded_from_spec_hash(self):
+        scenario = _scenario(33)
+        hashes = {
+            RunSpec(
+                scenario=scenario,
+                scheduler=SchedulerSpec("PAS"),
+                engine="batched",
+                estimation=estimation,
+            ).spec_hash()
+            for estimation in ("scalar", "columnar")
+        }
+        assert len(hashes) == 1
+
+    def test_unknown_estimation_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown estimation"):
+            RunSpec(
+                scenario=_scenario(34),
+                scheduler=SchedulerSpec("PAS"),
+                estimation="psychic",
+            )
+
+    def test_builder_rejects_unknown_estimation(self):
+        with pytest.raises(ValueError, match="unknown estimation"):
+            build_simulation(_scenario(35), PASScheduler(), estimation="nope")
 
     def test_unknown_engine_rejected_at_construction(self):
         with pytest.raises(ValueError, match="unknown engine"):

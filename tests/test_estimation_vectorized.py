@@ -1,0 +1,318 @@
+"""Scalar vs vectorized estimator bit-identity (hypothesis property tests).
+
+The columnar kernels of ``repro.core.estimation`` must reproduce the scalar
+reference estimators of ``repro.core.arrival`` / ``repro.core.velocity``
+bit-for-bit over arbitrary neighbour tables -- including the awkward lanes:
+co-located nodes, zero and sub-``MIN_SPEED`` velocities, ``inf`` / ``None``
+references, and reports sitting exactly on the staleness boundary.
+
+The tables here are *bound* to the columns, so the scalar mirror path
+(``NeighborTable.update`` -> ``EstimationColumns.record_update``) is the one
+populating the arrays the kernels read.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.arrival import (
+    arrival_time_from_neighbor,
+    expected_arrival_time,
+    sas_arrival_time,
+)
+from repro.core.estimation import EstimationColumns
+from repro.core.neighbors import NeighborInfo, NeighborTable
+from repro.core.states import ProtocolState
+from repro.core.velocity import actual_velocity, expected_velocity, outward_velocity
+from repro.geometry.vec import Vec2
+from repro.world.state import WorldState
+
+NOW = 10.0
+STALENESS = 5.0
+
+
+def complete_csr(n):
+    """CSR neighbour table of the complete graph on ``n`` nodes."""
+    indptr = np.arange(n + 1, dtype=np.intp) * (n - 1)
+    neighbour_ids = np.array(
+        [j for i in range(n) for j in range(n) if j != i], dtype=np.int64
+    )
+    return indptr, neighbour_ids
+
+
+# Coordinate palette biased towards collisions (co-located receiver/reporter).
+coords = st.one_of(
+    st.sampled_from([0.0, 1.0, -2.5]),
+    st.floats(-50.0, 50.0, allow_nan=False, allow_infinity=False),
+)
+# Velocity components spanning zero, sub-MIN_SPEED and ordinary magnitudes.
+vel_component = st.one_of(
+    st.sampled_from([0.0, 5e-10, 1e-9, 1.0, -2.0]),
+    st.floats(-10.0, 10.0, allow_nan=False, allow_infinity=False),
+)
+# Report times straddling the staleness boundary (NOW - STALENESS == 5.0).
+report_times = st.sampled_from([0.0, 4.9, 5.0, 5.1, NOW])
+# Detection times overlapping the receiver detection palette, so elapsed
+# times of exactly zero (MIN_ELAPSED boundary) occur.
+detections = st.one_of(
+    st.none(), st.sampled_from([0.0, 3.0, 7.0]), st.floats(0.0, 10.0)
+)
+predictions = st.one_of(
+    st.sampled_from([math.inf, 12.0, 8.0]), st.floats(0.0, 100.0)
+)
+
+
+@st.composite
+def estimation_case(draw):
+    n = draw(st.integers(2, 5))
+    positions = [(draw(coords), draw(coords)) for _ in range(n)]
+    limit = draw(st.sampled_from([None, STALENESS]))
+    records = []
+    for receiver in range(n):
+        for neighbour in range(n):
+            if neighbour == receiver or not draw(st.booleans()):
+                continue
+            if draw(st.booleans()):
+                reported_position = Vec2(*positions[neighbour])
+            else:
+                reported_position = Vec2(draw(coords), draw(coords))
+            velocity = draw(
+                st.one_of(st.none(), st.tuples(vel_component, vel_component))
+            )
+            records.append(
+                (
+                    receiver,
+                    NeighborInfo(
+                        node_id=neighbour,
+                        position=reported_position,
+                        state=draw(st.sampled_from(list(ProtocolState))),
+                        velocity=None if velocity is None else Vec2(*velocity),
+                        predicted_arrival=draw(predictions),
+                        detection_time=draw(detections),
+                        report_time=draw(report_times),
+                    ),
+                )
+            )
+    own_detections = [draw(detections) for _ in range(n)]
+    return n, positions, limit, records, own_detections
+
+
+def build(n, positions, limit, records):
+    ws = WorldState(list(range(n)), np.array(positions, dtype=float))
+    indptr, neighbour_ids = complete_csr(n)
+    est = EstimationColumns(ws, indptr, neighbour_ids, staleness_limit=limit)
+    tables = [NeighborTable(staleness_limit=limit) for _ in range(n)]
+    for row, table in enumerate(tables):
+        table.bind_columns(est, row)
+    for receiver, info in records:
+        tables[receiver].update(info)
+    return ws, est, tables, indptr, neighbour_ids
+
+
+def assert_vec_matches(scalar_vec, kx, ky, kn, label):
+    if scalar_vec is None:
+        assert kn == 0, label
+    else:
+        assert kn > 0, label
+        assert float(kx) == scalar_vec.x, label
+        assert float(ky) == scalar_vec.y, label
+
+
+@given(estimation_case())
+@settings(max_examples=80, deadline=None)
+def test_kernels_bit_identical_to_scalar(case):
+    n, positions, limit, records, own_detections = case
+    ws, est, tables, indptr, neighbour_ids = build(n, positions, limit, records)
+    rows = np.arange(n, dtype=np.intp)
+    pad = est.padded(rows)
+    informative = est.informative_mask(pad, NOW)
+    covered = est.covered_mask(pad, NOW)
+
+    # Per-slot arrival estimates: every unmasked lane matches the scalar
+    # per-neighbour function, every masked lane is inf.
+    matrix = est.arrival_times_many(rows, pad, informative, NOW)
+    for r in range(n):
+        position = Vec2(*positions[r])
+        slots = neighbour_ids[indptr[r] : indptr[r + 1]]
+        for k, neighbour in enumerate(slots):
+            if informative[r, k]:
+                record = tables[r].get(int(neighbour))
+                assert matrix[r, k] == arrival_time_from_neighbor(
+                    position, record, NOW
+                )
+            else:
+                assert matrix[r, k] == math.inf
+
+    for min_reports in (1, 2):
+        predicted = est.expected_arrival_time_many(
+            rows, pad, informative, NOW, min_reports=min_reports
+        )
+        for r in range(n):
+            scalar = expected_arrival_time(
+                Vec2(*positions[r]),
+                tables[r].informative_neighbors(NOW),
+                NOW,
+                min_reports=min_reports,
+            )
+            assert predicted[r] == scalar
+
+    vx, vy, vn = est.expected_velocity_many(pad, informative)
+    cx, cy, cn = est.expected_velocity_many(pad, covered)
+    dets = np.array(
+        [np.nan if d is None else d for d in own_detections], dtype=float
+    )
+    bx, by, bn = est.actual_velocity_many(rows, dets, pad, covered)
+    fx, fy, fn = est.actual_velocity_many(rows, dets, pad, covered, outward=True)
+    for r in range(n):
+        position = Vec2(*positions[r])
+        informative_records = tables[r].informative_neighbors(NOW)
+        covered_records = tables[r].covered_neighbors(NOW)
+        assert_vec_matches(
+            expected_velocity(informative_records), vx[r], vy[r], vn[r], "expected"
+        )
+        assert_vec_matches(
+            expected_velocity(covered_records), cx[r], cy[r], cn[r], "covered-mean"
+        )
+        if own_detections[r] is None:
+            assert bn[r] == 0 and fn[r] == 0
+        else:
+            assert_vec_matches(
+                actual_velocity(position, own_detections[r], covered_records),
+                bx[r], by[r], bn[r], "actual",
+            )
+            assert_vec_matches(
+                outward_velocity(position, own_detections[r], covered_records),
+                fx[r], fy[r], fn[r], "outward",
+            )
+
+    for fallback in (None, 0.0, 2.0):
+        sas = est.sas_arrival_time_many(
+            rows, pad, covered, NOW, fallback_speed=fallback
+        )
+        for r in range(n):
+            scalar = sas_arrival_time(
+                Vec2(*positions[r]),
+                tables[r].covered_neighbors(NOW),
+                NOW,
+                fallback_speed=fallback,
+            )
+            assert sas[r] == scalar
+
+
+class TestColumnMirror:
+    def test_stale_report_rejected_by_columns_too(self):
+        """The dict's report_time>= overwrite rule gates the column write."""
+        ws = WorldState([0, 1], np.zeros((2, 2)))
+        indptr, neighbour_ids = complete_csr(2)
+        est = EstimationColumns(ws, indptr, neighbour_ids)
+        table = NeighborTable()
+        table.bind_columns(est, 0)
+        newer = NeighborInfo(
+            node_id=1, position=Vec2(3.0, 4.0), state=ProtocolState.COVERED,
+            detection_time=2.0, report_time=2.0,
+        )
+        older = NeighborInfo(
+            node_id=1, position=Vec2(9.0, 9.0), state=ProtocolState.ALERT,
+            report_time=1.0,
+        )
+        table.update(newer)
+        table.update(older)
+        assert est.px[0] == 3.0 and est.py[0] == 4.0
+        assert bool(est.has_det[0])
+
+    def test_bind_replays_existing_records(self):
+        ws = WorldState([0, 1], np.zeros((2, 2)))
+        indptr, neighbour_ids = complete_csr(2)
+        est = EstimationColumns(ws, indptr, neighbour_ids)
+        table = NeighborTable()
+        table.update(
+            NeighborInfo(node_id=1, position=Vec2(1.0, 2.0),
+                         state=ProtocolState.ALERT, velocity=Vec2(1.0, 0.0))
+        )
+        assert not est.valid.any()
+        table.bind_columns(est, 0)
+        assert bool(est.valid[0]) and est.px[0] == 1.0
+
+    def test_clear_invalidates_row(self):
+        ws = WorldState([0, 1], np.zeros((2, 2)))
+        indptr, neighbour_ids = complete_csr(2)
+        est = EstimationColumns(ws, indptr, neighbour_ids)
+        table = NeighborTable()
+        table.bind_columns(est, 0)
+        table.update(
+            NeighborInfo(node_id=1, position=Vec2(1.0, 2.0),
+                         state=ProtocolState.COVERED, detection_time=1.0)
+        )
+        assert est.valid[0]
+        table.clear()
+        assert not est.valid[0]
+
+    def test_non_neighbour_update_raises(self):
+        ws = WorldState([0, 1], np.zeros((2, 2)))
+        indptr, neighbour_ids = complete_csr(2)
+        est = EstimationColumns(ws, indptr, neighbour_ids)
+        table = NeighborTable()
+        table.bind_columns(est, 0)
+        with pytest.raises(ValueError, match="not a topology neighbour"):
+            table.update(
+                NeighborInfo(node_id=7, position=Vec2(0, 0),
+                             state=ProtocolState.SAFE)
+            )
+
+    def test_permuted_world_rows_rejected(self):
+        ws = WorldState([5, 3], np.zeros((2, 2)))
+        indptr, neighbour_ids = complete_csr(2)
+        with pytest.raises(ValueError, match="identity"):
+            EstimationColumns(ws, indptr, neighbour_ids)
+
+
+class TestRequestFastPath:
+    def _make(self, n=4):
+        ws = WorldState(list(range(n)), np.zeros((n, 2)))
+        indptr, neighbour_ids = complete_csr(n)
+        est = EstimationColumns(ws, indptr, neighbour_ids)
+        for name in ("safe", "alert", "covered"):
+            ws.code_of(name)
+        return ws, est
+
+    def test_pas_responders_state_and_knowledge_gating(self):
+        ws, est = self._make()
+        # 0: safe without knowledge (quiet), 1: safe with knowledge,
+        # 2: alert, 3: covered.
+        ws.set_protocol_state(0, "safe")
+        ws.set_protocol_state(1, "safe")
+        ws.set_protocol_state(2, "alert")
+        ws.set_protocol_state(3, "covered")
+        est.set_knowledge(1, True)
+        receivers = np.arange(4)
+        assert est.pas_request_responders(receivers).tolist() == [1, 2, 3]
+
+    def test_pas_responders_skip_asleep_and_failed(self):
+        ws, est = self._make()
+        for row in range(4):
+            ws.set_protocol_state(row, "covered")
+        from repro.node.sensor import PowerState
+
+        ws.set_power(1, PowerState.ASLEEP)
+        ws.set_power(2, PowerState.FAILED)
+        assert est.pas_request_responders(np.arange(4)).tolist() == [0, 3]
+
+    def test_sas_responders_covered_only(self):
+        ws, est = self._make()
+        ws.set_protocol_state(0, "safe")
+        ws.set_protocol_state(1, "alert")
+        ws.set_protocol_state(2, "covered")
+        ws.set_protocol_state(3, "covered")
+        est.set_knowledge(0, True)
+        est.set_knowledge(1, True)
+        assert est.sas_request_responders(np.arange(4)).tolist() == [2, 3]
+
+    def test_delivery_order_preserved(self):
+        ws, est = self._make()
+        for row in range(4):
+            ws.set_protocol_state(row, "covered")
+        receivers = np.array([3, 0, 2, 1])
+        assert est.pas_request_responders(receivers).tolist() == [3, 0, 2, 1]
