@@ -1,0 +1,97 @@
+"""Fleet throughput benchmark: fault-free vs. crash-ridden campaigns.
+
+Runs the same :class:`~repro.exec.specs.RunSpec` grid through
+:class:`~repro.exec.fleet.FleetBackend` three ways -- serial reference, a
+healthy 4-worker fleet, and a 4-worker fleet where one worker SIGKILLs
+itself mid-campaign -- and prints the wall-clock comparison plus the
+supervisor's recovery stats.  Doubles as a correctness check that every
+variant returns bit-identical summaries.  Marked ``slow`` (it spawns
+worker fleets); ``KERNEL_BENCH_TINY=1`` shrinks the grid for CI smoke.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import List
+
+import pytest
+
+from benchmarks.conftest import print_block
+from repro.core.config import PASConfig, SASConfig
+from repro.exec.backends import SerialBackend
+from repro.exec.faultinject import WorkerFaultPlan
+from repro.exec.fleet import FleetBackend
+from repro.exec.specs import RunSpec, SchedulerSpec
+from repro.experiments.runner import default_scenario
+
+TINY = bool(os.environ.get("KERNEL_BENCH_TINY"))
+
+
+def _grid() -> List[RunSpec]:
+    """2 schedulers x N seeds of a mid-sized scenario (32 cells full-size)."""
+    seeds = 4 if TINY else 16
+    nodes = 8 if TINY else 20
+    duration = 15.0 if TINY else 40.0
+    specs = []
+    for name, config_cls in (("PAS", PASConfig), ("SAS", SASConfig)):
+        scheduler = SchedulerSpec(name, config_cls())
+        for seed in range(seeds):
+            scenario = default_scenario(
+                num_nodes=nodes, area=40.0, duration=duration, seed=seed,
+                label=f"fleet-bench-{name}",
+            )
+            specs.append(RunSpec(scenario, scheduler))
+    return specs
+
+
+@pytest.mark.slow
+@pytest.mark.fleet
+def test_fleet_backend_throughput_and_recovery_overhead():
+    specs = _grid()
+
+    start = time.perf_counter()
+    serial_results = SerialBackend().run(specs)
+    serial_s = time.perf_counter() - start
+
+    healthy = FleetBackend(workers=4, lease_timeout=5.0, heartbeat_interval=0.2)
+    start = time.perf_counter()
+    healthy_results = healthy.run(specs)
+    healthy_s = time.perf_counter() - start
+    assert healthy_results == serial_results, "fleet results must be bit-identical"
+    assert healthy.stats.completed == len(specs)
+
+    faulty = FleetBackend(
+        workers=4,
+        lease_timeout=1.0,
+        heartbeat_interval=0.1,
+        backoff_base=0.05,
+        worker_faults={0: WorkerFaultPlan(kill_after_claims=2)},
+    )
+    start = time.perf_counter()
+    faulty_results = faulty.run(specs)
+    faulty_s = time.perf_counter() - start
+    assert faulty_results == serial_results, "crash recovery must not change results"
+
+    def row(label, wall_s, stats=None):
+        return {
+            "campaign": label,
+            "cells": len(specs),
+            "wall_s": wall_s,
+            "cells_per_s": len(specs) / wall_s if wall_s > 0 else float("inf"),
+            "reclaimed": stats.reclaimed_leases if stats else 0,
+            "stragglers": stats.stragglers_inline if stats else 0,
+        }
+
+    print_block(
+        "Fleet campaign benchmark (serial vs. healthy fleet vs. 1 worker SIGKILLed)",
+        [
+            row("SerialBackend", serial_s),
+            row("fleet (4 workers)", healthy_s, healthy.stats),
+            row("fleet (1 crash)", faulty_s, faulty.stats),
+        ],
+        ["campaign", "cells", "wall_s", "cells_per_s", "reclaimed", "stragglers"],
+    )
+    # No speedup assertion: worker start-up and lease polling dominate on
+    # small grids and CI machines vary; the contracts being benchmarked are
+    # bit-identical results and bounded crash-recovery overhead.

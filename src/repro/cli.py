@@ -18,6 +18,11 @@ The simulation-running subcommands (``run``, ``compare``, ``figure``,
 ``export``) accept ``--jobs N`` to execute their run grids on a process pool
 and ``--cache-dir DIR`` to memoise run summaries on disk keyed by spec hash
 (see :mod:`repro.exec`); results are identical regardless of either flag.
+``--backend fleet`` (with ``--queue-dir``, ``--lease-timeout`` and
+``--max-attempts``) runs the grid on the fault-tolerant worker fleet
+instead, and ``pas-sim worker --queue-dir DIR`` attaches an extra worker
+process to such a fleet's shared queue from any machine that can see the
+directory.
 """
 
 from __future__ import annotations
@@ -63,10 +68,54 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="directory to cache run summaries by spec hash (default: no cache)",
     )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=["serial", "pool", "fleet"],
+        help=(
+            "execution backend (default: serial, or a process pool when "
+            "--jobs > 1); 'fleet' runs the grid on the fault-tolerant "
+            "leased work queue with --jobs local workers"
+        ),
+    )
+    parser.add_argument(
+        "--queue-dir",
+        default=None,
+        help=(
+            "shared queue directory for --backend fleet (default: a fresh "
+            "temporary directory); reuse one to resume an interrupted "
+            "campaign or to let external 'pas-sim worker' processes join"
+        ),
+    )
+    parser.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=30.0,
+        help=(
+            "fleet only: seconds without a worker heartbeat before its "
+            "lease is reclaimed and the cell retried (default: 30)"
+        ),
+    )
+    parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help=(
+            "fleet only: executions per cell before it is quarantined as a "
+            "poison task and finished in-process (default: 3)"
+        ),
+    )
 
 
 def _backend_from_args(args: argparse.Namespace) -> ExecutionBackend:
-    return make_backend(jobs=args.jobs, cache_dir=args.cache_dir)
+    return make_backend(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        backend=args.backend,
+        queue_dir=args.queue_dir,
+        lease_timeout=args.lease_timeout,
+        max_attempts=args.max_attempts,
+    )
 
 
 def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
@@ -166,6 +215,50 @@ def build_parser() -> argparse.ArgumentParser:
     export_p.add_argument("--alert-threshold", type=float, default=20.0)
     export_p.add_argument("--output", required=True, help="CSV file to write")
 
+    worker_p = sub.add_parser(
+        "worker",
+        help="join a fleet: pull run specs from a shared queue directory",
+        description=(
+            "Pull-execute-upload worker loop over a fleet work queue "
+            "(see repro.exec.fleet).  Claims one spec at a time under a "
+            "heartbeated lease, uploads checksummed RunSummary artifacts, "
+            "and exits when the queue drains or on SIGTERM."
+        ),
+    )
+    worker_p.add_argument(
+        "--queue-dir", required=True, help="shared fleet queue directory"
+    )
+    worker_p.add_argument(
+        "--worker-id",
+        default=None,
+        help="lease owner id (default: <hostname>-<pid>-<random>)",
+    )
+    worker_p.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=1.0,
+        help="seconds between lease refreshes (default: 1.0; keep this "
+        "well under the supervisor's --lease-timeout)",
+    )
+    worker_p.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.25,
+        help="seconds between claim attempts when nothing is claimable",
+    )
+    worker_p.add_argument(
+        "--max-tasks",
+        type=int,
+        default=None,
+        help="exit after completing this many tasks (default: unlimited)",
+    )
+    worker_p.add_argument(
+        "--keep-polling",
+        action="store_true",
+        help="keep waiting for late-arriving work instead of exiting when "
+        "the queue drains",
+    )
+
     field_p = sub.add_parser("field", help="print ASCII snapshots of a PAS run")
     _add_scenario_arguments(field_p)
     _add_engine_argument(field_p)
@@ -185,6 +278,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "table1":
         print(print_table1())
         return 0
+
+    if args.command == "worker":
+        from repro.exec.worker import worker_main
+
+        return worker_main(
+            args.queue_dir,
+            worker_id=args.worker_id,
+            heartbeat_interval=args.heartbeat_interval,
+            poll_interval=args.poll_interval,
+            max_tasks=args.max_tasks,
+            keep_polling=args.keep_polling,
+        )
 
     if args.command == "run":
         scenario = _scenario_from_args(args)

@@ -15,6 +15,16 @@ The experiment harness describes each simulation as a picklable, hashable
 Swap in :class:`~repro.exec.backends.ProcessPoolBackend` to fan the grid out
 over cores, or wrap either in :class:`~repro.exec.backends.CachingBackend`
 to memoise summaries on disk keyed by spec hash.
+
+For campaigns that must survive crashes, the fleet subsystem executes specs
+through a file-backed leased :class:`~repro.exec.queue.WorkQueue`:
+heartbeating :class:`~repro.exec.worker.Worker` processes (``pas-sim
+worker``) pull tasks and upload checksummed artifacts, while the
+:class:`~repro.exec.fleet.FleetBackend` supervisor reclaims stale leases,
+retries with capped backoff, quarantines poison tasks and corrupt
+artifacts, and finishes stragglers in-process -- so ``run(specs)`` is
+complete and bit-identical to serial execution even under injected worker
+SIGKILLs (:mod:`repro.exec.faultinject`).
 """
 
 from repro.exec.backends import (
@@ -22,10 +32,14 @@ from repro.exec.backends import (
     ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
+    SpecExecutionError,
     execute_run_spec,
     make_backend,
     resolve_backend,
 )
+from repro.exec.faultinject import FaultInjector, WorkerFaultPlan
+from repro.exec.fleet import FleetBackend, FleetStats
+from repro.exec.queue import Lease, WorkQueue
 from repro.exec.specs import (
     SPEC_HASH_VERSION,
     RunSpec,
@@ -33,6 +47,7 @@ from repro.exec.specs import (
     canonicalize,
     content_hash,
 )
+from repro.exec.worker import Worker, worker_main
 
 __all__ = [
     "SPEC_HASH_VERSION",
@@ -44,6 +59,15 @@ __all__ = [
     "SerialBackend",
     "ProcessPoolBackend",
     "CachingBackend",
+    "FleetBackend",
+    "FleetStats",
+    "SpecExecutionError",
+    "WorkQueue",
+    "Lease",
+    "Worker",
+    "worker_main",
+    "FaultInjector",
+    "WorkerFaultPlan",
     "make_backend",
     "resolve_backend",
     "execute_run_spec",

@@ -12,10 +12,27 @@ backend abstraction makes that step swappable:
   :meth:`~repro.exec.specs.RunSpec.spec_hash` into a JSON cache directory,
   so re-running a sweep (or resuming an interrupted one) executes only the
   missing cells.
+* :class:`~repro.exec.fleet.FleetBackend` (in :mod:`repro.exec.fleet`) --
+  fault-tolerant fleet execution over a file-backed leased work queue:
+  worker processes pull specs, heartbeat their leases, and upload
+  checksummed artifacts; the supervisor reclaims leases whose heartbeat
+  goes stale (crashed or hung worker) and re-enqueues them with capped
+  exponential backoff, quarantines corrupt artifacts and poison tasks, and
+  finishes any stragglers in-process.  Its crash-recovery guarantee:
+  ``run(specs)`` always returns complete, input-ordered results,
+  bit-identical to :class:`SerialBackend`, under worker SIGKILL, stalled
+  heartbeats, dropped leases and corrupted uploads (proven by the
+  fault-injection suite in tests/test_exec_fleet.py).
 
 Backends guarantee ``run(specs)[i]`` is the summary of ``specs[i]``; given
 the same specs, every backend returns bit-identical results because each
 simulation is fully determined by its spec.
+
+Failure behaviour is part of the contract, too: a worker exception in
+:class:`ProcessPoolBackend` surfaces as :class:`SpecExecutionError` naming
+the failing cell's grid index and spec hash; a corrupt
+:class:`CachingBackend` entry is quarantined to ``<hash>.json.corrupt``,
+counted, and warned about -- never silently overwritten.
 """
 
 from __future__ import annotations
@@ -24,8 +41,9 @@ import abc
 import multiprocessing
 import os
 import tempfile
+import warnings
 from pathlib import Path
-from typing import Iterator, List, Optional, Sequence, Union
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.registry import all_registrations, replicate_registrations
 from repro.exec.specs import RunSpec
@@ -37,6 +55,38 @@ PathLike = Union[str, Path]
 def execute_run_spec(spec: RunSpec) -> RunSummary:
     """Execute one spec.  Module-level so it pickles to worker processes."""
     return spec.execute()
+
+
+class SpecExecutionError(RuntimeError):
+    """A run spec failed, annotated with *which* cell died.
+
+    A bare mid-sweep traceback is useless on a thousand-cell grid; this
+    wrapper carries the failing spec's grid ``index`` and ``spec_hash`` so
+    the cell can be re-run (or excluded) directly.  Picklable via
+    ``__reduce__`` so it survives the trip back from a pool worker.
+    """
+
+    def __init__(self, index: int, spec_hash: str, cause: str) -> None:
+        super().__init__(
+            f"run spec {index} (spec_hash {spec_hash}) failed: {cause}"
+        )
+        self.index = index
+        self.spec_hash = spec_hash
+        self.cause = cause
+
+    def __reduce__(self):
+        return (SpecExecutionError, (self.index, self.spec_hash, self.cause))
+
+
+def _execute_indexed(item: Tuple[int, RunSpec]) -> RunSummary:
+    """Pool task wrapper: attach grid index + spec hash to any failure."""
+    index, spec = item
+    try:
+        return execute_run_spec(spec)
+    except Exception as exc:
+        raise SpecExecutionError(
+            index, spec.spec_hash(), f"{type(exc).__name__}: {exc}"
+        ) from exc
 
 
 class ExecutionBackend(abc.ABC):
@@ -113,8 +163,9 @@ class ProcessPoolBackend(ExecutionBackend):
     def run_iter(self, specs: Sequence[RunSpec]) -> Iterator[RunSummary]:
         specs = list(specs)
         if len(specs) <= 1 or self.jobs == 1:
-            # Not worth a pool; identical results either way.
-            yield from SerialBackend().run_iter(specs)
+            # Not worth a pool; identical results (and identical failure
+            # annotation) either way.
+            yield from map(_execute_indexed, enumerate(specs))
             return
         context = multiprocessing.get_context(self.start_method)
         workers = min(self.jobs, len(specs))
@@ -128,9 +179,13 @@ class ProcessPoolBackend(ExecutionBackend):
         ) as pool:
             # imap preserves input order (deterministic results) and yields
             # each summary as it completes, so cache-persisting consumers
-            # keep finished cells when a sweep is interrupted.
+            # keep finished cells when a sweep is interrupted.  The indexed
+            # wrapper turns a worker exception into a SpecExecutionError
+            # naming the cell that died.
             yield from pool.imap(
-                execute_run_spec, specs, self._chunk_size_for(len(specs))
+                _execute_indexed,
+                list(enumerate(specs)),
+                self._chunk_size_for(len(specs)),
             )
 
 
@@ -139,8 +194,11 @@ class CachingBackend(ExecutionBackend):
 
     Each summary is stored as ``<cache_dir>/<spec_hash>.json`` via the
     lossless :meth:`~repro.metrics.summary.RunSummary.to_json` round trip.
-    ``hits`` / ``misses`` count cache outcomes since construction, so tests
-    and progress reports can verify that a warmed cache executes nothing.
+    ``hits`` / ``misses`` / ``corrupt`` count cache outcomes since
+    construction, so tests and progress reports can verify that a warmed
+    cache executes nothing -- and that a poisoned cache is *visible*: a
+    corrupt entry is quarantined to ``<hash>.json.corrupt`` with a warning
+    (and re-executed as a miss), never silently overwritten.
     """
 
     def __init__(self, inner: ExecutionBackend, cache_dir: PathLike) -> None:
@@ -149,15 +207,33 @@ class CachingBackend(ExecutionBackend):
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
 
     def _path_for(self, spec: RunSpec) -> Path:
         return self.cache_dir / f"{spec.spec_hash()}.json"
 
     def _load(self, path: Path) -> Optional[RunSummary]:
         try:
-            return RunSummary.from_json(path.read_text())
-        except (OSError, ValueError, KeyError, TypeError):
-            # Unreadable or corrupt entry: treat as a miss and overwrite.
+            text = path.read_text()
+        except OSError:
+            return None  # vanished or unreadable: plain miss
+        try:
+            return RunSummary.from_json(text)
+        except (ValueError, KeyError, TypeError):
+            # Corrupt entry (truncated write, wrong schema, bit rot): keep
+            # the evidence next to the cache instead of overwriting it.
+            quarantine = Path(str(path) + ".corrupt")
+            try:
+                os.replace(path, quarantine)
+            except OSError:
+                quarantine = path  # couldn't move it; still warn below
+            self.corrupt += 1
+            warnings.warn(
+                f"quarantined corrupt cache entry {path.name} -> "
+                f"{quarantine.name}; the cell will be re-executed",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             return None
 
     def _store(self, path: Path, summary: RunSummary) -> None:
@@ -216,22 +292,52 @@ def resolve_backend(backend: Optional[ExecutionBackend]) -> ExecutionBackend:
 
 
 def make_backend(
-    *, jobs: Optional[int] = None, cache_dir: Optional[PathLike] = None
+    *,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[PathLike] = None,
+    backend: Optional[str] = None,
+    queue_dir: Optional[PathLike] = None,
+    lease_timeout: float = 30.0,
+    max_attempts: int = 3,
 ) -> ExecutionBackend:
     """Build the backend implied by CLI-style options.
 
-    ``jobs`` of ``None`` or 1 gives the serial backend, anything larger a
-    process pool, and anything smaller is rejected (a silent serial fallback
-    would make e.g. ``--jobs 0`` benchmark the wrong thing); a ``cache_dir``
-    wraps the result in a :class:`CachingBackend`.
+    ``backend`` of ``None`` keeps the jobs-implied choice: ``jobs`` of
+    ``None`` or 1 gives the serial backend, anything larger a process pool,
+    and anything smaller is rejected (a silent serial fallback would make
+    e.g. ``--jobs 0`` benchmark the wrong thing).  ``backend="fleet"``
+    builds the fault-tolerant :class:`~repro.exec.fleet.FleetBackend`
+    (``jobs`` workers, shared ``queue_dir`` when given, lease reclaim after
+    ``lease_timeout`` seconds, poison quarantine after ``max_attempts``
+    executions); ``"serial"`` / ``"pool"`` force the respective backend.  A
+    ``cache_dir`` wraps any of them in a :class:`CachingBackend`.
     """
     if jobs is not None and jobs < 1:
         raise ValueError("jobs must be at least 1")
-    backend: ExecutionBackend
-    if jobs is None or jobs == 1:
-        backend = SerialBackend()
+    if backend is None:
+        backend = "serial" if jobs is None or jobs == 1 else "pool"
+    result: ExecutionBackend
+    if backend == "serial":
+        if jobs is not None and jobs > 1:
+            raise ValueError("backend 'serial' is incompatible with jobs > 1")
+        result = SerialBackend()
+    elif backend == "pool":
+        result = ProcessPoolBackend(jobs=jobs)
+    elif backend == "fleet":
+        # Imported lazily: backends.py must not depend on the fleet module
+        # at import time (fleet imports execute_run_spec from here).
+        from repro.exec.fleet import FleetBackend
+
+        result = FleetBackend(
+            workers=jobs,
+            queue_dir=queue_dir,
+            lease_timeout=lease_timeout,
+            max_attempts=max_attempts,
+        )
     else:
-        backend = ProcessPoolBackend(jobs=jobs)
+        raise ValueError(
+            f"unknown backend {backend!r}; expected 'serial', 'pool' or 'fleet'"
+        )
     if cache_dir is not None:
-        backend = CachingBackend(backend, cache_dir)
-    return backend
+        result = CachingBackend(result, cache_dir)
+    return result

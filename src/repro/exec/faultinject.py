@@ -1,0 +1,178 @@
+"""Deterministic fault injection for the fleet execution subsystem.
+
+Two halves, matching where faults physically originate:
+
+* :class:`WorkerFaultPlan` -- a picklable plan handed to a
+  :class:`~repro.exec.worker.Worker`, triggering faults *inside* the worker
+  process at exact points in its loop: SIGKILL itself mid-lease (a real
+  crash -- no cleanup handlers run), stop heartbeating (a hung worker),
+  sleep before executing (a slow worker that gets reclaimed as a zombie),
+  raise from execution (a failing task, driving the retry/poison path), or
+  upload a truncated artifact (a corrupt result).
+
+* :class:`FaultInjector` -- a seeded, supervisor/test-side injector that
+  manipulates the shared queue directory from outside: drop a live lease
+  file, corrupt or plant an uploaded artifact, SIGKILL a worker process.
+  Target selection uses ``random.Random(seed)`` over *sorted* candidates, so
+  a given seed always hits the same victim.
+
+Both are test instruments: production code never constructs them, but
+:class:`~repro.exec.fleet.FleetBackend` and
+:class:`~repro.exec.worker.Worker` accept them so the fault-injection suite
+(tests/test_exec_fleet.py) can prove the crash-recovery guarantees on the
+real machinery rather than on mocks.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.exec.queue import WorkQueue
+
+PathLike = Union[str, Path]
+
+#: Bytes written in place of a real artifact by ``corrupt_uploads`` /
+#: ``plant_corrupt_result`` -- invalid JSON, so every validation layer trips.
+CORRUPT_PAYLOAD = '{"spec_hash": "truncated-mid-upl'
+
+
+@dataclass
+class WorkerFaultPlan:
+    """In-process fault schedule for one worker (picklable; all counters
+    are per-process state, reset when the plan crosses a process boundary).
+
+    Fields left at ``None``/0 inject nothing, so a default-constructed plan
+    is a no-op and workers treat ``faults=None`` and ``WorkerFaultPlan()``
+    identically.
+    """
+
+    #: SIGKILL our own process immediately after claiming the Nth task
+    #: (1-based) -- the lease exists, no result does: a mid-lease crash.
+    kill_after_claims: Optional[int] = None
+    #: Emit only this many heartbeats, then go silent (hung worker).
+    #: ``0`` means never heartbeat at all.
+    stall_heartbeats_after: Optional[int] = None
+    #: Sleep this long before executing each claimed task, in small
+    #: interruptible slices (slow worker; with stalled heartbeats and a
+    #: short lease timeout this makes the supervisor reclaim us mid-run).
+    slow_execute_seconds: float = 0.0
+    #: Make the slow-execute delay ignore SIGTERM/stop requests, like a
+    #: worker wedged in a C call -- only SIGKILL ends it.
+    uninterruptible: bool = False
+    #: Raise from execution for tasks whose spec hash is in this list.
+    fail_spec_hashes: List[str] = field(default_factory=list)
+    #: Stop injecting execution failures after this many (None = always).
+    fail_limit: Optional[int] = None
+    #: Replace the first N uploads with a truncated artifact.
+    corrupt_uploads: int = 0
+
+    # Per-process counters (not part of the schedule).
+    claims: int = 0
+    failures_injected: int = 0
+    corruptions_injected: int = 0
+
+    def on_claim(self) -> None:
+        """Called by the worker right after a successful claim."""
+        self.claims += 1
+        if self.kill_after_claims is not None and self.claims >= self.kill_after_claims:
+            os.kill(os.getpid(), signal.SIGKILL)  # real crash: nothing runs after
+
+    def heartbeat_allowed(self, beats_emitted: int) -> bool:
+        if self.stall_heartbeats_after is None:
+            return True
+        return beats_emitted < self.stall_heartbeats_after
+
+    def pre_execute_delay(self) -> float:
+        return self.slow_execute_seconds
+
+    def should_fail(self, spec_hash: str) -> bool:
+        if spec_hash not in self.fail_spec_hashes:
+            return False
+        if self.fail_limit is not None and self.failures_injected >= self.fail_limit:
+            return False
+        self.failures_injected += 1
+        return True
+
+    def should_corrupt_upload(self) -> bool:
+        if self.corruptions_injected >= self.corrupt_uploads:
+            return False
+        self.corruptions_injected += 1
+        return True
+
+
+class InjectedFault(RuntimeError):
+    """Raised by a worker when its plan says this execution must fail."""
+
+
+class FaultInjector:
+    """Seed-deterministic, queue-directory-level fault injector.
+
+    All waiting methods poll the filesystem with a hard deadline and raise
+    :class:`TimeoutError` when the expected state never appears -- a test
+    that injects against the wrong phase fails loudly instead of hanging.
+    """
+
+    def __init__(self, queue_dir: PathLike, seed: int = 0) -> None:
+        self.queue = WorkQueue(queue_dir)
+        self.rng = random.Random(seed)
+
+    # ----------------------------------------------------------- helpers
+    def choose(self, candidates: List[str]) -> str:
+        """Deterministically pick one candidate (sorted, then seeded)."""
+        if not candidates:
+            raise ValueError("no candidates to choose from")
+        return self.rng.choice(sorted(candidates))
+
+    def _wait(self, poll, timeout: float, what: str):
+        deadline = time.time() + timeout
+        while True:
+            found = poll()
+            if found:
+                return found
+            if time.time() >= deadline:
+                raise TimeoutError(f"fault injector: no {what} within {timeout}s")
+            time.sleep(0.01)
+
+    def wait_for_lease(self, timeout: float = 10.0) -> str:
+        """Block until at least one lease exists; return a chosen hash."""
+        leases = self._wait(self.queue.leased_hashes, timeout, "lease")
+        return self.choose(leases)
+
+    def wait_for_result(self, timeout: float = 10.0) -> str:
+        """Block until at least one artifact exists; return a chosen hash."""
+        poll = lambda: sorted(p.stem for p in self.queue.results_dir.glob("*.json"))
+        return self.choose(self._wait(poll, timeout, "result artifact"))
+
+    # ---------------------------------------------------------- injections
+    def drop_lease(self, spec_hash: Optional[str] = None, timeout: float = 10.0) -> str:
+        """Delete a live lease file out from under its owner."""
+        if spec_hash is None:
+            spec_hash = self.wait_for_lease(timeout)
+        self.queue.lease_path(spec_hash).unlink(missing_ok=True)
+        return spec_hash
+
+    def corrupt_result(
+        self, spec_hash: Optional[str] = None, timeout: float = 10.0
+    ) -> str:
+        """Truncate an uploaded artifact in place (after the upload)."""
+        if spec_hash is None:
+            spec_hash = self.wait_for_result(timeout)
+        self.queue.result_path(spec_hash).write_text(CORRUPT_PAYLOAD)
+        return spec_hash
+
+    def plant_corrupt_result(self, spec_hash: str) -> str:
+        """Pre-seed a corrupt artifact, as if a prior campaign's upload was
+        torn by a crash -- exercises validation on the resume path."""
+        self.queue.result_path(spec_hash).write_text(CORRUPT_PAYLOAD)
+        return spec_hash
+
+    def kill_worker(self, process) -> None:
+        """SIGKILL a worker process (``multiprocessing.Process`` or pid)."""
+        pid = process if isinstance(process, int) else process.pid
+        os.kill(pid, signal.SIGKILL)

@@ -1,0 +1,311 @@
+"""Fault-tolerant fleet execution: supervisor over a leased work queue.
+
+:class:`FleetBackend` is the :class:`~repro.exec.backends.ExecutionBackend`
+for campaigns that must survive their failure modes.  ``run(specs)``:
+
+1. **Enqueues** every unique spec into a file-backed
+   :class:`~repro.exec.queue.WorkQueue` (duplicates collapse onto one task;
+   specs whose artifact already exists are reused -- campaign resumption).
+2. **Spawns** N local worker processes (``pas-sim worker`` against the same
+   queue directory joins the fleet from any machine sharing it).
+3. **Supervises**: validates checksummed artifacts as they land
+   (quarantining corrupt ones and re-enqueueing the cell), reclaims leases
+   whose heartbeat exceeded ``lease_timeout`` (crashed or hung worker) and
+   re-enqueues them with capped exponential backoff, and lets the queue's
+   ``max_attempts`` policy quarantine poison tasks.
+4. **Degrades gracefully**: whatever is still missing when the fleet winds
+   down (poisoned cells, a fully dead fleet, an idle-timeout) is executed
+   in-process, so ``run(specs)`` always returns complete, input-ordered
+   results -- bit-identical to :class:`~repro.exec.backends.SerialBackend`
+   because runs are seed-deterministic and artifacts round-trip losslessly.
+
+Failure-mode coverage (proven by tests/test_exec_fleet.py under injected
+faults): a SIGKILLed worker's lease is reclaimed and its cell re-run; a
+stalled heartbeat is indistinguishable from a crash and handled the same
+way; a zombie (reclaimed-but-alive) worker's duplicate upload is idempotent;
+a corrupt artifact is quarantined, never returned; a task that fails
+``max_attempts`` times is poisoned and completed in-process.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.registry import all_registrations
+from repro.exec.backends import ExecutionBackend, execute_run_spec
+from repro.exec.faultinject import WorkerFaultPlan
+from repro.exec.queue import PathLike, WorkQueue
+from repro.exec.specs import RunSpec
+from repro.exec.worker import worker_process_entry
+from repro.metrics.summary import RunSummary
+
+
+@dataclass
+class FleetStats:
+    """What happened during one ``run``: the crash-recovery audit trail."""
+
+    #: Unique cells in the campaign (duplicate input specs collapse).
+    enqueued: int = 0
+    #: Cells whose valid artifact pre-existed in the queue (resumption).
+    reused: int = 0
+    #: Cells completed via a validated worker-uploaded artifact.
+    completed: int = 0
+    #: Stale leases torn down and re-enqueued (crashed/hung workers).
+    reclaimed_leases: int = 0
+    #: Artifacts that failed checksum/parse validation and were quarantined.
+    corrupt_artifacts: int = 0
+    #: Cells quarantined as poison tasks after exhausting max_attempts.
+    poisoned: int = 0
+    #: Cells executed in-process by the supervisor (graceful degradation).
+    stragglers_inline: int = 0
+    #: Worker processes spawned / still alive at wind-down.
+    workers_spawned: int = 0
+    workers_killed: int = 0
+    #: Spec hashes of reclaimed leases (diagnostic detail).
+    reclaimed_hashes: List[str] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "enqueued": self.enqueued,
+            "reused": self.reused,
+            "completed": self.completed,
+            "reclaimed_leases": self.reclaimed_leases,
+            "corrupt_artifacts": self.corrupt_artifacts,
+            "poisoned": self.poisoned,
+            "stragglers_inline": self.stragglers_inline,
+            "workers_spawned": self.workers_spawned,
+            "workers_killed": self.workers_killed,
+        }
+
+
+class FleetBackend(ExecutionBackend):
+    """Supervise a worker fleet over a shared queue directory.
+
+    Parameters
+    ----------
+    workers:
+        Local worker processes to spawn per ``run``; ``None`` uses
+        ``os.cpu_count()``; ``0`` spawns none (external workers attach via
+        ``pas-sim worker --queue-dir``, or everything degrades to the
+        in-process straggler path).
+    queue_dir:
+        Shared queue directory; ``None`` uses a fresh temporary directory
+        per ``run`` (no resumption).  Reusing a directory across runs
+        resumes: cells with valid artifacts are never re-executed.
+    lease_timeout:
+        Seconds without a heartbeat before a lease is declared dead and
+        reclaimed.  Must comfortably exceed ``heartbeat_interval``.
+    heartbeat_interval:
+        Worker lease-refresh period; default ``lease_timeout / 5``.
+    max_attempts:
+        Executions (first try + retries) before a cell is poisoned.
+    backoff_base, backoff_cap:
+        Capped exponential backoff (``base * 2**(attempt-1)``, at most
+        ``cap`` seconds) applied when a cell is re-enqueued.
+    poll_interval:
+        Supervisor loop period.
+    idle_timeout:
+        Give up waiting on the fleet after this long with zero new
+        artifacts and finish in-process; default ``4 * lease_timeout + 60``
+        (generous: only a fully hung fleet ever hits it).
+    worker_faults:
+        Optional map of worker index -> :class:`WorkerFaultPlan` injected
+        into spawned workers (fault-injection tests only).
+    on_poll:
+        Optional callback invoked once per supervisor loop iteration with
+        ``(stats, queue)`` -- progress reporting and deterministic
+        test-side fault injection.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        *,
+        queue_dir: Optional[PathLike] = None,
+        lease_timeout: float = 30.0,
+        heartbeat_interval: Optional[float] = None,
+        max_attempts: int = 3,
+        backoff_base: float = 0.5,
+        backoff_cap: float = 30.0,
+        poll_interval: float = 0.05,
+        idle_timeout: Optional[float] = None,
+        start_method: Optional[str] = None,
+        worker_faults: Optional[Dict[int, WorkerFaultPlan]] = None,
+        on_poll: Optional[Callable[[FleetStats, WorkQueue], None]] = None,
+    ) -> None:
+        if workers is not None and workers < 0:
+            raise ValueError("workers must be non-negative")
+        if lease_timeout <= 0:
+            raise ValueError("lease_timeout must be positive")
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.queue_dir = queue_dir
+        self.lease_timeout = float(lease_timeout)
+        self.heartbeat_interval = (
+            float(heartbeat_interval)
+            if heartbeat_interval is not None
+            else self.lease_timeout / 5.0
+        )
+        if self.heartbeat_interval >= self.lease_timeout:
+            raise ValueError("heartbeat_interval must be below lease_timeout")
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.poll_interval = float(poll_interval)
+        self.idle_timeout = (
+            float(idle_timeout)
+            if idle_timeout is not None
+            else 4.0 * self.lease_timeout + 60.0
+        )
+        self.start_method = start_method
+        self.worker_faults = dict(worker_faults or {})
+        self.on_poll = on_poll
+        #: Stats of the most recent :meth:`run` (reset per call).
+        self.stats = FleetStats()
+
+    # ------------------------------------------------------------ workers
+    def _spawn_workers(
+        self, queue_dir: Path, procs: List[multiprocessing.process.BaseProcess]
+    ) -> None:
+        """Append started workers to ``procs`` in place.
+
+        Appending as each one starts (rather than returning a list) keeps a
+        mid-spawn failure from leaking the already-started processes: the
+        caller's ``finally`` winds down whatever made it into ``procs``.
+        """
+        context = multiprocessing.get_context(self.start_method)
+        registrations = all_registrations()
+        for index in range(self.workers):
+            proc = context.Process(
+                target=worker_process_entry,
+                args=(
+                    str(queue_dir),
+                    f"fleet-w{index}-{os.getpid()}",
+                    self.heartbeat_interval,
+                    self.poll_interval,
+                    registrations,
+                    self.worker_faults.get(index),
+                ),
+                daemon=True,
+                name=f"fleet-worker-{index}",
+            )
+            proc.start()
+            procs.append(proc)
+        self.stats.workers_spawned = len(procs)
+
+    def _wind_down(self, procs: List) -> None:
+        """Join drained workers; terminate, then kill, anything left."""
+        for proc in procs:
+            proc.join(timeout=2.0 * self.poll_interval + 1.0)
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()  # SIGTERM: finish in-flight task and exit
+                proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.kill()  # hung beyond help (e.g. injected hang)
+                proc.join(timeout=2.0)
+                self.stats.workers_killed += 1
+
+    # ---------------------------------------------------------------- run
+    def run(self, specs: Sequence[RunSpec]) -> List[RunSummary]:
+        specs = list(specs)
+        if not specs:
+            return []
+        if self.queue_dir is not None:
+            return self._run_on(Path(self.queue_dir), specs)
+        with tempfile.TemporaryDirectory(prefix="pas-sim-fleet-") as tmp:
+            return self._run_on(Path(tmp), specs)
+
+    def _run_on(self, queue_dir: Path, specs: Sequence[RunSpec]) -> List[RunSummary]:
+        self.stats = FleetStats()
+        queue = WorkQueue(
+            queue_dir,
+            max_attempts=self.max_attempts,
+            backoff_base=self.backoff_base,
+            backoff_cap=self.backoff_cap,
+        )
+        hashes: List[str] = []
+        unique: Dict[str, RunSpec] = {}
+        for spec in specs:
+            spec_hash = spec.spec_hash()
+            hashes.append(spec_hash)
+            unique.setdefault(spec_hash, spec)
+        validated: Dict[str, RunSummary] = {}
+        for spec_hash, spec in unique.items():
+            had_result = queue.has_result(spec_hash)
+            queue.enqueue(spec)
+            if had_result:
+                summary = queue.load_result(spec_hash)
+                if summary is not None:
+                    # Valid artifact from a previous campaign: reuse as-is.
+                    validated[spec_hash] = summary
+                    self.stats.reused += 1
+                    continue
+                # Corrupt leftover: quarantined by load_result; re-enqueue.
+                queue.enqueue(spec)
+            self.stats.enqueued += 1
+
+        procs: List[multiprocessing.process.BaseProcess] = []
+        try:
+            if self.stats.enqueued:
+                self._spawn_workers(queue_dir, procs)
+            self._supervise(queue, unique, validated, procs)
+        finally:
+            self._wind_down(procs)
+
+        # Graceful degradation: execute whatever the fleet did not deliver
+        # (poisoned cells, dead fleet, idle timeout) in-process.
+        for spec_hash, spec in unique.items():
+            if spec_hash in validated:
+                continue
+            summary = execute_run_spec(spec)
+            queue.publish(spec_hash, summary)
+            queue.lease_path(spec_hash).unlink(missing_ok=True)
+            validated[spec_hash] = summary
+            self.stats.stragglers_inline += 1
+        self.stats.poisoned = len(queue.failed_hashes())
+        self.stats.corrupt_artifacts = queue.corrupt_artifacts
+        return [validated[spec_hash] for spec_hash in hashes]
+
+    def _supervise(
+        self,
+        queue: WorkQueue,
+        unique: Dict[str, RunSpec],
+        validated: Dict[str, RunSummary],
+        procs: List,
+    ) -> None:
+        last_progress = time.time()
+        while len(validated) < len(unique):
+            progressed = False
+            for spec_hash, spec in unique.items():
+                if spec_hash in validated or not queue.has_result(spec_hash):
+                    continue
+                summary = queue.load_result(spec_hash)
+                if summary is None:
+                    # Checksum/parse failure: load_result quarantined the
+                    # artifact (and counted it); put the cell back in play.
+                    queue.enqueue(spec)
+                    continue
+                validated[spec_hash] = summary
+                self.stats.completed += 1
+                progressed = True
+            if progressed:
+                last_progress = time.time()
+            if len(validated) >= len(unique):
+                return
+            reclaimed = queue.reclaim_stale(self.lease_timeout)
+            if reclaimed:
+                self.stats.reclaimed_leases += len(reclaimed)
+                self.stats.reclaimed_hashes.extend(reclaimed)
+            if self.on_poll is not None:
+                self.on_poll(self.stats, queue)
+            if not any(proc.is_alive() for proc in procs):
+                return  # fleet gone (drained, crashed, or never spawned)
+            if time.time() - last_progress > self.idle_timeout:
+                return  # fully hung fleet: give up and finish in-process
+            time.sleep(self.poll_interval)

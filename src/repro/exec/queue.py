@@ -1,0 +1,418 @@
+"""File-backed leased work queue for distributed campaign execution.
+
+A :class:`WorkQueue` is a directory shared by one supervisor and any number
+of worker processes (possibly on different machines sharing a filesystem).
+Each :class:`~repro.exec.specs.RunSpec` becomes one *task* keyed by its
+:meth:`~repro.exec.specs.RunSpec.spec_hash`, and moves through the layout::
+
+    <queue_dir>/
+        queue.json            # frozen queue policy (backoff, max_attempts)
+        tasks/<hash>.json     # pending work: pickled spec + attempt metadata
+        leases/<hash>.json    # in-flight claim: owner, acquire time, heartbeat
+        results/<hash>.json   # uploaded artifact: checksummed RunSummary JSON
+        failed/<hash>.json    # poison tasks that exhausted max_attempts
+
+Correctness rests on three filesystem guarantees:
+
+* **Claims are atomic.**  A lease file is created with ``O_CREAT | O_EXCL``,
+  so exactly one worker can ever claim a task, no matter how many race.
+* **Writes are atomic.**  Every file (task, lease, artifact) is written to a
+  temp file in the same directory and published with ``os.replace``; readers
+  see either the old content or the new, never a torn write.
+* **Uploads are idempotent.**  Runs are seed-deterministic, so a "zombie"
+  worker (one whose stale lease was reclaimed while it was merely slow, not
+  dead) re-uploading the same artifact is byte-identical and harmless.
+
+Artifacts embed a SHA-256 checksum of the summary JSON; :meth:`load_result`
+verifies it and quarantines mismatches to ``<hash>.json.corrupt`` instead of
+returning poisoned data.  Crash recovery (reclaiming leases whose heartbeat
+went stale, capped exponential backoff, poison-task quarantine) is driven by
+:meth:`reclaim_stale` / :meth:`fail` on top of this layout; the supervisor
+side lives in :class:`~repro.exec.fleet.FleetBackend`.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.exec.specs import RunSpec
+from repro.metrics.summary import RunSummary
+
+PathLike = Union[str, Path]
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Publish ``text`` at ``path`` via write-to-temp + atomic rename."""
+    handle = tempfile.NamedTemporaryFile(
+        "w", dir=path.parent, suffix=".tmp", delete=False
+    )
+    try:
+        with handle:
+            handle.write(text)
+        os.replace(handle.name, path)
+    except OSError:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+
+
+def _read_json(path: Path) -> Optional[dict]:
+    """Parse a JSON file; ``None`` if it vanished or is unparseable."""
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+
+
+def summary_checksum(summary_json: str) -> str:
+    """SHA-256 hex digest of an artifact's summary JSON payload."""
+    return hashlib.sha256(summary_json.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class Lease:
+    """A claimed task: proof of exclusive (modulo reclaim) ownership.
+
+    ``attempt`` is 1 for a first execution and grows on every retry; it is
+    carried into the lease so observers can tell a retry from a fresh run.
+    """
+
+    spec_hash: str
+    owner: str
+    attempt: int
+    spec: RunSpec
+
+
+class WorkQueue:
+    """Spec-hash-keyed task queue over a shared directory (see module docs).
+
+    Policy parameters (``max_attempts``, ``backoff_base``, ``backoff_cap``)
+    are frozen into ``queue.json`` by whichever process creates the queue
+    first; later opens *read* the stored policy so every worker and the
+    supervisor enforce identical retry behaviour regardless of their own
+    constructor arguments.
+    """
+
+    def __init__(
+        self,
+        queue_dir: PathLike,
+        *,
+        max_attempts: int = 3,
+        backoff_base: float = 0.5,
+        backoff_cap: float = 30.0,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        self.queue_dir = Path(queue_dir)
+        self.tasks_dir = self.queue_dir / "tasks"
+        self.leases_dir = self.queue_dir / "leases"
+        self.results_dir = self.queue_dir / "results"
+        self.failed_dir = self.queue_dir / "failed"
+        for directory in (
+            self.tasks_dir,
+            self.leases_dir,
+            self.results_dir,
+            self.failed_dir,
+        ):
+            directory.mkdir(parents=True, exist_ok=True)
+        self.max_attempts = max_attempts
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self.corrupt_artifacts = 0
+        self._load_or_freeze_policy()
+
+    # ------------------------------------------------------------ policy
+    def _load_or_freeze_policy(self) -> None:
+        config_path = self.queue_dir / "queue.json"
+        stored = _read_json(config_path)
+        if stored is None:
+            _atomic_write_text(
+                config_path,
+                json.dumps(
+                    {
+                        "max_attempts": self.max_attempts,
+                        "backoff_base": self.backoff_base,
+                        "backoff_cap": self.backoff_cap,
+                    },
+                    sort_keys=True,
+                ),
+            )
+            stored = _read_json(config_path)
+        if stored is not None:
+            self.max_attempts = int(stored.get("max_attempts", self.max_attempts))
+            self.backoff_base = float(stored.get("backoff_base", self.backoff_base))
+            self.backoff_cap = float(stored.get("backoff_cap", self.backoff_cap))
+
+    # ------------------------------------------------------------- paths
+    def task_path(self, spec_hash: str) -> Path:
+        return self.tasks_dir / f"{spec_hash}.json"
+
+    def lease_path(self, spec_hash: str) -> Path:
+        return self.leases_dir / f"{spec_hash}.json"
+
+    def result_path(self, spec_hash: str) -> Path:
+        return self.results_dir / f"{spec_hash}.json"
+
+    def failed_path(self, spec_hash: str) -> Path:
+        return self.failed_dir / f"{spec_hash}.json"
+
+    # ----------------------------------------------------------- enqueue
+    def enqueue(self, spec: RunSpec) -> str:
+        """Add one spec as a pending task; idempotent per spec hash.
+
+        A task is *not* re-created when an artifact for the hash already
+        exists (campaign resumption: finished cells stay finished) or when
+        the task file is already present (double enqueue).
+        """
+        spec_hash = spec.spec_hash()
+        if self.result_path(spec_hash).exists():
+            return spec_hash
+        task_path = self.task_path(spec_hash)
+        if task_path.exists():
+            return spec_hash
+        self._write_task(spec_hash, spec, attempts=0, not_before=0.0)
+        return spec_hash
+
+    def _write_task(
+        self, spec_hash: str, spec: RunSpec, *, attempts: int, not_before: float
+    ) -> None:
+        payload = {
+            "spec_hash": spec_hash,
+            "spec_pickle": base64.b64encode(pickle.dumps(spec)).decode("ascii"),
+            "attempts": attempts,
+            "not_before": not_before,
+            "enqueued_at": time.time(),
+        }
+        _atomic_write_text(self.task_path(spec_hash), json.dumps(payload, sort_keys=True))
+
+    @staticmethod
+    def _task_spec(task: dict) -> RunSpec:
+        return pickle.loads(base64.b64decode(task["spec_pickle"]))
+
+    # ------------------------------------------------------------- claim
+    def claim(self, owner: str) -> Optional[Lease]:
+        """Atomically claim one eligible task for ``owner``.
+
+        Scans pending tasks in sorted-hash order (deterministic across
+        workers) and takes the first that is unleased, not backed off, and
+        not already completed; returns ``None`` when nothing is claimable
+        right now (which is *not* the same as the queue being drained --
+        see :meth:`is_drained`).
+        """
+        now = time.time()
+        for task_path in sorted(self.tasks_dir.glob("*.json")):
+            spec_hash = task_path.stem
+            if self.result_path(spec_hash).exists():
+                # Completed by someone else; drop the leftover task file.
+                task_path.unlink(missing_ok=True)
+                continue
+            if self.lease_path(spec_hash).exists():
+                continue
+            task = _read_json(task_path)
+            if task is None:  # vanished mid-scan (claimed + completed)
+                continue
+            if float(task.get("not_before", 0.0)) > now:
+                continue
+            lease = self._try_acquire(spec_hash, owner, task)
+            if lease is not None:
+                return lease
+        return None
+
+    def _try_acquire(self, spec_hash: str, owner: str, task: dict) -> Optional[Lease]:
+        lease_path = self.lease_path(spec_hash)
+        try:
+            fd = os.open(lease_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return None  # lost the race
+        attempt = int(task.get("attempts", 0)) + 1
+        now = time.time()
+        with os.fdopen(fd, "w") as handle:
+            handle.write(
+                json.dumps(
+                    {
+                        "spec_hash": spec_hash,
+                        "owner": owner,
+                        "attempt": attempt,
+                        "acquired_at": now,
+                        "heartbeat_at": now,
+                    },
+                    sort_keys=True,
+                )
+            )
+        if not self.task_path(spec_hash).exists():
+            # Task was poisoned or completed between scan and acquire.
+            lease_path.unlink(missing_ok=True)
+            return None
+        return Lease(
+            spec_hash=spec_hash, owner=owner, attempt=attempt, spec=self._task_spec(task)
+        )
+
+    # --------------------------------------------------------- heartbeat
+    def heartbeat(self, lease: Lease) -> bool:
+        """Refresh the lease's heartbeat timestamp.
+
+        Returns ``False`` (without writing) when the lease no longer exists
+        or is owned by someone else -- the caller was presumed dead and
+        reclaimed; it should stop heartbeating (finishing the in-flight task
+        is still safe because uploads are idempotent).
+        """
+        lease_path = self.lease_path(lease.spec_hash)
+        current = _read_json(lease_path)
+        if current is None or current.get("owner") != lease.owner:
+            return False
+        current["heartbeat_at"] = time.time()
+        _atomic_write_text(lease_path, json.dumps(current, sort_keys=True))
+        return True
+
+    # ---------------------------------------------------------- complete
+    def complete(self, lease: Lease, summary: RunSummary) -> None:
+        """Upload the artifact for a claimed task and retire it."""
+        self.publish(lease.spec_hash, summary)
+        self.lease_path(lease.spec_hash).unlink(missing_ok=True)
+
+    def publish(self, spec_hash: str, summary: RunSummary) -> None:
+        """Write a checksummed artifact and drop the task file.
+
+        Lease-free variant used by the supervisor's in-process straggler
+        path; also the idempotent core of :meth:`complete`.
+        """
+        summary_json = summary.to_json()
+        artifact = {
+            "spec_hash": spec_hash,
+            "sha256": summary_checksum(summary_json),
+            "summary_json": summary_json,
+        }
+        _atomic_write_text(self.result_path(spec_hash), json.dumps(artifact, sort_keys=True))
+        self.task_path(spec_hash).unlink(missing_ok=True)
+
+    # ----------------------------------------------------------- results
+    def has_result(self, spec_hash: str) -> bool:
+        return self.result_path(spec_hash).exists()
+
+    def load_result(self, spec_hash: str) -> Optional[RunSummary]:
+        """Load and verify one artifact; quarantine it when corrupt.
+
+        A truncated, unparseable, or checksum-mismatched artifact is moved
+        aside to ``<hash>.json.corrupt`` (never silently deleted -- the
+        evidence survives for debugging), counted in ``corrupt_artifacts``,
+        and reported as ``None`` so the caller can re-execute the cell.
+        """
+        path = self.result_path(spec_hash)
+        artifact = _read_json(path)
+        if artifact is not None:
+            summary_json = artifact.get("summary_json")
+            if (
+                isinstance(summary_json, str)
+                and artifact.get("sha256") == summary_checksum(summary_json)
+            ):
+                try:
+                    return RunSummary.from_json(summary_json)
+                except (ValueError, KeyError, TypeError):
+                    pass  # checksummed but unloadable: quarantine below
+        if path.exists():
+            self.corrupt_artifacts += 1
+            os.replace(path, str(path) + ".corrupt")
+        return None
+
+    # ----------------------------------------------- failure and reclaim
+    def fail(self, lease: Lease, error: str) -> bool:
+        """Record a failed execution and release the lease.
+
+        Returns ``True`` when the task was re-enqueued for retry (with
+        capped exponential backoff) and ``False`` when it exhausted
+        ``max_attempts`` and was quarantined as a poison task.
+        """
+        retried = self._retry_or_poison(lease.spec_hash, error)
+        self.lease_path(lease.spec_hash).unlink(missing_ok=True)
+        return retried
+
+    def reclaim_stale(self, lease_timeout: float) -> List[str]:
+        """Reclaim every lease whose heartbeat is older than ``lease_timeout``.
+
+        The crashed/hung-worker recovery path: the lease is torn down and the
+        task re-enqueued with backoff (or poisoned past ``max_attempts``).
+        Returns the reclaimed spec hashes.
+        """
+        reclaimed: List[str] = []
+        now = time.time()
+        for lease_path in sorted(self.leases_dir.glob("*.json")):
+            lease = _read_json(lease_path)
+            if lease is None:
+                continue
+            beat = float(lease.get("heartbeat_at", lease.get("acquired_at", 0.0)))
+            if now - beat <= lease_timeout:
+                continue
+            spec_hash = lease_path.stem
+            lease_path.unlink(missing_ok=True)
+            if self.result_path(spec_hash).exists():
+                continue  # finished right at the deadline; nothing lost
+            self._retry_or_poison(
+                spec_hash,
+                f"lease expired: no heartbeat from {lease.get('owner')!r} "
+                f"for {now - beat:.1f}s",
+            )
+            reclaimed.append(spec_hash)
+        return reclaimed
+
+    def _retry_or_poison(self, spec_hash: str, error: str) -> bool:
+        task = _read_json(self.task_path(spec_hash))
+        if task is None:
+            return False  # task already gone (completed or poisoned)
+        attempts = int(task.get("attempts", 0)) + 1
+        if attempts >= self.max_attempts:
+            task["attempts"] = attempts
+            task["error"] = error
+            _atomic_write_text(self.failed_path(spec_hash), json.dumps(task, sort_keys=True))
+            self.task_path(spec_hash).unlink(missing_ok=True)
+            return False
+        backoff = min(self.backoff_cap, self.backoff_base * (2.0 ** (attempts - 1)))
+        self._write_task(
+            spec_hash,
+            self._task_spec(task),
+            attempts=attempts,
+            not_before=time.time() + backoff,
+        )
+        return True
+
+    # ------------------------------------------------------------- state
+    def pending_hashes(self) -> List[str]:
+        """Hashes with a task file (claimable now or after backoff)."""
+        return sorted(path.stem for path in self.tasks_dir.glob("*.json"))
+
+    def leased_hashes(self) -> List[str]:
+        return sorted(path.stem for path in self.leases_dir.glob("*.json"))
+
+    def failed_hashes(self) -> List[str]:
+        """Poison tasks: quarantined after exhausting ``max_attempts``."""
+        return sorted(path.stem for path in self.failed_dir.glob("*.json"))
+
+    def failed_record(self, spec_hash: str) -> Optional[dict]:
+        """The poison record (attempts + last error) for a failed task."""
+        record = _read_json(self.failed_path(spec_hash))
+        if record is not None:
+            record.pop("spec_pickle", None)
+        return record
+
+    def is_drained(self) -> bool:
+        """True when no pending tasks remain (workers may exit)."""
+        return not any(self.tasks_dir.glob("*.json"))
+
+    def snapshot(self) -> Dict[str, int]:
+        """Cheap queue-state counters for progress reporting."""
+        return {
+            "pending": len(self.pending_hashes()),
+            "leased": len(self.leased_hashes()),
+            "completed": sum(1 for _ in self.results_dir.glob("*.json")),
+            "failed": len(self.failed_hashes()),
+        }

@@ -1,0 +1,254 @@
+"""Pull-execute-upload worker for the fleet queue (``pas-sim worker``).
+
+A :class:`Worker` loops over a shared :class:`~repro.exec.queue.WorkQueue`:
+
+1. **Pull** -- atomically claim one eligible task (lease file via
+   ``O_CREAT | O_EXCL``; no two workers ever hold the same task).
+2. **Heartbeat** -- a daemon thread refreshes the lease timestamp every
+   ``heartbeat_interval`` seconds for as long as the task executes, so the
+   supervisor can tell a slow worker from a dead one.
+3. **Execute** -- run the spec (seed-deterministic, so retries and zombies
+   reproduce byte-identical summaries).
+4. **Upload** -- publish the checksummed ``RunSummary`` artifact via
+   write-to-temp + atomic rename, then retire the task and lease.
+
+Execution failures are reported with :meth:`WorkQueue.fail` (retry with
+backoff, poison after ``max_attempts``) rather than crashing the loop.  The
+worker exits cleanly when the queue drains (``exit_on_drain``) or on
+SIGTERM/SIGINT (finishing the in-flight task first); SIGKILL is the crash
+case the supervisor's lease reclaim exists to cover.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+import uuid
+from typing import List, Optional, Union
+
+from repro.core.registry import replicate_registrations
+from repro.exec.backends import execute_run_spec
+from repro.exec.faultinject import CORRUPT_PAYLOAD, InjectedFault, WorkerFaultPlan
+from repro.exec.queue import Lease, PathLike, WorkQueue
+
+
+class _HeartbeatThread(threading.Thread):
+    """Refreshes one lease on a timer until stopped or orphaned."""
+
+    def __init__(
+        self,
+        queue: WorkQueue,
+        lease: Lease,
+        interval: float,
+        faults: Optional[WorkerFaultPlan],
+    ) -> None:
+        super().__init__(daemon=True, name=f"heartbeat-{lease.spec_hash[:8]}")
+        self.queue = queue
+        self.lease = lease
+        self.interval = interval
+        self.faults = faults
+        self.stop_event = threading.Event()
+        self.beats = 0
+        self.lease_lost = False
+
+    def run(self) -> None:
+        while not self.stop_event.wait(self.interval):
+            if self.faults is not None and not self.faults.heartbeat_allowed(self.beats):
+                return  # injected stall: fall silent, keep executing
+            if not self.queue.heartbeat(self.lease):
+                # Lease vanished or changed owner: we were reclaimed.  Stop
+                # beating; the upload stays safe because it is idempotent.
+                self.lease_lost = True
+                return
+            self.beats += 1
+
+    def stop(self) -> None:
+        self.stop_event.set()
+
+
+class Worker:
+    """One pull-execute-upload loop over a shared work queue.
+
+    Parameters
+    ----------
+    queue:
+        The shared queue (or a directory path to open one).
+    worker_id:
+        Lease owner id; defaults to ``<hostname>-<pid>-<random>`` so two
+        workers can never collide.
+    heartbeat_interval:
+        Seconds between lease refreshes.  Must be well under the
+        supervisor's lease timeout (a quarter or less) or healthy workers
+        get reclaimed as dead.
+    poll_interval:
+        Sleep between claim attempts when nothing is claimable.
+    max_tasks:
+        Stop after completing this many tasks (``None`` = unlimited).
+    exit_on_drain:
+        Return once the queue has no task files left; ``False`` keeps the
+        worker polling for late-arriving work until signalled.
+    faults:
+        Optional :class:`~repro.exec.faultinject.WorkerFaultPlan` (tests
+        only).
+    """
+
+    def __init__(
+        self,
+        queue: Union[WorkQueue, PathLike],
+        *,
+        worker_id: Optional[str] = None,
+        heartbeat_interval: float = 1.0,
+        poll_interval: float = 0.05,
+        max_tasks: Optional[int] = None,
+        exit_on_drain: bool = True,
+        faults: Optional[WorkerFaultPlan] = None,
+    ) -> None:
+        self.queue = queue if isinstance(queue, WorkQueue) else WorkQueue(queue)
+        self.worker_id = worker_id or (
+            f"{os.uname().nodename}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+        )
+        self.heartbeat_interval = heartbeat_interval
+        self.poll_interval = poll_interval
+        self.max_tasks = max_tasks
+        self.exit_on_drain = exit_on_drain
+        self.faults = faults
+        self.completed = 0
+        self.failed = 0
+        self._stop_event = threading.Event()
+
+    # ----------------------------------------------------------- control
+    def stop(self) -> None:
+        """Ask the loop to exit after the in-flight task (thread-safe)."""
+        self._stop_event.set()
+
+    def _install_signal_handlers(self) -> dict:
+        """Install stop-on-signal handlers; return the displaced ones.
+
+        The previous handlers MUST be restored when the loop exits: an
+        embedded worker (tests, straggler paths) that left its flag-setter
+        installed would make the host process -- and every child it later
+        forks, pool workers included -- silently absorb SIGTERM.
+        """
+        def _handler(signum, frame):  # noqa: ANN001 - signal signature
+            self.stop()
+
+        previous = {}
+        try:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                previous[signum] = signal.signal(signum, _handler)
+        except ValueError:
+            pass  # not the main thread (embedded worker): caller uses stop()
+        return previous
+
+    # -------------------------------------------------------------- loop
+    def run(self) -> int:
+        """Pull and execute tasks until drain/stop; returns tasks completed."""
+        previous_handlers = self._install_signal_handlers()
+        try:
+            while not self._stop_event.is_set():
+                if self.max_tasks is not None and self.completed >= self.max_tasks:
+                    break
+                lease = self.queue.claim(self.worker_id)
+                if lease is None:
+                    if self.exit_on_drain and self.queue.is_drained():
+                        break
+                    self._stop_event.wait(self.poll_interval)
+                    continue
+                self._process(lease)
+        finally:
+            for signum, handler in previous_handlers.items():
+                signal.signal(signum, handler)
+        return self.completed
+
+    def _process(self, lease: Lease) -> None:
+        if self.faults is not None:
+            self.faults.on_claim()  # may SIGKILL us right here, mid-lease
+        beater = _HeartbeatThread(
+            self.queue, lease, self.heartbeat_interval, self.faults
+        )
+        beater.start()
+        try:
+            self._injected_delay()
+            if self.faults is not None and self.faults.should_fail(lease.spec_hash):
+                raise InjectedFault(f"injected execution failure for {lease.spec_hash}")
+            summary = execute_run_spec(lease.spec)
+        except Exception as exc:  # noqa: BLE001 - worker must survive any task
+            beater.stop()
+            beater.join()
+            self.failed += 1
+            self.queue.fail(lease, f"{type(exc).__name__}: {exc}")
+            return
+        beater.stop()
+        beater.join()
+        if self.faults is not None and self.faults.should_corrupt_upload():
+            self.queue.result_path(lease.spec_hash).write_text(CORRUPT_PAYLOAD)
+            self.queue.task_path(lease.spec_hash).unlink(missing_ok=True)
+            self.queue.lease_path(lease.spec_hash).unlink(missing_ok=True)
+        else:
+            self.queue.complete(lease, summary)
+        self.completed += 1
+
+    def _injected_delay(self) -> None:
+        if self.faults is None or self.faults.pre_execute_delay() <= 0:
+            return
+        # Sleep in slices so SIGTERM (stop event) still interrupts a "slow"
+        # worker -- unless the plan says we are wedged beyond signals.
+        deadline = time.time() + self.faults.pre_execute_delay()
+        while time.time() < deadline:
+            if not self.faults.uninterruptible and self._stop_event.is_set():
+                return
+            time.sleep(min(0.05, max(0.0, deadline - time.time())))
+
+
+def worker_process_entry(
+    queue_dir: str,
+    worker_id: str,
+    heartbeat_interval: float,
+    poll_interval: float,
+    registrations: List,
+    faults: Optional[WorkerFaultPlan] = None,
+) -> None:
+    """``multiprocessing.Process`` target used by the fleet supervisor.
+
+    Replays the parent's scheduler registry first (like
+    :class:`~repro.exec.backends.ProcessPoolBackend` does) so specs naming
+    runtime-registered schedulers also resolve under the ``spawn`` start
+    method.
+    """
+    replicate_registrations(registrations)
+    Worker(
+        WorkQueue(queue_dir),
+        worker_id=worker_id,
+        heartbeat_interval=heartbeat_interval,
+        poll_interval=poll_interval,
+        faults=faults,
+    ).run()
+
+
+def worker_main(
+    queue_dir: str,
+    *,
+    worker_id: Optional[str] = None,
+    heartbeat_interval: float = 1.0,
+    poll_interval: float = 0.25,
+    max_tasks: Optional[int] = None,
+    keep_polling: bool = False,
+) -> int:
+    """Entry point behind ``pas-sim worker``; returns a process exit code."""
+    worker = Worker(
+        WorkQueue(queue_dir),
+        worker_id=worker_id,
+        heartbeat_interval=heartbeat_interval,
+        poll_interval=poll_interval,
+        max_tasks=max_tasks,
+        exit_on_drain=not keep_polling,
+    )
+    completed = worker.run()
+    print(
+        f"worker {worker.worker_id}: {completed} task(s) completed, "
+        f"{worker.failed} failed attempt(s); queue "
+        f"{'drained' if worker.queue.is_drained() else 'still has work'}"
+    )
+    return 0

@@ -76,3 +76,63 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Figure 5" in out
         assert "alert_threshold_s" in out
+
+class TestFleetCli:
+    def test_worker_requires_queue_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker"])
+
+    def test_worker_defaults(self):
+        args = build_parser().parse_args(["worker", "--queue-dir", "/tmp/q"])
+        assert args.queue_dir == "/tmp/q"
+        assert args.heartbeat_interval == 1.0
+        assert args.max_tasks is None
+        assert args.keep_polling is False
+
+    def test_backend_choice_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--backend", "smoke-signals"])
+
+    def test_run_defaults_include_fleet_flags(self):
+        args = build_parser().parse_args(["run"])
+        assert args.backend is None
+        assert args.queue_dir is None
+        assert args.lease_timeout == 30.0
+        assert args.max_attempts == 3
+
+    def test_worker_drains_queue_then_run_reuses_artifacts(self, tmp_path, capsys):
+        # End to end through main(): enqueue one cell, drain it with the
+        # worker subcommand, then a fleet run over the same queue directory
+        # serves it from the artifact without re-executing.
+        from repro.exec import RunSpec, SchedulerSpec, WorkQueue
+        from repro.experiments.runner import default_scenario
+
+        queue = WorkQueue(tmp_path)
+        spec = RunSpec(
+            default_scenario(num_nodes=6, area=25.0, duration=10.0, seed=3),
+            SchedulerSpec("PAS"),
+        )
+        queue.enqueue(spec)
+        assert main(["worker", "--queue-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 task(s) completed" in out
+        assert queue.is_drained()
+        assert queue.load_result(spec.spec_hash()) == spec.execute()
+
+    def test_run_command_with_fleet_backend(self, tmp_path, capsys):
+        code = main(
+            [
+                "run",
+                "--nodes", "6",
+                "--area", "25",
+                "--duration", "10",
+                "--seed", "3",
+                "--backend", "fleet",
+                "--jobs", "2",
+                "--queue-dir", str(tmp_path / "q"),
+                "--lease-timeout", "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "average detection delay" in out

@@ -1,5 +1,6 @@
 """Unit tests for the execution backends (serial, process pool, caching)."""
 
+import multiprocessing
 from typing import List, Sequence
 
 import pytest
@@ -12,6 +13,7 @@ from repro.exec.backends import (
     ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
+    SpecExecutionError,
     make_backend,
 )
 from repro.exec.specs import RunSpec, SchedulerSpec
@@ -170,7 +172,8 @@ class TestCachingBackend:
 
         inner = CountingBackend()
         backend2 = CachingBackend(inner, tmp_path)
-        results = backend2.run(specs)
+        with pytest.warns(RuntimeWarning, match="quarantined corrupt cache entry"):
+            results = backend2.run(specs)
         assert inner.executed == 1
         assert results[0].scheduler == "PAS"
         # The corrupt entry was rewritten with a valid summary.
@@ -246,3 +249,128 @@ class TestMakeBackend:
         backend = make_backend(jobs=2, cache_dir=tmp_path)
         assert isinstance(backend, CachingBackend)
         assert isinstance(backend.inner, ProcessPoolBackend)
+
+
+class FailingAfterBackend(ExecutionBackend):
+    """Executes ``fail_after`` specs, then dies -- a mid-sweep worker crash."""
+
+    def __init__(self, fail_after: int) -> None:
+        self.fail_after = fail_after
+
+    def run(self, specs: Sequence[RunSpec]) -> List[RunSummary]:
+        return list(self.run_iter(specs))
+
+    def run_iter(self, specs: Sequence[RunSpec]):
+        for i, spec in enumerate(specs):
+            if i >= self.fail_after:
+                raise RuntimeError("worker crashed mid-sweep")
+            yield SerialBackend().run_one(spec)
+
+
+class TestCachingBackendCrashRecovery:
+    def test_interrupted_sweep_resumes_exactly_missing_cells(self, tmp_path):
+        """Satellite acceptance: crash after k cells, re-run executes n - k."""
+        specs = _small_specs()  # n = 4
+        n, k = len(specs), 2
+        crashing = CachingBackend(FailingAfterBackend(k), tmp_path / "cache")
+        with pytest.raises(RuntimeError, match="crashed mid-sweep"):
+            crashing.run(specs)
+        # The k completed cells were persisted before the crash...
+        assert len(list((tmp_path / "cache").glob("*.json"))) == k
+
+        inner = CountingBackend()
+        resumed = CachingBackend(inner, tmp_path / "cache")
+        results = resumed.run(specs)
+        # ... so the re-run executes exactly the missing cells.
+        assert resumed.hits == k
+        assert resumed.misses == n - k
+        assert inner.executed == n - k
+        assert results == SerialBackend().run(specs)
+
+    def test_corrupt_entry_quarantined_counted_and_warned(self, tmp_path):
+        spec = _small_specs(n_seeds=1)[0]
+        backend = CachingBackend(CountingBackend(), tmp_path / "cache")
+        first = backend.run_one(spec)
+        entry = tmp_path / "cache" / f"{spec.spec_hash()}.json"
+        entry.write_text('{"scheduler": "PAS", "truncated mid-write')
+
+        with pytest.warns(RuntimeWarning, match="quarantined corrupt cache entry"):
+            second = backend.run_one(spec)
+        assert second == first  # re-executed, not served from the bad bytes
+        assert backend.corrupt == 1
+        assert backend.misses == 2  # the corrupt read counts as a miss
+        # Evidence preserved next to the cache, valid entry rewritten.
+        assert (tmp_path / "cache" / f"{spec.spec_hash()}.json.corrupt").exists()
+        assert RunSummary.from_json(entry.read_text()) == first
+
+
+def _boom(spec):
+    raise ValueError("injected execution failure")
+
+
+class TestSpecExecutionError:
+    def test_inline_path_names_the_failing_cell(self, monkeypatch):
+        specs = _small_specs(n_seeds=1)
+        monkeypatch.setattr("repro.exec.backends.execute_run_spec", _boom)
+        backend = ProcessPoolBackend(jobs=1)  # in-process fallback path
+        with pytest.raises(SpecExecutionError) as excinfo:
+            backend.run(specs)
+        assert excinfo.value.index == 0
+        assert excinfo.value.spec_hash == specs[0].spec_hash()
+        assert "ValueError: injected execution failure" in str(excinfo.value)
+
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="fork start method required to inherit the monkeypatch",
+    )
+    def test_pool_path_pickles_the_annotated_error(self, monkeypatch):
+        specs = _small_specs()
+        monkeypatch.setattr("repro.exec.backends.execute_run_spec", _boom)
+        backend = ProcessPoolBackend(jobs=2, start_method="fork")
+        with pytest.raises(SpecExecutionError) as excinfo:
+            backend.run(specs)
+        # imap preserves order, so the first cell's failure surfaces first,
+        # annotated with its grid index and spec hash after the pickle trip.
+        assert excinfo.value.index == 0
+        assert excinfo.value.spec_hash == specs[0].spec_hash()
+
+    def test_error_survives_pickle_roundtrip(self):
+        import pickle
+
+        error = SpecExecutionError(7, "abc123", "ValueError: boom")
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.index == 7
+        assert clone.spec_hash == "abc123"
+        assert str(clone) == str(error)
+
+
+class TestMakeBackendFleet:
+    def test_fleet_backend_built_with_options(self, tmp_path):
+        from repro.exec.fleet import FleetBackend
+
+        backend = make_backend(
+            jobs=3,
+            backend="fleet",
+            queue_dir=tmp_path / "q",
+            lease_timeout=12.0,
+            max_attempts=5,
+        )
+        assert isinstance(backend, FleetBackend)
+        assert backend.workers == 3
+        assert backend.lease_timeout == 12.0
+        assert backend.max_attempts == 5
+
+    def test_fleet_wrapped_by_cache_dir(self, tmp_path):
+        from repro.exec.fleet import FleetBackend
+
+        backend = make_backend(jobs=2, backend="fleet", cache_dir=tmp_path / "c")
+        assert isinstance(backend, CachingBackend)
+        assert isinstance(backend.inner, FleetBackend)
+
+    def test_explicit_backend_names(self):
+        assert isinstance(make_backend(backend="serial"), SerialBackend)
+        assert isinstance(make_backend(backend="pool"), ProcessPoolBackend)
+        with pytest.raises(ValueError):
+            make_backend(backend="serial", jobs=4)  # contradictory request
+        with pytest.raises(ValueError):
+            make_backend(backend="carrier-pigeon")

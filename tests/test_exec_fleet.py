@@ -1,0 +1,497 @@
+"""Fault-tolerant fleet execution: queue, worker and supervisor tests.
+
+The multi-process fault-injection tests (worker SIGKILL, stalled
+heartbeats, corrupted uploads, hung fleets) are marked ``fleet`` so they
+can be deselected locally with ``-m "not fleet"``; the queue/worker unit
+tests and the single-process supervisor paths always run.
+
+The load-bearing assertion throughout: under every injected fault the
+campaign completes with zero lost and zero duplicated cells, and the
+returned summaries are bit-identical (dataclass equality over every stat,
+including per-node maps) to ``SerialBackend`` output.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import List
+
+import pytest
+
+from repro.exec import (
+    FaultInjector,
+    FleetBackend,
+    RunSpec,
+    SchedulerSpec,
+    SerialBackend,
+    Worker,
+    WorkerFaultPlan,
+    WorkQueue,
+)
+from repro.experiments.runner import default_scenario
+
+# Short enough that fault timing dominates, long enough to be a real run.
+_SIM_KWARGS = dict(num_nodes=6, area=25.0, duration=15.0)
+
+_SRC_DIR = str(Path(__file__).resolve().parents[1] / "src")
+
+
+def _worker_env() -> dict:
+    """Environment for a `pas-sim worker` subprocess (src on PYTHONPATH)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC_DIR + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def _specs(n_seeds: int = 4, label: str = "fleet") -> List[RunSpec]:
+    specs = []
+    for name in ("PAS", "SAS"):
+        for seed in range(n_seeds):
+            scenario = default_scenario(seed=seed, label=f"{label}-{name}", **_SIM_KWARGS)
+            specs.append(RunSpec(scenario, SchedulerSpec(name)))
+    return specs
+
+
+@pytest.fixture(scope="module")
+def sweep_specs() -> List[RunSpec]:
+    """A 32-cell sweep: 2 schedulers x 16 seeds."""
+    return _specs(n_seeds=16)
+
+
+@pytest.fixture(scope="module")
+def serial_results(sweep_specs) -> list:
+    return SerialBackend().run(sweep_specs)
+
+
+def _assert_campaign_complete(results, specs, serial):
+    """Zero lost, zero duplicated, bit-identical to SerialBackend."""
+    assert len(results) == len(specs)
+    assert results == serial
+
+
+class TestWorkQueue:
+    def test_enqueue_claim_complete_roundtrip(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        spec = _specs(n_seeds=1)[0]
+        spec_hash = queue.enqueue(spec)
+        assert queue.pending_hashes() == [spec_hash]
+
+        lease = queue.claim("w0")
+        assert lease is not None
+        assert lease.spec_hash == spec_hash
+        assert lease.attempt == 1
+        assert lease.spec.spec_hash() == spec_hash
+        assert queue.leased_hashes() == [spec_hash]
+
+        summary = lease.spec.execute()
+        queue.complete(lease, summary)
+        assert queue.pending_hashes() == []
+        assert queue.leased_hashes() == []
+        assert queue.is_drained()
+        assert queue.load_result(spec_hash) == summary
+
+    def test_claimed_task_cannot_be_double_claimed(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        queue.enqueue(_specs(n_seeds=1)[0])
+        assert queue.claim("w0") is not None
+        assert queue.claim("w1") is None  # only task is leased
+
+    def test_enqueue_is_idempotent_and_respects_results(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        spec = _specs(n_seeds=1)[0]
+        spec_hash = queue.enqueue(spec)
+        queue.enqueue(spec)
+        assert queue.pending_hashes() == [spec_hash]
+        lease = queue.claim("w0")
+        queue.complete(lease, spec.execute())
+        queue.enqueue(spec)  # completed cell must not reappear
+        assert queue.pending_hashes() == []
+
+    def test_fail_applies_backoff_then_allows_retry(self, tmp_path):
+        queue = WorkQueue(tmp_path, max_attempts=5, backoff_base=0.2)
+        spec = _specs(n_seeds=1)[0]
+        queue.enqueue(spec)
+        lease = queue.claim("w0")
+        assert queue.fail(lease, "boom") is True  # re-enqueued for retry
+        assert queue.leased_hashes() == []
+        assert queue.pending_hashes() == [lease.spec_hash]
+        assert queue.claim("w0") is None  # backed off: not claimable yet
+        time.sleep(0.25)
+        retry = queue.claim("w0")
+        assert retry is not None
+        assert retry.attempt == 2
+
+    def test_fail_past_max_attempts_poisons(self, tmp_path):
+        queue = WorkQueue(tmp_path, max_attempts=2, backoff_base=0.0)
+        spec = _specs(n_seeds=1)[0]
+        queue.enqueue(spec)
+        assert queue.fail(queue.claim("w0"), "boom 1") is True
+        assert queue.fail(queue.claim("w0"), "boom 2") is False  # poisoned
+        assert queue.pending_hashes() == []
+        assert queue.failed_hashes() == [spec.spec_hash()]
+        record = queue.failed_record(spec.spec_hash())
+        assert record["attempts"] == 2
+        assert "boom 2" in record["error"]
+        assert "spec_pickle" not in record  # record is human-readable
+        assert queue.is_drained()
+
+    def test_reclaim_stale_reenqueues_with_bumped_attempt(self, tmp_path):
+        queue = WorkQueue(tmp_path, backoff_base=0.0)
+        spec = _specs(n_seeds=1)[0]
+        queue.enqueue(spec)
+        lease = queue.claim("w0")
+        time.sleep(0.05)
+        assert queue.reclaim_stale(lease_timeout=10.0) == []  # still fresh
+        reclaimed = queue.reclaim_stale(lease_timeout=0.01)
+        assert reclaimed == [lease.spec_hash]
+        assert queue.leased_hashes() == []
+        retry = queue.claim("w1")
+        assert retry is not None
+        assert retry.attempt == 2
+
+    def test_heartbeat_refreshes_and_detects_reclaim(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        queue.enqueue(_specs(n_seeds=1)[0])
+        lease = queue.claim("w0")
+        before = json.loads(queue.lease_path(lease.spec_hash).read_text())
+        time.sleep(0.02)
+        assert queue.heartbeat(lease) is True
+        after = json.loads(queue.lease_path(lease.spec_hash).read_text())
+        assert after["heartbeat_at"] > before["heartbeat_at"]
+        # Once the lease is gone (reclaimed), heartbeating reports it.
+        queue.lease_path(lease.spec_hash).unlink()
+        assert queue.heartbeat(lease) is False
+
+    def test_corrupt_artifact_is_quarantined_not_returned(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        spec = _specs(n_seeds=1)[0]
+        spec_hash = spec.spec_hash()
+        queue.result_path(spec_hash).write_text('{"truncated": ')
+        assert queue.load_result(spec_hash) is None
+        assert queue.corrupt_artifacts == 1
+        assert not queue.result_path(spec_hash).exists()
+        assert Path(str(queue.result_path(spec_hash)) + ".corrupt").exists()
+
+    def test_checksum_mismatch_is_corrupt(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        spec = _specs(n_seeds=1)[0]
+        queue.enqueue(spec)
+        lease = queue.claim("w0")
+        queue.complete(lease, spec.execute())
+        spec_hash = spec.spec_hash()
+        artifact = json.loads(queue.result_path(spec_hash).read_text())
+        artifact["summary_json"] = artifact["summary_json"].replace(
+            '"scheduler"', '"scheduIer"', 1
+        )
+        queue.result_path(spec_hash).write_text(json.dumps(artifact))
+        assert queue.load_result(spec_hash) is None
+        assert queue.corrupt_artifacts == 1
+
+    def test_policy_frozen_by_queue_creator(self, tmp_path):
+        WorkQueue(tmp_path, max_attempts=7, backoff_base=0.125)
+        reopened = WorkQueue(tmp_path, max_attempts=2, backoff_base=9.0)
+        assert reopened.max_attempts == 7  # stored policy wins
+        assert reopened.backoff_base == 0.125
+
+
+class TestWorker:
+    def test_worker_drains_queue(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        specs = _specs(n_seeds=2)
+        for spec in specs:
+            queue.enqueue(spec)
+        worker = Worker(queue, heartbeat_interval=0.1)
+        assert worker.run() == len(specs)
+        assert queue.is_drained()
+        serial = SerialBackend().run(specs)
+        for spec, expected in zip(specs, serial):
+            assert queue.load_result(spec.spec_hash()) == expected
+
+    def test_injected_failure_retries_then_succeeds(self, tmp_path):
+        queue = WorkQueue(tmp_path, max_attempts=3, backoff_base=0.0)
+        spec = _specs(n_seeds=1)[0]
+        queue.enqueue(spec)
+        faults = WorkerFaultPlan(fail_spec_hashes=[spec.spec_hash()], fail_limit=1)
+        worker = Worker(queue, heartbeat_interval=0.1, faults=faults)
+        assert worker.run() == 1
+        assert worker.failed == 1
+        assert queue.failed_hashes() == []
+        assert queue.load_result(spec.spec_hash()) == spec.execute()
+
+    def test_persistent_failure_poisons_task(self, tmp_path):
+        queue = WorkQueue(tmp_path, max_attempts=2, backoff_base=0.0)
+        spec = _specs(n_seeds=1)[0]
+        queue.enqueue(spec)
+        faults = WorkerFaultPlan(fail_spec_hashes=[spec.spec_hash()])
+        worker = Worker(queue, heartbeat_interval=0.1, faults=faults)
+        assert worker.run() == 0
+        assert worker.failed == 2
+        assert queue.failed_hashes() == [spec.spec_hash()]
+        assert "InjectedFault" in queue.failed_record(spec.spec_hash())["error"]
+
+    def test_max_tasks_stops_early(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        for spec in _specs(n_seeds=2):
+            queue.enqueue(spec)
+        worker = Worker(queue, heartbeat_interval=0.1, max_tasks=1)
+        assert worker.run() == 1
+        assert len(queue.pending_hashes()) == 3
+
+    def test_embedded_worker_restores_host_signal_handlers(self, tmp_path):
+        # An in-process worker must not leave its stop-on-signal handlers
+        # installed: children forked later (e.g. multiprocessing pool
+        # workers) would inherit them and absorb SIGTERM, turning routine
+        # pool teardown into an unkillable-child hang.
+        queue = WorkQueue(tmp_path)
+        queue.enqueue(_specs(n_seeds=1)[0])
+        before_term = signal.getsignal(signal.SIGTERM)
+        before_int = signal.getsignal(signal.SIGINT)
+        assert Worker(queue, heartbeat_interval=0.1).run() == 1
+        assert signal.getsignal(signal.SIGTERM) is before_term
+        assert signal.getsignal(signal.SIGINT) is before_int
+
+    @pytest.mark.fleet
+    def test_cli_worker_exits_cleanly_on_sigterm(self, tmp_path):
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "worker",
+                "--queue-dir",
+                str(tmp_path),
+                "--keep-polling",
+                "--poll-interval",
+                "0.05",
+            ],
+            env=_worker_env(),
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        time.sleep(0.5)  # --keep-polling: it would outlive a drain
+        assert proc.poll() is None
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=10)
+        assert proc.returncode == 0
+        assert "0 task(s) completed" in out
+
+    @pytest.mark.fleet
+    def test_cli_worker_drains_shared_queue(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        specs = _specs(n_seeds=1)
+        for spec in specs:
+            queue.enqueue(spec)
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "worker", "--queue-dir", str(tmp_path)],
+            env=_worker_env(),
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0, result.stderr
+        assert f"{len(specs)} task(s) completed" in result.stdout
+        assert queue.is_drained()
+
+
+class TestFleetBackendHealthy:
+    def test_results_bit_identical_to_serial(self, sweep_specs, serial_results):
+        fleet = FleetBackend(workers=4, lease_timeout=5.0, heartbeat_interval=0.2)
+        results = fleet.run(sweep_specs)
+        _assert_campaign_complete(results, sweep_specs, serial_results)
+        assert fleet.stats.completed == len(sweep_specs)
+        assert fleet.stats.reclaimed_leases == 0
+        assert fleet.stats.stragglers_inline == 0
+
+    def test_duplicate_specs_collapse_onto_one_cell(self):
+        spec = _specs(n_seeds=1)[0]
+        fleet = FleetBackend(workers=2, lease_timeout=5.0, heartbeat_interval=0.2)
+        results = fleet.run([spec, spec, spec])
+        assert fleet.stats.enqueued == 1
+        assert results[0] == results[1] == results[2] == spec.execute()
+
+    def test_zero_workers_degrades_to_inline_execution(self):
+        specs = _specs(n_seeds=2)
+        fleet = FleetBackend(workers=0, lease_timeout=5.0)
+        results = fleet.run(specs)
+        assert results == SerialBackend().run(specs)
+        assert fleet.stats.stragglers_inline == len(specs)
+        assert fleet.stats.workers_spawned == 0
+
+    def test_campaign_resumes_from_existing_artifacts(self, tmp_path):
+        specs = _specs(n_seeds=2)
+        queue_dir = tmp_path / "campaign"
+        first = FleetBackend(
+            workers=2, queue_dir=queue_dir, lease_timeout=5.0, heartbeat_interval=0.2
+        )
+        results = first.run(specs)
+        # Same queue directory again: every cell is served from artifacts.
+        second = FleetBackend(workers=0, queue_dir=queue_dir, lease_timeout=5.0)
+        resumed = second.run(specs)
+        assert resumed == results
+        assert second.stats.reused == len(specs)
+        assert second.stats.enqueued == 0
+        assert second.stats.stragglers_inline == 0
+
+    def test_empty_spec_list(self):
+        assert FleetBackend(workers=1).run([]) == []
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            FleetBackend(workers=-1)
+        with pytest.raises(ValueError):
+            FleetBackend(workers=1, lease_timeout=0.0)
+        with pytest.raises(ValueError):
+            FleetBackend(workers=1, lease_timeout=1.0, heartbeat_interval=2.0)
+
+
+@pytest.mark.fleet
+class TestFleetFaultInjection:
+    """Acceptance suite: 4 workers, a 32-cell sweep, one injected fault
+    per test -- the campaign must still complete bit-identically."""
+
+    def test_sigkilled_worker_mid_lease_is_reclaimed(self, sweep_specs, serial_results):
+        # Worker 0 SIGKILLs itself immediately after its second claim: a
+        # lease exists with no result and no process behind it.
+        fleet = FleetBackend(
+            workers=4,
+            lease_timeout=1.0,
+            heartbeat_interval=0.1,
+            backoff_base=0.05,
+            worker_faults={0: WorkerFaultPlan(kill_after_claims=2)},
+        )
+        results = fleet.run(sweep_specs)
+        _assert_campaign_complete(results, sweep_specs, serial_results)
+        assert fleet.stats.reclaimed_leases >= 1  # visible in supervisor stats
+        assert len(fleet.stats.reclaimed_hashes) == fleet.stats.reclaimed_leases
+
+    def test_stalled_heartbeat_past_timeout_is_reclaimed(
+        self, sweep_specs, serial_results
+    ):
+        # Worker 0 claims, never heartbeats, and sits on the task far past
+        # the lease timeout -- indistinguishable from a hang.  The
+        # supervisor must reclaim; the zombie's eventual duplicate upload
+        # is idempotent (byte-identical artifact).
+        fleet = FleetBackend(
+            workers=4,
+            lease_timeout=1.0,
+            heartbeat_interval=0.1,
+            backoff_base=0.05,
+            worker_faults={
+                0: WorkerFaultPlan(stall_heartbeats_after=0, slow_execute_seconds=3.0)
+            },
+        )
+        results = fleet.run(sweep_specs)
+        _assert_campaign_complete(results, sweep_specs, serial_results)
+        assert fleet.stats.reclaimed_leases >= 1
+
+    def test_corrupted_upload_is_quarantined_and_rerun(
+        self, sweep_specs, serial_results
+    ):
+        # Worker 0's first upload is a truncated artifact; the checksum
+        # validation must quarantine it and put the cell back in play.
+        fleet = FleetBackend(
+            workers=4,
+            lease_timeout=2.0,
+            heartbeat_interval=0.1,
+            backoff_base=0.05,
+            worker_faults={0: WorkerFaultPlan(corrupt_uploads=1)},
+        )
+        results = fleet.run(sweep_specs)
+        _assert_campaign_complete(results, sweep_specs, serial_results)
+        assert fleet.stats.corrupt_artifacts >= 1
+
+    def test_planted_corrupt_artifact_on_resume_is_requeued(self, tmp_path):
+        # A prior campaign's upload was torn mid-write; resuming over it
+        # must detect, quarantine and re-execute -- never trust the bytes.
+        specs = _specs(n_seeds=2)
+        queue_dir = tmp_path / "campaign"
+        victim_hash = specs[1].spec_hash()
+        injector = FaultInjector(queue_dir, seed=7)
+        injector.plant_corrupt_result(victim_hash)
+        fleet = FleetBackend(
+            workers=2, queue_dir=queue_dir, lease_timeout=5.0, heartbeat_interval=0.2
+        )
+        results = fleet.run(specs)
+        assert results == SerialBackend().run(specs)
+        assert fleet.stats.corrupt_artifacts >= 1
+        assert (queue_dir / "results" / f"{victim_hash}.json.corrupt").exists()
+        # The re-executed artifact is valid now.
+        assert WorkQueue(queue_dir).load_result(victim_hash) == results[1]
+
+    def test_dropped_lease_file_does_not_lose_or_duplicate_cells(
+        self, sweep_specs, serial_results, tmp_path
+    ):
+        # A lease file vanishes (operator error, filesystem hiccup) while
+        # its owner is mid-run.  Worst case the cell runs twice; uploads
+        # are idempotent so the campaign is unaffected.
+        queue_dir = tmp_path / "campaign"
+        injector = FaultInjector(queue_dir, seed=3)
+        dropped = []
+
+        def drop_one_lease(stats, queue):
+            if not dropped:
+                leases = queue.leased_hashes()
+                if leases:
+                    dropped.append(injector.drop_lease(injector.choose(leases)))
+
+        fleet = FleetBackend(
+            workers=4,
+            queue_dir=queue_dir,
+            lease_timeout=2.0,
+            heartbeat_interval=0.1,
+            on_poll=drop_one_lease,
+        )
+        results = fleet.run(sweep_specs)
+        _assert_campaign_complete(results, sweep_specs, serial_results)
+        assert len(dropped) == 1
+
+    def test_poison_task_quarantined_and_finished_inline(self, tmp_path):
+        # Every worker fails one particular cell on every attempt; after
+        # max_attempts it must be poisoned (visible in stats and on disk)
+        # and the supervisor must finish it in-process.
+        specs = _specs(n_seeds=2)
+        victim_hash = specs[0].spec_hash()
+        plan = lambda: WorkerFaultPlan(fail_spec_hashes=[victim_hash])
+        queue_dir = tmp_path / "campaign"
+        fleet = FleetBackend(
+            workers=2,
+            queue_dir=queue_dir,
+            lease_timeout=5.0,
+            heartbeat_interval=0.2,
+            max_attempts=2,
+            backoff_base=0.05,
+            worker_faults={0: plan(), 1: plan()},
+        )
+        results = fleet.run(specs)
+        assert results == SerialBackend().run(specs)
+        assert fleet.stats.poisoned == 1
+        assert fleet.stats.stragglers_inline == 1
+        assert WorkQueue(queue_dir).failed_hashes() == [victim_hash]
+
+    def test_fully_hung_fleet_hits_idle_timeout_and_degrades(self):
+        # Both workers claim and hang with silent heartbeats, forever
+        # beyond every retry: the supervisor's idle timeout must fire, the
+        # hung processes must be killed, and the campaign must still
+        # complete in-process.
+        specs = _specs(n_seeds=1)
+        hang = lambda: WorkerFaultPlan(
+            stall_heartbeats_after=0, slow_execute_seconds=60.0, uninterruptible=True
+        )
+        fleet = FleetBackend(
+            workers=2,
+            lease_timeout=0.5,
+            heartbeat_interval=0.1,
+            backoff_base=30.0,  # reclaimed cells stay backed off: no retry
+            idle_timeout=1.5,
+            worker_faults={0: hang(), 1: hang()},
+        )
+        results = fleet.run(specs)
+        assert results == SerialBackend().run(specs)
+        assert fleet.stats.stragglers_inline >= 1
+        assert fleet.stats.workers_killed == 2
