@@ -13,6 +13,15 @@ Subcommands
   CSV file.
 * ``pas-sim field`` -- run one PAS scenario and print ASCII snapshots of the
   field (node states + stimulus) at a few instants.
+* ``pas-sim profile`` -- run one preset under the telemetry layer
+  (:mod:`repro.obs`) and write a ``PROFILE_<preset>.json`` phase-breakdown
+  artifact ranking where the Python cycles go (optionally with ``--cprofile``
+  for a function-level ranking and ``--trace`` for a JSONL span trace).
+
+Global flags: ``--log-level {debug,info,warning,error}`` routes the
+``repro.*`` loggers (fleet reclaim/straggler events, corrupt-artifact
+quarantines) to stderr; ``--quiet`` silences the fleet backend's live
+progress line.  Both go before the subcommand.
 
 The simulation-running subcommands (``run``, ``compare``, ``figure``,
 ``export``) accept ``--jobs N`` to execute their run grids on a process pool
@@ -39,6 +48,7 @@ from repro.experiments.figures import figure4, figure5, figure6, figure7
 from repro.experiments.runner import default_scenario, run_comparison
 from repro.experiments.table1 import print_table1
 from repro.metrics.summary import format_table
+from repro.obs import LOG_LEVELS, configure_logging
 from repro.world.presets import get_preset, preset_names
 
 
@@ -115,6 +125,7 @@ def _backend_from_args(args: argparse.Namespace) -> ExecutionBackend:
         queue_dir=args.queue_dir,
         lease_timeout=args.lease_timeout,
         max_attempts=args.max_attempts,
+        progress=False if getattr(args, "quiet", False) else None,
     )
 
 
@@ -177,6 +188,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="pas-sim",
         description="PAS reproduction: prediction-based adaptive sleeping simulator",
+    )
+    parser.add_argument(
+        "--log-level",
+        default="warning",
+        choices=list(LOG_LEVELS),
+        help="stderr logging threshold for the repro.* loggers (default: warning)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the fleet backend's live progress line",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -259,6 +281,79 @@ def build_parser() -> argparse.ArgumentParser:
         "the queue drains",
     )
 
+    profile_p = sub.add_parser(
+        "profile",
+        help="run one preset under telemetry and write PROFILE_<preset>.json",
+        description=(
+            "Execute a preset scenario with the repro.obs telemetry layer "
+            "enabled, then rank simulation phases by self-time and write the "
+            "profile artifact.  See repro.obs.profile for how to read it."
+        ),
+    )
+    profile_p.add_argument(
+        "--preset",
+        default="large_plume",
+        choices=preset_names(),
+        help="scenario preset to profile (default: large_plume)",
+    )
+    profile_p.add_argument(
+        "--nodes",
+        type=int,
+        default=None,
+        help=(
+            "override the preset's fleet size; the region is rescaled to "
+            "keep the preset's deployment density"
+        ),
+    )
+    profile_p.add_argument("--duration", type=float, default=None, help="run length (s)")
+    profile_p.add_argument("--seed", type=int, default=0, help="master random seed")
+    profile_p.add_argument(
+        "--scheduler",
+        default="PAS",
+        help=f"one of {', '.join(scheduler_names())}",
+    )
+    profile_p.add_argument("--max-sleep", type=float, default=10.0)
+    profile_p.add_argument("--alert-threshold", type=float, default=20.0)
+    profile_p.add_argument(
+        "--engine",
+        default="batched",
+        choices=list(ENGINES),
+        help="simulation engine to profile (default: batched)",
+    )
+    profile_p.add_argument(
+        "--estimation",
+        default="columnar",
+        choices=["scalar", "columnar"],
+        help="estimation path under the batched engine (default: columnar)",
+    )
+    profile_p.add_argument(
+        "--occupancy-interval",
+        type=float,
+        default=None,
+        help="enable periodic occupancy sampling at this interval (s)",
+    )
+    profile_p.add_argument(
+        "--cprofile",
+        action="store_true",
+        help="also run under cProfile and include a function-level ranking",
+    )
+    profile_p.add_argument(
+        "--trace",
+        default=None,
+        help="also stream sampled span records to this JSONL trace file",
+    )
+    profile_p.add_argument(
+        "--trace-sample-every",
+        type=int,
+        default=100,
+        help="keep every Nth trace record per key (default: 100)",
+    )
+    profile_p.add_argument(
+        "--output",
+        default=None,
+        help="profile artifact path (default: PROFILE_<preset>.json)",
+    )
+
     field_p = sub.add_parser("field", help="print ASCII snapshots of a PAS run")
     _add_scenario_arguments(field_p)
     _add_engine_argument(field_p)
@@ -274,6 +369,47 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point.  Returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(args.log_level)
+
+    if args.command == "profile":
+        import dataclasses
+        import math
+
+        from repro.obs import format_profile, run_profile, write_profile
+
+        overrides = {"seed": args.seed}
+        if args.duration is not None:
+            overrides["duration"] = args.duration
+        scenario = get_preset(args.preset, **overrides)
+        if args.nodes is not None and args.nodes != scenario.deployment.num_nodes:
+            deployment = scenario.deployment
+            scale = math.sqrt(args.nodes / deployment.num_nodes)
+            scenario = scenario.with_overrides(
+                deployment=dataclasses.replace(
+                    deployment,
+                    num_nodes=args.nodes,
+                    width=deployment.width * scale,
+                    height=deployment.height * scale,
+                )
+            )
+        scheduler = _make_scheduler_spec(
+            args.scheduler, args.max_sleep, args.alert_threshold
+        ).build()
+        report = run_profile(
+            scenario,
+            scheduler,
+            engine=args.engine,
+            estimation=args.estimation,
+            occupancy_sample_interval=args.occupancy_interval,
+            trace_path=args.trace,
+            trace_sample_every=args.trace_sample_every,
+            cprofile=args.cprofile,
+        )
+        output = args.output or f"PROFILE_{args.preset}.json"
+        write_profile(report, output)
+        print(format_profile(report))
+        print(f"wrote {output}")
+        return 0
 
     if args.command == "table1":
         print(print_table1())

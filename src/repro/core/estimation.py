@@ -73,6 +73,7 @@ import numpy as np
 
 from repro.core.neighbors import NeighborInfo
 from repro.core.states import ProtocolState
+from repro.obs import telemetry as _telemetry
 
 from repro.core.arrival import COS_TOLERANCE, MIN_SPEED, ZERO_DISPLACEMENT
 from repro.core.velocity import MIN_ELAPSED_S
@@ -217,6 +218,10 @@ class EstimationColumns:
         new as anything previously stored, so the write is unconditional
         (matching the ``report_time >=`` overwrite rule of the dict side).
         """
+        telemetry = _telemetry.active()
+        if telemetry is not None:
+            telemetry.count("est.mirror_batches")
+            telemetry.observe("est.mirror_width", int(receiver_ids.size))
         start = self.indptr[sender_id]
         end = self.indptr[sender_id + 1]
         block = self.nbr_ids[start:end]

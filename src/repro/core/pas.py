@@ -49,6 +49,7 @@ from repro.core.velocity import (
 from repro.geometry.vec import Vec2
 from repro.network.messages import Message, Request, Response
 from repro.node.sensor import SensorNode
+from repro.obs import telemetry as _telemetry
 from repro.sim.events import EventHandle
 
 
@@ -273,21 +274,22 @@ class PASController(NodeController):
         this verbatim -- its overridden ``_handle_request`` /
         ``_handle_response`` supply the divergent behaviour.
         """
-        if isinstance(message, Request):
-            for controller in controllers:
-                node = controller.node
-                if node.is_failed or not node.is_awake:
-                    continue
-                controller._handle_request()
-        elif isinstance(message, Response):
-            for controller in controllers:
-                node = controller.node
-                if node.is_failed or not node.is_awake:
-                    continue
-                controller._handle_response(message)
-        else:  # unknown message kinds keep the scalar path
-            for controller in controllers:
-                controller.on_message(message)
+        with _telemetry.phase("apply_loop"):
+            if isinstance(message, Request):
+                for controller in controllers:
+                    node = controller.node
+                    if node.is_failed or not node.is_awake:
+                        continue
+                    controller._handle_request()
+            elif isinstance(message, Response):
+                for controller in controllers:
+                    node = controller.node
+                    if node.is_failed or not node.is_awake:
+                        continue
+                    controller._handle_response(message)
+            else:  # unknown message kinds keep the scalar path
+                for controller in controllers:
+                    controller.on_message(message)
 
     # ----------------------------------------------------- columnar batching
     @classmethod
@@ -308,8 +310,13 @@ class PASController(NodeController):
           hence RNG-draw and event-insertion) order of the scalar loop.
         """
         if isinstance(message, Request):
-            for controller in est.controllers[cls._request_responder_rows(est, receiver_ids)]:
-                controller._send_response()
+            with _telemetry.phase("estimation_kernel"):
+                responders = est.controllers[
+                    cls._request_responder_rows(est, receiver_ids)
+                ]
+            with _telemetry.phase("apply_loop"):
+                for controller in responders:
+                    controller._send_response()
         elif isinstance(message, Response):
             cls._handle_response_batch(est, receiver_ids, message, now)
         else:  # unknown message kinds keep the object path
@@ -343,50 +350,56 @@ class PASController(NodeController):
         estimates may be computed up front; only the apply loop -- which
         broadcasts and transitions states -- must run in delivery order.
         """
-        covered_sel = est.covered_receiver_mask(rows)
-        sub_index = np.where(
-            covered_sel, np.cumsum(covered_sel) - 1, np.cumsum(~covered_sel) - 1
-        )
-        if covered_sel.any():
-            cov_rows = rows[covered_sel]
-            cov_controllers = controllers[covered_sel]
-            det_times = np.array(
-                [
-                    np.nan if c._detection_time is None else c._detection_time
-                    for c in cov_controllers
-                ],
-                dtype=float,
+        telemetry = _telemetry.active()
+        if telemetry is not None:
+            telemetry.count("est.response_batches")
+            telemetry.observe("est.fanin", int(rows.size))
+        with _telemetry.phase("estimation_kernel"):
+            covered_sel = est.covered_receiver_mask(rows)
+            sub_index = np.where(
+                covered_sel, np.cumsum(covered_sel) - 1, np.cumsum(~covered_sel) - 1
             )
-            pad = est.padded(cov_rows)
-            cmask = est.covered_mask(pad, now)
-            back = est.actual_velocity_many(cov_rows, det_times, pad, cmask)
-            fwd = est.actual_velocity_many(cov_rows, det_times, pad, cmask, outward=True)
-            mean = est.expected_velocity_many(pad, cmask)
-        uncovered_sel = ~covered_sel
-        if uncovered_sel.any():
-            unc_rows = rows[uncovered_sel]
-            pad_u = est.padded(unc_rows)
-            imask = est.informative_mask(pad_u, now)
-            vel = est.expected_velocity_many(pad_u, imask)
-            pred = est.expected_arrival_time_many(
-                unc_rows,
-                pad_u,
-                imask,
-                now,
-                min_reports=controllers[0].config.min_neighbors_for_estimate,
-            )
-        for position, controller in enumerate(controllers):
-            k = sub_index[position]
-            if covered_sel[position]:
-                controller._apply_covered_refresh(
-                    back[0][k], back[1][k], back[2][k],
-                    fwd[0][k], fwd[1][k], fwd[2][k],
-                    mean[0][k], mean[1][k], mean[2][k],
+            if covered_sel.any():
+                cov_rows = rows[covered_sel]
+                cov_controllers = controllers[covered_sel]
+                det_times = np.array(
+                    [
+                        np.nan if c._detection_time is None else c._detection_time
+                        for c in cov_controllers
+                    ],
+                    dtype=float,
                 )
-            else:
-                controller._apply_prediction(
-                    vel[0][k], vel[1][k], vel[2][k], pred[k]
+                pad = est.padded(cov_rows)
+                cmask = est.covered_mask(pad, now)
+                back = est.actual_velocity_many(cov_rows, det_times, pad, cmask)
+                fwd = est.actual_velocity_many(cov_rows, det_times, pad, cmask, outward=True)
+                mean = est.expected_velocity_many(pad, cmask)
+            uncovered_sel = ~covered_sel
+            if uncovered_sel.any():
+                unc_rows = rows[uncovered_sel]
+                pad_u = est.padded(unc_rows)
+                imask = est.informative_mask(pad_u, now)
+                vel = est.expected_velocity_many(pad_u, imask)
+                pred = est.expected_arrival_time_many(
+                    unc_rows,
+                    pad_u,
+                    imask,
+                    now,
+                    min_reports=controllers[0].config.min_neighbors_for_estimate,
                 )
+        with _telemetry.phase("apply_loop"):
+            for position, controller in enumerate(controllers):
+                k = sub_index[position]
+                if covered_sel[position]:
+                    controller._apply_covered_refresh(
+                        back[0][k], back[1][k], back[2][k],
+                        fwd[0][k], fwd[1][k], fwd[2][k],
+                        mean[0][k], mean[1][k], mean[2][k],
+                    )
+                else:
+                    controller._apply_prediction(
+                        vel[0][k], vel[1][k], vel[2][k], pred[k]
+                    )
 
     def _apply_covered_refresh(
         self, bx, by, bn, fx, fy, fn, mx, my, mn

@@ -54,6 +54,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.obs import telemetry as _telemetry
 from repro.network.channel import ChannelModel, PerfectChannel
 from repro.network.medium import BroadcastMedium
 from repro.network.messages import Message
@@ -178,6 +179,11 @@ class BatchMedium(BroadcastMedium):
             return 0
         neighbours = self._nbr_ids[start:end]
         eligible, num_eligible = self._eligibility(neighbours)
+        telemetry = _telemetry.active()
+        if telemetry is not None:
+            telemetry.count("bus.broadcasts")
+            telemetry.observe("bus.fanout", int(neighbours.size))
+            telemetry.observe("bus.eligible", num_eligible)
         if num_eligible == 0:
             return 0
         if num_eligible == len(neighbours):
@@ -255,6 +261,14 @@ class BatchMedium(BroadcastMedium):
         return mask, num_eligible
 
     def _deliver_batch(self, receiver_ids: np.ndarray, message: Message) -> None:
+        telemetry = _telemetry.active()
+        if telemetry is None:
+            return self._deliver_batch_inner(receiver_ids, message)
+        telemetry.observe("bus.batch_width", int(receiver_ids.size))
+        with telemetry.phase("bus_delivery"):
+            return self._deliver_batch_inner(receiver_ids, message)
+
+    def _deliver_batch_inner(self, receiver_ids: np.ndarray, message: Message) -> None:
         # Receivers may have gone to sleep or failed during the air time;
         # handlers cannot change *other* nodes' power state, so one columnar
         # check per batch equals the scalar per-event checks.

@@ -38,10 +38,10 @@ counted, and warned about -- never silently overwritten.
 from __future__ import annotations
 
 import abc
+import logging
 import multiprocessing
 import os
 import tempfile
-import warnings
 from pathlib import Path
 from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -50,6 +50,8 @@ from repro.exec.specs import RunSpec
 from repro.metrics.summary import RunSummary
 
 PathLike = Union[str, Path]
+
+logger = logging.getLogger(__name__)
 
 
 def execute_run_spec(spec: RunSpec) -> RunSummary:
@@ -228,11 +230,11 @@ class CachingBackend(ExecutionBackend):
             except OSError:
                 quarantine = path  # couldn't move it; still warn below
             self.corrupt += 1
-            warnings.warn(
-                f"quarantined corrupt cache entry {path.name} -> "
-                f"{quarantine.name}; the cell will be re-executed",
-                RuntimeWarning,
-                stacklevel=2,
+            logger.warning(
+                "quarantined corrupt cache entry %s -> %s; "
+                "the cell will be re-executed",
+                path.name,
+                quarantine.name,
             )
             return None
 
@@ -299,6 +301,7 @@ def make_backend(
     queue_dir: Optional[PathLike] = None,
     lease_timeout: float = 30.0,
     max_attempts: int = 3,
+    progress: Optional[bool] = None,
 ) -> ExecutionBackend:
     """Build the backend implied by CLI-style options.
 
@@ -311,6 +314,10 @@ def make_backend(
     ``lease_timeout`` seconds, poison quarantine after ``max_attempts``
     executions); ``"serial"`` / ``"pool"`` force the respective backend.  A
     ``cache_dir`` wraps any of them in a :class:`CachingBackend`.
+
+    ``progress`` controls the fleet's live stderr progress line: ``None``
+    shows it only on a TTY, ``False`` (the CLI's ``--quiet``) always
+    silences it.
     """
     if jobs is not None and jobs < 1:
         raise ValueError("jobs must be at least 1")
@@ -333,6 +340,7 @@ def make_backend(
             queue_dir=queue_dir,
             lease_timeout=lease_timeout,
             max_attempts=max_attempts,
+            progress=progress,
         )
     else:
         raise ValueError(

@@ -29,8 +29,10 @@ a corrupt artifact is quarantined, never returned; a task that fails
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
+import sys
 import tempfile
 import time
 from dataclasses import dataclass, field
@@ -44,6 +46,8 @@ from repro.exec.queue import PathLike, WorkQueue
 from repro.exec.specs import RunSpec
 from repro.exec.worker import worker_process_entry
 from repro.metrics.summary import RunSummary
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -67,10 +71,16 @@ class FleetStats:
     #: Worker processes spawned / still alive at wind-down.
     workers_spawned: int = 0
     workers_killed: int = 0
+    #: Wall seconds from enqueue to complete results (filled at run end).
+    elapsed_s: float = 0.0
+    #: Summed execution seconds reported by workers (``workers/`` telemetry).
+    worker_busy_s: float = 0.0
+    #: Delivered cells (worker + inline) per wall second (filled at run end).
+    tasks_per_second: float = 0.0
     #: Spec hashes of reclaimed leases (diagnostic detail).
     reclaimed_hashes: List[str] = field(default_factory=list)
 
-    def as_dict(self) -> Dict[str, int]:
+    def as_dict(self) -> Dict[str, float]:
         return {
             "enqueued": self.enqueued,
             "reused": self.reused,
@@ -81,7 +91,55 @@ class FleetStats:
             "stragglers_inline": self.stragglers_inline,
             "workers_spawned": self.workers_spawned,
             "workers_killed": self.workers_killed,
+            "elapsed_s": self.elapsed_s,
+            "worker_busy_s": self.worker_busy_s,
+            "tasks_per_second": self.tasks_per_second,
         }
+
+
+class ProgressReporter:
+    """Throttled one-line fleet progress on a stream (default ``on_poll``).
+
+    Rewrites a single ``\\r``-terminated status line -- completed/enqueued,
+    leased, reclaimed, poisoned and the running tasks-per-second rate -- at
+    most every ``min_interval`` seconds, then erases cleanly via
+    :meth:`finish` when the run ends.  Installed by
+    :class:`FleetBackend` only when the stream is a TTY (or ``progress=True``
+    forces it), so logs and pipes never fill with control characters.
+    """
+
+    def __init__(self, stream=None, *, min_interval: float = 0.5) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = float(min_interval)
+        self._started_at = time.time()
+        self._last_emit = 0.0
+        self._emitted = False
+
+    def __call__(self, stats: "FleetStats", queue: WorkQueue) -> None:
+        now = time.time()
+        if now - self._last_emit < self.min_interval:
+            return
+        self._last_emit = now
+        elapsed = max(now - self._started_at, 1e-9)
+        rate = stats.completed / elapsed
+        snapshot = queue.snapshot()
+        line = (
+            f"fleet: {stats.completed}/{stats.enqueued} done"
+            f" | leased {snapshot['leased']}"
+            f" | reclaimed {stats.reclaimed_leases}"
+            f" | poisoned {snapshot['failed']}"
+            f" | {rate:.2f} tasks/s"
+        )
+        self.stream.write("\r\x1b[2K" + line)
+        self.stream.flush()
+        self._emitted = True
+
+    def finish(self) -> None:
+        """Erase the progress line (call once when the run completes)."""
+        if self._emitted:
+            self.stream.write("\r\x1b[2K")
+            self.stream.flush()
+            self._emitted = False
 
 
 class FleetBackend(ExecutionBackend):
@@ -120,7 +178,12 @@ class FleetBackend(ExecutionBackend):
     on_poll:
         Optional callback invoked once per supervisor loop iteration with
         ``(stats, queue)`` -- progress reporting and deterministic
-        test-side fault injection.
+        test-side fault injection.  When omitted, a throttled
+        :class:`ProgressReporter` is installed per ``progress``.
+    progress:
+        Live progress line on stderr when no explicit ``on_poll`` is given:
+        ``None`` (default) enables it only when stderr is a TTY, ``True``
+        forces it, ``False`` (the CLI's ``--quiet``) silences it.
     """
 
     def __init__(
@@ -138,6 +201,7 @@ class FleetBackend(ExecutionBackend):
         start_method: Optional[str] = None,
         worker_faults: Optional[Dict[int, WorkerFaultPlan]] = None,
         on_poll: Optional[Callable[[FleetStats, WorkQueue], None]] = None,
+        progress: Optional[bool] = None,
     ) -> None:
         if workers is not None and workers < 0:
             raise ValueError("workers must be non-negative")
@@ -165,8 +229,17 @@ class FleetBackend(ExecutionBackend):
         self.start_method = start_method
         self.worker_faults = dict(worker_faults or {})
         self.on_poll = on_poll
+        self.progress = progress
         #: Stats of the most recent :meth:`run` (reset per call).
         self.stats = FleetStats()
+
+    def _make_reporter(self) -> Optional[ProgressReporter]:
+        """The default progress reporter, when enabled and not overridden."""
+        if self.on_poll is not None or self.progress is False:
+            return None
+        if self.progress or sys.stderr.isatty():
+            return ProgressReporter()
+        return None
 
     # ------------------------------------------------------------ workers
     def _spawn_workers(
@@ -223,6 +296,7 @@ class FleetBackend(ExecutionBackend):
 
     def _run_on(self, queue_dir: Path, specs: Sequence[RunSpec]) -> List[RunSummary]:
         self.stats = FleetStats()
+        run_started = time.time()
         queue = WorkQueue(
             queue_dir,
             max_attempts=self.max_attempts,
@@ -251,18 +325,22 @@ class FleetBackend(ExecutionBackend):
             self.stats.enqueued += 1
 
         procs: List[multiprocessing.process.BaseProcess] = []
+        reporter = self._make_reporter()
         try:
             if self.stats.enqueued:
                 self._spawn_workers(queue_dir, procs)
-            self._supervise(queue, unique, validated, procs)
+            self._supervise(queue, unique, validated, procs, reporter)
         finally:
             self._wind_down(procs)
+            if reporter is not None:
+                reporter.finish()
 
         # Graceful degradation: execute whatever the fleet did not deliver
         # (poisoned cells, dead fleet, idle timeout) in-process.
         for spec_hash, spec in unique.items():
             if spec_hash in validated:
                 continue
+            logger.info("finishing straggler cell %s in-process", spec_hash[:12])
             summary = execute_run_spec(spec)
             queue.publish(spec_hash, summary)
             queue.lease_path(spec_hash).unlink(missing_ok=True)
@@ -270,6 +348,13 @@ class FleetBackend(ExecutionBackend):
             self.stats.stragglers_inline += 1
         self.stats.poisoned = len(queue.failed_hashes())
         self.stats.corrupt_artifacts = queue.corrupt_artifacts
+        self.stats.elapsed_s = time.time() - run_started
+        self.stats.worker_busy_s = sum(
+            float(record.get("busy_s", 0.0)) for record in queue.worker_stats().values()
+        )
+        delivered = self.stats.completed + self.stats.stragglers_inline
+        if self.stats.elapsed_s > 0:
+            self.stats.tasks_per_second = delivered / self.stats.elapsed_s
         return [validated[spec_hash] for spec_hash in hashes]
 
     def _supervise(
@@ -278,6 +363,7 @@ class FleetBackend(ExecutionBackend):
         unique: Dict[str, RunSpec],
         validated: Dict[str, RunSummary],
         procs: List,
+        reporter: Optional[ProgressReporter] = None,
     ) -> None:
         last_progress = time.time()
         while len(validated) < len(unique):
@@ -304,6 +390,8 @@ class FleetBackend(ExecutionBackend):
                 self.stats.reclaimed_hashes.extend(reclaimed)
             if self.on_poll is not None:
                 self.on_poll(self.stats, queue)
+            elif reporter is not None:
+                reporter(self.stats, queue)
             if not any(proc.is_alive() for proc in procs):
                 return  # fleet gone (drained, crashed, or never spawned)
             if time.time() - last_progress > self.idle_timeout:

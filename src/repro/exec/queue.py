@@ -11,6 +11,7 @@ Each :class:`~repro.exec.specs.RunSpec` becomes one *task* keyed by its
         leases/<hash>.json    # in-flight claim: owner, acquire time, heartbeat
         results/<hash>.json   # uploaded artifact: checksummed RunSummary JSON
         failed/<hash>.json    # poison tasks that exhausted max_attempts
+        workers/<id>.json     # per-worker telemetry: tasks done, busy seconds
 
 Correctness rests on three filesystem guarantees:
 
@@ -36,6 +37,7 @@ from __future__ import annotations
 import base64
 import hashlib
 import json
+import logging
 import os
 import pickle
 import tempfile
@@ -48,6 +50,8 @@ from repro.exec.specs import RunSpec
 from repro.metrics.summary import RunSummary
 
 PathLike = Union[str, Path]
+
+logger = logging.getLogger(__name__)
 
 
 def _atomic_write_text(path: Path, text: str) -> None:
@@ -119,11 +123,13 @@ class WorkQueue:
         self.leases_dir = self.queue_dir / "leases"
         self.results_dir = self.queue_dir / "results"
         self.failed_dir = self.queue_dir / "failed"
+        self.workers_dir = self.queue_dir / "workers"
         for directory in (
             self.tasks_dir,
             self.leases_dir,
             self.results_dir,
             self.failed_dir,
+            self.workers_dir,
         ):
             directory.mkdir(parents=True, exist_ok=True)
         self.max_attempts = max_attempts
@@ -259,8 +265,13 @@ class WorkQueue:
         )
 
     # --------------------------------------------------------- heartbeat
-    def heartbeat(self, lease: Lease) -> bool:
+    def heartbeat(self, lease: Lease, *, busy_s: Optional[float] = None) -> bool:
         """Refresh the lease's heartbeat timestamp.
+
+        ``busy_s`` optionally rides along in the lease file: the worker's
+        cumulative execution seconds, so observers (supervisor progress, the
+        fleet stats aggregation) can see how busy an in-flight worker is
+        without any extra channel.
 
         Returns ``False`` (without writing) when the lease no longer exists
         or is owned by someone else -- the caller was presumed dead and
@@ -272,8 +283,37 @@ class WorkQueue:
         if current is None or current.get("owner") != lease.owner:
             return False
         current["heartbeat_at"] = time.time()
+        if busy_s is not None:
+            current["busy_s"] = float(busy_s)
         _atomic_write_text(lease_path, json.dumps(current, sort_keys=True))
         return True
+
+    # ------------------------------------------------------ worker stats
+    def worker_stats_path(self, worker_id: str) -> Path:
+        return self.workers_dir / f"{worker_id}.json"
+
+    def record_worker_stats(self, worker_id: str, stats: dict) -> None:
+        """Publish one worker's telemetry record (atomic overwrite).
+
+        Workers call this after every task with counters like ``completed``,
+        ``failed``, ``busy_s`` and ``last_task_s``; the supervisor aggregates
+        the records into :class:`~repro.exec.fleet.FleetStats`.
+        """
+        payload = dict(stats)
+        payload["worker_id"] = worker_id
+        payload["updated_at"] = time.time()
+        _atomic_write_text(
+            self.worker_stats_path(worker_id), json.dumps(payload, sort_keys=True)
+        )
+
+    def worker_stats(self) -> Dict[str, dict]:
+        """All published worker telemetry records, keyed by worker id."""
+        stats: Dict[str, dict] = {}
+        for path in sorted(self.workers_dir.glob("*.json")):
+            record = _read_json(path)
+            if record is not None:
+                stats[record.get("worker_id", path.stem)] = record
+        return stats
 
     # ---------------------------------------------------------- complete
     def complete(self, lease: Lease, summary: RunSummary) -> None:
@@ -323,6 +363,12 @@ class WorkQueue:
         if path.exists():
             self.corrupt_artifacts += 1
             os.replace(path, str(path) + ".corrupt")
+            logger.warning(
+                "quarantined corrupt artifact %s -> %s.corrupt; "
+                "the cell will be re-executed",
+                path.name,
+                path.name,
+            )
         return None
 
     # ----------------------------------------------- failure and reclaim
@@ -357,6 +403,12 @@ class WorkQueue:
             lease_path.unlink(missing_ok=True)
             if self.result_path(spec_hash).exists():
                 continue  # finished right at the deadline; nothing lost
+            logger.warning(
+                "reclaiming stale lease %s: no heartbeat from %r for %.1fs",
+                spec_hash[:12],
+                lease.get("owner"),
+                now - beat,
+            )
             self._retry_or_poison(
                 spec_hash,
                 f"lease expired: no heartbeat from {lease.get('owner')!r} "
@@ -375,8 +427,21 @@ class WorkQueue:
             task["error"] = error
             _atomic_write_text(self.failed_path(spec_hash), json.dumps(task, sort_keys=True))
             self.task_path(spec_hash).unlink(missing_ok=True)
+            logger.warning(
+                "poisoned task %s after %d attempt(s): %s",
+                spec_hash[:12],
+                attempts,
+                error,
+            )
             return False
         backoff = min(self.backoff_cap, self.backoff_base * (2.0 ** (attempts - 1)))
+        logger.info(
+            "re-enqueued task %s for attempt %d (backoff %.2fs): %s",
+            spec_hash[:12],
+            attempts + 1,
+            backoff,
+            error,
+        )
         self._write_task(
             spec_hash,
             self._task_spec(task),

@@ -21,17 +21,20 @@ case the supervisor's lease reclaim exists to cover.
 
 from __future__ import annotations
 
+import logging
 import os
 import signal
 import threading
 import time
 import uuid
-from typing import List, Optional, Union
+from typing import Callable, List, Optional, Union
 
 from repro.core.registry import replicate_registrations
 from repro.exec.backends import execute_run_spec
 from repro.exec.faultinject import CORRUPT_PAYLOAD, InjectedFault, WorkerFaultPlan
 from repro.exec.queue import Lease, PathLike, WorkQueue
+
+logger = logging.getLogger(__name__)
 
 
 class _HeartbeatThread(threading.Thread):
@@ -43,12 +46,14 @@ class _HeartbeatThread(threading.Thread):
         lease: Lease,
         interval: float,
         faults: Optional[WorkerFaultPlan],
+        busy_s: Optional[Callable[[], float]] = None,
     ) -> None:
         super().__init__(daemon=True, name=f"heartbeat-{lease.spec_hash[:8]}")
         self.queue = queue
         self.lease = lease
         self.interval = interval
         self.faults = faults
+        self.busy_s = busy_s
         self.stop_event = threading.Event()
         self.beats = 0
         self.lease_lost = False
@@ -57,7 +62,8 @@ class _HeartbeatThread(threading.Thread):
         while not self.stop_event.wait(self.interval):
             if self.faults is not None and not self.faults.heartbeat_allowed(self.beats):
                 return  # injected stall: fall silent, keep executing
-            if not self.queue.heartbeat(self.lease):
+            busy = None if self.busy_s is None else self.busy_s()
+            if not self.queue.heartbeat(self.lease, busy_s=busy):
                 # Lease vanished or changed owner: we were reclaimed.  Stop
                 # beating; the upload stays safe because it is idempotent.
                 self.lease_lost = True
@@ -116,6 +122,10 @@ class Worker:
         self.faults = faults
         self.completed = 0
         self.failed = 0
+        #: Cumulative seconds spent executing specs (successful or not).
+        self.busy_s = 0.0
+        #: Wall seconds of the most recently finished execution.
+        self.last_task_s = 0.0
         self._stop_event = threading.Event()
 
     # ----------------------------------------------------------- control
@@ -165,8 +175,14 @@ class Worker:
     def _process(self, lease: Lease) -> None:
         if self.faults is not None:
             self.faults.on_claim()  # may SIGKILL us right here, mid-lease
+        task_start = time.perf_counter()
+        busy_base = self.busy_s
         beater = _HeartbeatThread(
-            self.queue, lease, self.heartbeat_interval, self.faults
+            self.queue,
+            lease,
+            self.heartbeat_interval,
+            self.faults,
+            busy_s=lambda: busy_base + (time.perf_counter() - task_start),
         )
         beater.start()
         try:
@@ -177,11 +193,22 @@ class Worker:
         except Exception as exc:  # noqa: BLE001 - worker must survive any task
             beater.stop()
             beater.join()
+            self._account_task(task_start)
             self.failed += 1
+            logger.warning(
+                "task %s attempt %d failed on %s: %s: %s",
+                lease.spec_hash[:12],
+                lease.attempt,
+                self.worker_id,
+                type(exc).__name__,
+                exc,
+            )
             self.queue.fail(lease, f"{type(exc).__name__}: {exc}")
+            self._publish_stats()
             return
         beater.stop()
         beater.join()
+        self._account_task(task_start)
         if self.faults is not None and self.faults.should_corrupt_upload():
             self.queue.result_path(lease.spec_hash).write_text(CORRUPT_PAYLOAD)
             self.queue.task_path(lease.spec_hash).unlink(missing_ok=True)
@@ -189,6 +216,32 @@ class Worker:
         else:
             self.queue.complete(lease, summary)
         self.completed += 1
+        logger.debug(
+            "task %s completed by %s in %.3fs",
+            lease.spec_hash[:12],
+            self.worker_id,
+            self.last_task_s,
+        )
+        self._publish_stats()
+
+    def _account_task(self, task_start: float) -> None:
+        self.last_task_s = time.perf_counter() - task_start
+        self.busy_s += self.last_task_s
+
+    def _publish_stats(self) -> None:
+        """Publish this worker's counters to the queue's ``workers/`` dir."""
+        try:
+            self.queue.record_worker_stats(
+                self.worker_id,
+                {
+                    "completed": self.completed,
+                    "failed": self.failed,
+                    "busy_s": self.busy_s,
+                    "last_task_s": self.last_task_s,
+                },
+            )
+        except OSError:  # stats are best-effort; never fail the task for them
+            logger.debug("could not publish worker stats for %s", self.worker_id)
 
     def _injected_delay(self) -> None:
         if self.faults is None or self.faults.pre_execute_delay() <= 0:

@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.network.channel import ChannelModel, PerfectChannel
 from repro.network.messages import Message
+from repro.obs import telemetry as _telemetry
 from repro.network.topology import Topology
 from repro.node.sensor import SensorNode
 from repro.sim.engine import Simulator
@@ -106,8 +107,13 @@ class BroadcastMedium:
             return 0
         air_time = sender.radio.transmit(message.payload_bytes)
         self.stats.broadcasts += 1
+        neighbours = self.topology.neighbours(sender_id)
+        telemetry = _telemetry.active()
+        if telemetry is not None:
+            telemetry.count("bus.broadcasts")
+            telemetry.observe("bus.fanout", len(neighbours))
         scheduled = 0
-        for neighbour_id in self.topology.neighbours(sender_id):
+        for neighbour_id in neighbours:
             receiver = self.nodes[neighbour_id]
             if receiver.is_failed:
                 self.stats.skipped_failed += 1

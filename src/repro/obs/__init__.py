@@ -1,0 +1,80 @@
+"""Observability: telemetry registry, trace sink, profile harness, logging.
+
+See :mod:`repro.obs.telemetry` for the instrumentation core and the phase
+taxonomy, :mod:`repro.obs.trace` for the JSONL trace schema, and
+:mod:`repro.obs.profile` for the ``pas-sim profile`` harness that turns one
+instrumented run into a ``PROFILE_<preset>.json`` phase-breakdown artifact.
+
+The subsystem is strictly passive: nothing in it touches a random stream or
+the simulation clock, so seeded runs are bit-identical with telemetry
+enabled or disabled.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+from repro.obs.telemetry import (
+    SNAPSHOT_SCHEMA,
+    PhaseStat,
+    Telemetry,
+    active,
+    disable,
+    enable,
+    phase,
+    session,
+)
+from repro.obs.profile import (
+    PROFILE_SCHEMA,
+    format_profile,
+    run_profile,
+    write_profile,
+)
+from repro.obs.trace import TRACE_SCHEMA_VERSION, TraceSink
+
+__all__ = [
+    "PROFILE_SCHEMA",
+    "SNAPSHOT_SCHEMA",
+    "TRACE_SCHEMA_VERSION",
+    "PhaseStat",
+    "Telemetry",
+    "TraceSink",
+    "active",
+    "configure_logging",
+    "disable",
+    "enable",
+    "format_profile",
+    "phase",
+    "run_profile",
+    "session",
+    "write_profile",
+]
+
+#: Accepted ``--log-level`` names (lower-case CLI spelling).
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+def configure_logging(level: str = "warning") -> None:
+    """Route the ``repro.*`` loggers to stderr at the requested level.
+
+    Used by the CLI's ``--log-level`` flag; safe to call repeatedly (the
+    handler is installed once).  Library code never calls this -- modules
+    only create ``logging.getLogger(__name__)`` loggers and leave handler
+    policy to the embedding application, per standard library-logging
+    practice.
+    """
+    name = level.lower()
+    if name not in LOG_LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r}; expected one of {', '.join(LOG_LEVELS)}"
+        )
+    numeric = getattr(logging, name.upper())
+    root = logging.getLogger("repro")
+    if not root.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        root.addHandler(handler)
+    root.setLevel(numeric)

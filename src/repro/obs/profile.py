@@ -1,0 +1,224 @@
+"""Profile harness: one instrumented run -> ``PROFILE_<preset>.json``.
+
+:func:`run_profile` executes a scenario under a fresh
+:class:`~repro.obs.telemetry.Telemetry` session, wrapping world construction
+in a ``setup`` phase and the event loop in a ``run_loop`` phase so that
+top-level self-times partition the measured wall time.  The resulting
+:class:`ProfileReport` ranks every phase by *self* seconds (time spent in the
+phase itself, children excluded), which is the honest answer to "where do the
+Python cycles go?".
+
+Reading ``PROFILE_<preset>.json``
+---------------------------------
+* ``wall_s`` -- wall-clock seconds for setup + run (``time.perf_counter``).
+* ``phases`` -- one entry per phase, sorted by ``self_s`` descending, each
+  with ``count``, ``total_s`` (inclusive), ``self_s`` (exclusive) and
+  ``share`` (``self_s / wall_s``).
+* ``phase_coverage`` -- sum of all ``self_s`` over ``wall_s``.  Because
+  self-times partition spans and ``setup``/``run_loop`` bracket the whole
+  run, this should be >= 0.9; a lower value means untracked time (GC, import
+  churn) and the report cannot be trusted for ranking.
+* ``top_phases`` -- the three largest ``self_s`` phases, the headline answer.
+* ``counters`` / ``series`` -- the raw telemetry snapshot (event counts,
+  batch widths, fan-ins, queue depth) for digging past the phase level.
+* ``cprofile_top`` -- optional: the hottest functions by cumulative time from
+  :mod:`cProfile`, when the harness was invoked with ``cprofile=True``.
+
+Determinism: the profiled run draws the exact RNG stream of an unprofiled
+one (telemetry is passive), so the ``summary`` block matches ``pas-sim run``
+on the same spec bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.obs.telemetry import Telemetry, session
+from repro.obs.trace import TraceSink
+
+#: Schema tag stamped into every profile artifact.
+PROFILE_SCHEMA = "pas-sim-profile/1"
+
+
+def run_profile(
+    scenario,
+    scheduler,
+    *,
+    engine: str = "batched",
+    estimation: str = "columnar",
+    occupancy_sample_interval: Optional[float] = None,
+    trace_path: Optional[str] = None,
+    trace_sample_every: int = 1,
+    cprofile: bool = False,
+) -> Dict[str, Any]:
+    """Run ``scenario`` under telemetry and return the profile report dict.
+
+    ``scenario`` is a :class:`~repro.world.scenario.ScenarioConfig` and
+    ``scheduler`` a built :class:`~repro.core.scheduler_base.SleepScheduler`;
+    ``engine``/``estimation`` select the execution path exactly as
+    :func:`repro.world.builder.run_scenario` does.  With ``trace_path`` the
+    run also streams sampled span records to a JSONL trace (see
+    :mod:`repro.obs.trace`); with ``cprofile=True`` the whole run additionally
+    executes under :mod:`cProfile` and the report gains a ``cprofile_top``
+    function ranking.
+    """
+    from repro.world.builder import build_simulation  # deferred: obs stays leaf-free
+
+    sink = None
+    if trace_path is not None:
+        sink = TraceSink(trace_path, sample_every=trace_sample_every)
+    telemetry = Telemetry(sink=sink)
+
+    profiler = None
+    if cprofile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+
+    start = time.perf_counter()
+    try:
+        if profiler is not None:
+            profiler.enable()
+        with session(telemetry):
+            with telemetry.phase("setup"):
+                simulation = build_simulation(
+                    scenario,
+                    scheduler,
+                    occupancy_sample_interval=occupancy_sample_interval,
+                    engine=engine,
+                    estimation=estimation,
+                )
+            with telemetry.phase("run_loop"):
+                summary = simulation.run()
+        if profiler is not None:
+            profiler.disable()
+    finally:
+        wall_s = time.perf_counter() - start
+        if sink is not None:
+            sink.close()
+
+    report = _build_report(
+        telemetry,
+        wall_s,
+        scenario=scenario,
+        engine=engine,
+        estimation=estimation,
+        summary=summary,
+    )
+    if profiler is not None:
+        report["cprofile_top"] = _cprofile_top(profiler)
+    if sink is not None:
+        report["trace"] = {
+            "path": str(trace_path),
+            "sample_every": int(trace_sample_every),
+            "emitted": sink.emitted,
+            "dropped": sink.dropped,
+        }
+    return report
+
+
+def _build_report(
+    telemetry: Telemetry,
+    wall_s: float,
+    *,
+    scenario,
+    engine: str,
+    estimation: str,
+    summary,
+) -> Dict[str, Any]:
+    snap = telemetry.snapshot()
+    phases: List[Dict[str, Any]] = []
+    for name, stat in snap["phases"].items():
+        phases.append(
+            {
+                "phase": name,
+                "count": stat["count"],
+                "total_s": stat["total_s"],
+                "self_s": stat["self_s"],
+                "share": (stat["self_s"] / wall_s) if wall_s > 0 else 0.0,
+            }
+        )
+    phases.sort(key=lambda p: p["self_s"], reverse=True)
+    self_total = sum(p["self_s"] for p in phases)
+    return {
+        "schema": PROFILE_SCHEMA,
+        "scenario": {
+            "label": scenario.label,
+            "num_nodes": scenario.deployment.num_nodes,
+            "duration_s": scenario.duration,
+            "seed": scenario.seed,
+        },
+        "engine": engine,
+        "estimation": estimation,
+        "wall_s": wall_s,
+        "phase_coverage": (self_total / wall_s) if wall_s > 0 else 0.0,
+        "top_phases": [p["phase"] for p in phases[:3]],
+        "phases": phases,
+        "counters": snap["counters"],
+        "series": snap["series"],
+        "summary": {
+            "scheduler": summary.scheduler,
+            "events_processed": summary.extra.get("events_processed"),
+            "average_delay_s": summary.average_delay_s,
+            "average_energy_j": summary.average_energy_j,
+        },
+    }
+
+
+def _cprofile_top(profiler, limit: int = 15) -> List[Dict[str, Any]]:
+    """The hottest ``limit`` functions by cumulative time, as plain dicts."""
+    import pstats
+
+    stats = pstats.Stats(profiler)
+    rows: List[Dict[str, Any]] = []
+    entries = sorted(
+        stats.stats.items(), key=lambda item: item[1][3], reverse=True
+    )  # item[1] = (cc, nc, tottime, cumtime, callers)
+    for (filename, lineno, funcname), (cc, nc, tottime, cumtime, _) in entries[:limit]:
+        rows.append(
+            {
+                "function": f"{filename}:{lineno}({funcname})",
+                "calls": int(nc),
+                "tottime_s": float(tottime),
+                "cumtime_s": float(cumtime),
+            }
+        )
+    return rows
+
+
+def write_profile(report: Dict[str, Any], path: str) -> str:
+    """Write ``report`` as pretty-printed JSON; returns the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+def format_profile(report: Dict[str, Any], *, limit: int = 10) -> str:
+    """Human-readable phase ranking for terminal output."""
+    lines = [
+        f"profile: {report['scenario']['label']} "
+        f"({report['scenario']['num_nodes']} nodes, "
+        f"{report['scenario']['duration_s']:.0f} s sim, "
+        f"engine={report['engine']}, estimation={report['estimation']})",
+        f"wall time: {report['wall_s']:.3f} s   "
+        f"phase coverage: {report['phase_coverage'] * 100.0:.1f}%",
+        f"{'phase':<24} {'count':>9} {'total_s':>9} {'self_s':>9} {'share':>7}",
+    ]
+    for entry in report["phases"][:limit]:
+        lines.append(
+            f"{entry['phase']:<24} {entry['count']:>9} "
+            f"{entry['total_s']:>9.3f} {entry['self_s']:>9.3f} "
+            f"{entry['share'] * 100.0:>6.1f}%"
+        )
+    lines.append("top phases: " + ", ".join(report["top_phases"]))
+    if "cprofile_top" in report:
+        lines.append("hottest functions (cumulative):")
+        for row in report["cprofile_top"][:5]:
+            lines.append(
+                f"  {row['cumtime_s']:>8.3f} s  {row['calls']:>8} calls  "
+                f"{row['function']}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""Sampled structured trace sink: schema-versioned JSONL on disk.
+
+A :class:`TraceSink` receives telemetry records -- completed phase spans and
+explicit :meth:`~repro.obs.telemetry.Telemetry.trace` events -- and writes a
+*sample* of them as one JSON object per line.  Sampling is **counter-based**
+(every ``sample_every``-th record per key, always including the first), never
+random: the sink must stay deterministic and can never touch the simulation's
+RNG streams, which is part of the telemetry layer's bit-identity contract.
+
+Record schema (``v`` = :data:`TRACE_SCHEMA_VERSION`)
+----------------------------------------------------
+Every line is a JSON object with at least::
+
+    {"v": 1, "kind": "<record kind>", "seq": <per-key record index>}
+
+* ``kind="span"`` records a completed phase span and adds ``"phase"`` (the
+  phase name, e.g. ``bus_delivery``) and ``"dur_s"`` (wall-clock seconds).
+* any other ``kind`` is an explicit event; its extra keys are whatever the
+  caller passed to ``Telemetry.trace`` (JSON-compatible values only).
+
+``seq`` is the zero-based index of the record *within its sampling key*
+(``span:<phase>`` for spans, the kind for events) counting every occurrence,
+sampled or not -- so a reader can reconstruct how many records each sampled
+line stands for.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, TextIO, Union
+
+#: Bumped whenever the line schema above changes shape.
+TRACE_SCHEMA_VERSION = 1
+
+
+class TraceSink:
+    """Write sampled telemetry records as JSON lines.
+
+    Parameters
+    ----------
+    path:
+        JSONL file to (over)write.
+    sample_every:
+        Keep one record in ``sample_every`` per key (first occurrence always
+        kept).  ``1`` keeps everything.
+    max_records:
+        Optional hard cap on emitted lines; once reached, further records
+        are counted in ``dropped`` but not written (runaway-trace guard).
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        sample_every: int = 1,
+        max_records: Optional[int] = None,
+    ) -> None:
+        if sample_every < 1:
+            raise ValueError("sample_every must be at least 1")
+        if max_records is not None and max_records < 0:
+            raise ValueError("max_records must be non-negative")
+        self.path = Path(path)
+        self.sample_every = int(sample_every)
+        self.max_records = max_records
+        self.emitted = 0
+        self.dropped = 0
+        self._seen: Dict[str, int] = {}
+        self._fh: Optional[TextIO] = open(self.path, "w", encoding="utf-8")
+
+    # ---------------------------------------------------------------- record
+    def span(self, phase: str, dur_s: float) -> None:
+        """Record one completed phase span (sampled per phase name)."""
+        self._record("span:" + phase, {"kind": "span", "phase": phase, "dur_s": dur_s})
+
+    def event(self, kind: str, fields: Dict[str, Any]) -> None:
+        """Record one explicit trace event (sampled per kind)."""
+        record = dict(fields)
+        record["kind"] = kind
+        self._record(kind, record)
+
+    def _record(self, key: str, record: Dict[str, Any]) -> None:
+        seq = self._seen.get(key, 0)
+        self._seen[key] = seq + 1
+        if seq % self.sample_every != 0:
+            self.dropped += 1
+            return
+        if self._fh is None or (
+            self.max_records is not None and self.emitted >= self.max_records
+        ):
+            self.dropped += 1
+            return
+        record["v"] = TRACE_SCHEMA_VERSION
+        record["seq"] = seq
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self.emitted += 1
+
+    # ------------------------------------------------------------- lifecycle
+    def flush(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+
+    def close(self) -> None:
+        """Flush and close the file (idempotent)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceSink({str(self.path)!r}, sample_every={self.sample_every}, "
+            f"emitted={self.emitted}, dropped={self.dropped})"
+        )

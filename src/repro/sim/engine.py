@@ -21,7 +21,26 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.obs import telemetry as _telemetry
 from repro.sim.events import DEFAULT_PRIORITY, EventHandle, EventQueue
+
+
+def _event_kind(name: str) -> str:
+    """Coarse telemetry key for an event name.
+
+    Per-node names share one kind (``node42:arrival`` -> ``arrival``,
+    ``deliver->42`` -> ``deliver``); already-coarse names (``deliver-batch``,
+    ``coverage-recheck``) pass through unchanged.
+    """
+    if not name:
+        return "unnamed"
+    colon = name.rfind(":")
+    if colon >= 0:
+        return name[colon + 1 :] or "unnamed"
+    arrow = name.find("->")
+    if arrow >= 0:
+        return name[:arrow]
+    return name
 
 
 class SimulationError(RuntimeError):
@@ -169,37 +188,95 @@ class Simulator:
             )
         self._running = True
         self._stopped = False
-        processed_this_run = 0
+        # Telemetry is resolved once per run: the disabled path below is the
+        # original loop, byte for byte, so instrumentation costs nothing
+        # when no telemetry is active (the common case).
+        telemetry = _telemetry.active()
         try:
-            while self._queue:
-                next_time = self._queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    break
-                if max_events is not None and processed_this_run >= max_events:
-                    break
-                event = self._queue.pop()
-                self._now = event.time
-                try:
-                    event.callback()
-                except StopSimulation:
-                    self._stopped = True
-                    break
-                except Exception as exc:  # noqa: BLE001 - rewrap with context
-                    raise SimulationError(
-                        f"event '{event.name or event.callback!r}' failed at "
-                        f"t={event.time:.6f}: {exc}"
-                    ) from exc
-                self._events_processed += 1
-                processed_this_run += 1
-                for hook in self._trace_hooks:
-                    hook(self._now, event.name)
+            if telemetry is None:
+                self._run_events(until, max_events)
+            else:
+                self._run_events_traced(telemetry, until, max_events)
         finally:
             self._running = False
         if until is not None and not self._stopped and self._now < until:
             self._now = float(until)
         return self._now
+
+    def _run_events(self, until: Optional[float], max_events: Optional[int]) -> None:
+        """The uninstrumented event loop (telemetry disabled)."""
+        processed_this_run = 0
+        while self._queue:
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            if max_events is not None and processed_this_run >= max_events:
+                break
+            event = self._queue.pop()
+            self._now = event.time
+            try:
+                event.callback()
+            except StopSimulation:
+                self._stopped = True
+                break
+            except Exception as exc:  # noqa: BLE001 - rewrap with context
+                raise SimulationError(
+                    f"event '{event.name or event.callback!r}' failed at "
+                    f"t={event.time:.6f}: {exc}"
+                ) from exc
+            self._events_processed += 1
+            processed_this_run += 1
+            for hook in self._trace_hooks:
+                hook(self._now, event.name)
+
+    def _run_events_traced(
+        self,
+        telemetry,
+        until: Optional[float],
+        max_events: Optional[int],
+    ) -> None:
+        """The instrumented event loop: identical semantics plus telemetry.
+
+        Per event: an ``event_pop`` span around the queue pop, a per-kind
+        count and an ``event:<kind>`` span around the callback (nested
+        phases -- ``bus_delivery``, ``estimation_kernel``, ... -- subtract
+        from its self-time).  Queue depth is sampled every 256 events into
+        the ``queue_depth`` series.  None of this touches RNG streams or
+        event order, so seeded results stay bit-identical to the plain loop.
+        """
+        processed_this_run = 0
+        while self._queue:
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            if max_events is not None and processed_this_run >= max_events:
+                break
+            with telemetry.phase("event_pop"):
+                event = self._queue.pop()
+            self._now = event.time
+            kind = _event_kind(event.name)
+            telemetry.count("events." + kind)
+            try:
+                with telemetry.phase("event:" + kind):
+                    event.callback()
+            except StopSimulation:
+                self._stopped = True
+                break
+            except Exception as exc:  # noqa: BLE001 - rewrap with context
+                raise SimulationError(
+                    f"event '{event.name or event.callback!r}' failed at "
+                    f"t={event.time:.6f}: {exc}"
+                ) from exc
+            self._events_processed += 1
+            processed_this_run += 1
+            if processed_this_run & 255 == 0:
+                telemetry.observe("queue_depth", len(self._queue))
+            for hook in self._trace_hooks:
+                hook(self._now, event.name)
 
     def step(self) -> bool:
         """Process exactly one event.  Returns ``False`` if the queue is empty."""

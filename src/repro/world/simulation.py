@@ -39,6 +39,7 @@ from repro.network.medium import BroadcastMedium
 from repro.network.messages import Message
 from repro.network.topology import Topology
 from repro.node.sensing import PerfectSensing, SensingModel
+from repro.obs import telemetry as _telemetry
 from repro.node.sensor import SensorNode
 from repro.sim.engine import Simulator
 from repro.sim.events import EventHandle
@@ -356,35 +357,43 @@ class MonitoringSimulation:
         exactly the same random stream as the scalar loop (see
         ``SensingModel.sense_many``), keeping seeded runs bit-identical.
         """
-        now = self.sim.now
-        self.stimulus.advance(now)
-        if self._recheck_skippable and self.stimulus.monotone_coverage:
-            # Truth sensing + non-receding coverage: a covered node can never
-            # observe a departure, so the whole recheck is a no-op.
-            return
-        rows = self._covered_awake_rows()
-        if rows.size == 0:
-            return
-        ws = self.world_state
-        if self._exact_truth_sensing:
-            disk = self.stimulus.coverage_disk(now)
-            if disk is not None:
-                # Disk-shaped coverage: one spatial-index query bounded by the
-                # region prunes the membership test to nodes near/inside the
-                # boundary; same d2 <= r*r + 1e-12 test as covers_many.
-                cx, cy, radius = disk
-                inside = np.zeros(ws.num_nodes, dtype=bool)
-                if radius > 0.0:
-                    inside[ws.index().query_radius((cx, cy), radius)] = True
-                still_covered = inside[rows]
+        with _telemetry.phase("coverage_recheck"):
+            now = self.sim.now
+            self.stimulus.advance(now)
+            if self._recheck_skippable and self.stimulus.monotone_coverage:
+                # Truth sensing + non-receding coverage: a covered node can never
+                # observe a departure, so the whole recheck is a no-op.
+                return
+            rows = self._covered_awake_rows()
+            if rows.size == 0:
+                return
+            telemetry = _telemetry.active()
+            if telemetry is not None:
+                telemetry.count("recheck.invocations")
+                telemetry.observe("recheck.rows", int(rows.size))
+            ws = self.world_state
+            if self._exact_truth_sensing:
+                disk = self.stimulus.coverage_disk(now)
+                if disk is not None:
+                    # Disk-shaped coverage: one spatial-index query bounded by the
+                    # region prunes the membership test to nodes near/inside the
+                    # boundary; same d2 <= r*r + 1e-12 test as covers_many.
+                    cx, cy, radius = disk
+                    inside = np.zeros(ws.num_nodes, dtype=bool)
+                    if radius > 0.0:
+                        inside[ws.index().query_radius((cx, cy), radius)] = True
+                    still_covered = inside[rows]
+                else:
+                    still_covered = self.stimulus.covers_many(ws.positions[rows], now)
             else:
-                still_covered = self.stimulus.covers_many(ws.positions[rows], now)
-        else:
-            still_covered = self.sensing.sense_many(
-                self.stimulus, ws.positions[rows], now
-            )
-        for row in rows[~np.asarray(still_covered, dtype=bool)]:
-            self.controllers[int(ws.ids[row])].on_stimulus_departure()
+                still_covered = self.sensing.sense_many(
+                    self.stimulus, ws.positions[rows], now
+                )
+            departed = rows[~np.asarray(still_covered, dtype=bool)]
+            if telemetry is not None and departed.size:
+                telemetry.count("recheck.departures", int(departed.size))
+            for row in departed:
+                self.controllers[int(ws.ids[row])].on_stimulus_departure()
 
     def _recheck_covered_nodes_scalar(self) -> None:
         """Reference implementation of the recheck: per-node object scan.
@@ -404,31 +413,35 @@ class MonitoringSimulation:
                 controller.on_stimulus_departure()
 
     def _sample_occupancy(self) -> None:
-        ws = self.world_state
-        counts: Dict[str, int] = {}
-        if self._reported_rows.size:
-            counts.update(ws.count_codes(self._reported_rows))
-        if self._power_rows.size:
-            detected = ws.detected[self._power_rows]
-            active = ~detected & ws.awake[self._power_rows]
-            self._bump(counts, "covered", int(detected.sum()))
-            self._bump(counts, "active", int(active.sum()))
-            self._bump(counts, "safe", int(self._power_rows.size) - int(detected.sum()) - int(active.sum()))
-        if self._detect_rows.size:
-            covered = int(ws.detected[self._detect_rows].sum())
-            self._bump(counts, "covered", covered)
-            self._bump(counts, "active", int(self._detect_rows.size) - covered)
-        for row in self._scan_rows:
-            name = self.controllers[int(ws.ids[row])].state_name
-            counts[name] = counts.get(name, 0) + 1
-        self.metrics.record_occupancy(
-            OccupancySample(
-                time=self.sim.now,
-                counts=counts,
-                awake=int(ws.awake.sum()),
-                asleep=int(ws.asleep.sum()),
+        with _telemetry.phase("occupancy_sample"):
+            telemetry = _telemetry.active()
+            if telemetry is not None:
+                telemetry.count("occupancy.samples")
+            ws = self.world_state
+            counts: Dict[str, int] = {}
+            if self._reported_rows.size:
+                counts.update(ws.count_codes(self._reported_rows))
+            if self._power_rows.size:
+                detected = ws.detected[self._power_rows]
+                active = ~detected & ws.awake[self._power_rows]
+                self._bump(counts, "covered", int(detected.sum()))
+                self._bump(counts, "active", int(active.sum()))
+                self._bump(counts, "safe", int(self._power_rows.size) - int(detected.sum()) - int(active.sum()))
+            if self._detect_rows.size:
+                covered = int(ws.detected[self._detect_rows].sum())
+                self._bump(counts, "covered", covered)
+                self._bump(counts, "active", int(self._detect_rows.size) - covered)
+            for row in self._scan_rows:
+                name = self.controllers[int(ws.ids[row])].state_name
+                counts[name] = counts.get(name, 0) + 1
+            self.metrics.record_occupancy(
+                OccupancySample(
+                    time=self.sim.now,
+                    counts=counts,
+                    awake=int(ws.awake.sum()),
+                    asleep=int(ws.asleep.sum()),
+                )
             )
-        )
 
     @staticmethod
     def _bump(counts: Dict[str, int], name: str, by: int) -> None:

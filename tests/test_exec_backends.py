@@ -163,7 +163,7 @@ class TestCachingBackend:
         assert backend2.misses == 2
         assert [s.scheduler for s in results] == [s.scheduler.name for s in specs]
 
-    def test_corrupt_cache_entry_is_a_miss(self, tmp_path):
+    def test_corrupt_cache_entry_is_a_miss(self, tmp_path, caplog):
         specs = _small_specs(n_seeds=1)[:1]
         backend = CachingBackend(CountingBackend(), tmp_path)
         backend.run(specs)
@@ -172,8 +172,14 @@ class TestCachingBackend:
 
         inner = CountingBackend()
         backend2 = CachingBackend(inner, tmp_path)
-        with pytest.warns(RuntimeWarning, match="quarantined corrupt cache entry"):
+        import logging
+
+        with caplog.at_level(logging.WARNING, logger="repro.exec.backends"):
             results = backend2.run(specs)
+        assert any(
+            "quarantined corrupt cache entry" in record.message
+            for record in caplog.records
+        )
         assert inner.executed == 1
         assert results[0].scheduler == "PAS"
         # The corrupt entry was rewritten with a valid summary.
@@ -287,15 +293,21 @@ class TestCachingBackendCrashRecovery:
         assert inner.executed == n - k
         assert results == SerialBackend().run(specs)
 
-    def test_corrupt_entry_quarantined_counted_and_warned(self, tmp_path):
+    def test_corrupt_entry_quarantined_counted_and_warned(self, tmp_path, caplog):
         spec = _small_specs(n_seeds=1)[0]
         backend = CachingBackend(CountingBackend(), tmp_path / "cache")
         first = backend.run_one(spec)
         entry = tmp_path / "cache" / f"{spec.spec_hash()}.json"
         entry.write_text('{"scheduler": "PAS", "truncated mid-write')
 
-        with pytest.warns(RuntimeWarning, match="quarantined corrupt cache entry"):
+        import logging
+
+        with caplog.at_level(logging.WARNING, logger="repro.exec.backends"):
             second = backend.run_one(spec)
+        assert any(
+            "quarantined corrupt cache entry" in record.message
+            for record in caplog.records
+        )
         assert second == first  # re-executed, not served from the bad bytes
         assert backend.corrupt == 1
         assert backend.misses == 2  # the corrupt read counts as a miss

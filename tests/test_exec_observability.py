@@ -1,0 +1,171 @@
+"""Fleet/worker observability: stats files, busy heartbeats, progress line."""
+
+import io
+import json
+import logging
+import time
+from typing import List
+
+import pytest
+
+from repro.exec import (
+    FleetBackend,
+    RunSpec,
+    SchedulerSpec,
+    Worker,
+    WorkQueue,
+)
+from repro.exec.fleet import FleetStats, ProgressReporter
+from repro.experiments.runner import default_scenario
+
+_SIM_KWARGS = dict(num_nodes=6, area=25.0, duration=15.0)
+
+
+def _specs(n_seeds: int = 2, label: str = "obs") -> List[RunSpec]:
+    return [
+        RunSpec(
+            default_scenario(seed=seed, label=label, **_SIM_KWARGS),
+            SchedulerSpec("PAS"),
+        )
+        for seed in range(n_seeds)
+    ]
+
+
+# ----------------------------------------------------------- worker telemetry
+class TestWorkerStats:
+    def test_record_and_read_worker_stats(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        queue.record_worker_stats("w1", {"completed": 3, "busy_s": 1.5})
+        queue.record_worker_stats("w2", {"completed": 1, "busy_s": 0.25})
+        stats = queue.worker_stats()
+        assert set(stats) == {"w1", "w2"}
+        assert stats["w1"]["completed"] == 3
+        assert stats["w1"]["busy_s"] == 1.5
+        assert stats["w1"]["updated_at"] > 0
+
+    def test_record_overwrites_atomically(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        queue.record_worker_stats("w1", {"completed": 1})
+        queue.record_worker_stats("w1", {"completed": 2})
+        assert queue.worker_stats()["w1"]["completed"] == 2
+
+    def test_worker_publishes_stats_after_each_task(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        specs = _specs(2)
+        for spec in specs:
+            queue.enqueue(spec)
+        worker = Worker(queue, worker_id="obs-worker", poll_interval=0.01)
+        completed = worker.run()
+        assert completed == 2
+        stats = queue.worker_stats()["obs-worker"]
+        assert stats["completed"] == 2
+        assert stats["failed"] == 0
+        assert stats["busy_s"] > 0.0
+        assert stats["last_task_s"] > 0.0
+        assert worker.busy_s >= worker.last_task_s > 0.0
+
+    def test_heartbeat_carries_busy_seconds(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        queue.enqueue(_specs(1)[0])
+        lease = queue.claim("w1")
+        assert queue.heartbeat(lease, busy_s=2.5)
+        record = json.loads(queue.lease_path(lease.spec_hash).read_text())
+        assert record["busy_s"] == 2.5
+        # A plain heartbeat leaves the last busy_s in place.
+        assert queue.heartbeat(lease)
+        record = json.loads(queue.lease_path(lease.spec_hash).read_text())
+        assert record["busy_s"] == 2.5
+
+
+# ----------------------------------------------------------- structured logs
+class TestStructuredLogging:
+    def test_reclaim_logs_warning(self, tmp_path, caplog):
+        queue = WorkQueue(tmp_path)
+        queue.enqueue(_specs(1)[0])
+        lease = queue.claim("dead-worker")
+        assert lease is not None
+        with caplog.at_level(logging.WARNING, logger="repro.exec.queue"):
+            reclaimed = queue.reclaim_stale(lease_timeout=-1.0)
+        assert reclaimed == [lease.spec_hash]
+        assert any("reclaiming stale lease" in r.message for r in caplog.records)
+        assert any("dead-worker" in r.message for r in caplog.records)
+
+    def test_poison_logs_warning(self, tmp_path, caplog):
+        queue = WorkQueue(tmp_path, max_attempts=1)
+        spec = _specs(1)[0]
+        queue.enqueue(spec)
+        lease = queue.claim("w1")
+        with caplog.at_level(logging.WARNING, logger="repro.exec.queue"):
+            retried = queue.fail(lease, "boom")
+        assert retried is False
+        assert any("poisoned task" in r.message for r in caplog.records)
+
+
+# ------------------------------------------------------------ fleet stats
+class TestFleetStatsAggregation:
+    def test_run_fills_throughput_fields(self, tmp_path):
+        specs = _specs(3)
+        backend = FleetBackend(
+            workers=2,
+            queue_dir=tmp_path,
+            lease_timeout=10.0,
+            poll_interval=0.02,
+            progress=False,
+        )
+        results = backend.run(specs)
+        assert len(results) == len(specs)
+        stats = backend.stats
+        assert stats.elapsed_s > 0.0
+        delivered = stats.completed + stats.stragglers_inline
+        assert delivered == len(specs)
+        assert stats.tasks_per_second == pytest.approx(
+            delivered / stats.elapsed_s
+        )
+        # Worker busy seconds were aggregated from the workers/ records
+        # (only guaranteed when the fleet, not the straggler path, ran them).
+        if stats.completed:
+            assert stats.worker_busy_s > 0.0
+        as_dict = stats.as_dict()
+        for key in ("elapsed_s", "worker_busy_s", "tasks_per_second"):
+            assert key in as_dict
+
+
+# ------------------------------------------------------------ progress line
+class TestProgressReporter:
+    def _stats_and_queue(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        stats = FleetStats(enqueued=4, completed=1)
+        return stats, queue
+
+    def test_writes_single_rewritten_line(self, tmp_path):
+        stats, queue = self._stats_and_queue(tmp_path)
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream, min_interval=0.0)
+        reporter(stats, queue)
+        out = stream.getvalue()
+        assert "\n" not in out
+        assert "1/4 done" in out
+        assert "tasks/s" in out
+        reporter.finish()
+        assert stream.getvalue().endswith("\r\x1b[2K")
+
+    def test_throttles_below_min_interval(self, tmp_path):
+        stats, queue = self._stats_and_queue(tmp_path)
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream, min_interval=60.0)
+        reporter(stats, queue)
+        first = stream.getvalue()
+        reporter(stats, queue)  # within the interval: no second write
+        assert stream.getvalue() == first
+
+    def test_finish_without_output_is_silent(self, tmp_path):
+        stream = io.StringIO()
+        ProgressReporter(stream, min_interval=0.0).finish()
+        assert stream.getvalue() == ""
+
+    def test_fleet_backend_defaults(self):
+        # Explicit on_poll wins; progress=False silences; non-TTY default off.
+        assert FleetBackend(workers=0, on_poll=lambda s, q: None)._make_reporter() is None
+        assert FleetBackend(workers=0, progress=False)._make_reporter() is None
+        forced = FleetBackend(workers=0, progress=True)._make_reporter()
+        assert isinstance(forced, ProgressReporter)

@@ -1,0 +1,93 @@
+"""Telemetry must be strictly passive: bit-identical summaries on vs. off.
+
+The whole value of the observability layer rests on one invariant: enabling
+telemetry (counters, phase timers, trace sink) never perturbs a seeded run.
+These tests run identical scenarios with telemetry disabled and enabled --
+across the engine/estimation matrix -- and require the ``RunSummary`` JSON to
+match byte for byte.
+"""
+
+import pytest
+
+from repro.core.pas import PASScheduler
+from repro.experiments.runner import default_scenario
+from repro.obs import telemetry as obs
+from repro.obs.trace import TraceSink
+from repro.world.builder import run_scenario
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_telemetry():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def _run(scenario, *, engine, estimation, telemetry=None):
+    scheduler = PASScheduler()
+    if telemetry is None:
+        summary = run_scenario(
+            scenario,
+            scheduler,
+            engine=engine,
+            estimation=estimation,
+            occupancy_sample_interval=25.0,
+        )
+    else:
+        with obs.session(telemetry):
+            summary = run_scenario(
+                scenario,
+                scheduler,
+                engine=engine,
+                estimation=estimation,
+                occupancy_sample_interval=25.0,
+            )
+    return summary.to_json()
+
+
+#: Engine/estimation combos exercising every instrumented code path: the
+#: scalar medium, the batched bus with per-object estimation, and the batched
+#: bus with the columnar kernels.
+COMBOS = [("scalar", "scalar"), ("batched", "scalar"), ("batched", "columnar")]
+
+
+@pytest.mark.parametrize("engine,estimation", COMBOS, ids=lambda v: str(v))
+def test_summary_bit_identical_with_telemetry(engine, estimation):
+    # A plume stimulus keeps the coverage-recheck phase busy (departures),
+    # which is one of the instrumented periodic paths.
+    scenario = default_scenario(seed=42, stimulus_kind="plume", duration=60.0)
+    baseline = _run(scenario, engine=engine, estimation=estimation)
+    telemetry = obs.Telemetry()
+    instrumented = _run(
+        scenario, engine=engine, estimation=estimation, telemetry=telemetry
+    )
+    assert instrumented == baseline
+    # The instrumented run actually instrumented something.
+    assert telemetry.phases
+    assert any(name.startswith("events.") for name in telemetry.counters)
+
+
+def test_summary_bit_identical_with_trace_sink(tmp_path):
+    """The sampled JSONL sink is as passive as in-memory telemetry."""
+    scenario = default_scenario(seed=7, stimulus_kind="plume", duration=40.0)
+    baseline = _run(scenario, engine="batched", estimation="columnar")
+    sink = TraceSink(tmp_path / "trace.jsonl", sample_every=10)
+    telemetry = obs.Telemetry(sink=sink)
+    instrumented = _run(
+        scenario, engine="batched", estimation="columnar", telemetry=telemetry
+    )
+    sink.close()
+    assert instrumented == baseline
+    assert sink.emitted > 0
+
+
+def test_back_to_back_telemetry_runs_identical():
+    """Telemetry state never leaks between runs (fresh registry each time)."""
+    scenario = default_scenario(seed=3)
+    first = _run(
+        scenario, engine="batched", estimation="columnar", telemetry=obs.Telemetry()
+    )
+    second = _run(
+        scenario, engine="batched", estimation="columnar", telemetry=obs.Telemetry()
+    )
+    assert first == second

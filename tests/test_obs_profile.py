@@ -1,0 +1,136 @@
+"""The profile harness and the ``pas-sim profile`` CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.pas import PASScheduler
+from repro.experiments.runner import default_scenario
+from repro.obs import PROFILE_SCHEMA, telemetry as obs
+from repro.obs.profile import format_profile, run_profile, write_profile
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_telemetry():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def _profile(**kwargs):
+    scenario = default_scenario(seed=5, duration=40.0)
+    return run_profile(scenario, PASScheduler(), **kwargs)
+
+
+def test_report_shape_and_coverage():
+    report = _profile(engine="batched", estimation="columnar")
+    assert report["schema"] == PROFILE_SCHEMA
+    assert report["engine"] == "batched"
+    assert report["estimation"] == "columnar"
+    assert report["wall_s"] > 0.0
+    # Self-times partition the bracketing setup/run_loop phases, so the
+    # breakdown must explain at least 90% of the measured wall time.
+    assert report["phase_coverage"] >= 0.9
+    assert len(report["top_phases"]) == 3
+    phase_names = [entry["phase"] for entry in report["phases"]]
+    assert "setup" in phase_names
+    assert "run_loop" in phase_names
+    # Ranked by self seconds, descending.
+    selves = [entry["self_s"] for entry in report["phases"]]
+    assert selves == sorted(selves, reverse=True)
+    for entry in report["phases"]:
+        assert entry["share"] == pytest.approx(entry["self_s"] / report["wall_s"])
+    json.dumps(report)  # artifact must serialise as-is
+
+
+def test_report_summary_matches_unprofiled_run():
+    from repro.world.builder import run_scenario
+
+    scenario = default_scenario(seed=5, duration=40.0)
+    plain = run_scenario(
+        scenario, PASScheduler(), engine="batched", estimation="columnar"
+    )
+    report = _profile(engine="batched", estimation="columnar")
+    assert report["summary"]["average_delay_s"] == plain.average_delay_s
+    assert report["summary"]["average_energy_j"] == plain.average_energy_j
+    assert report["summary"]["events_processed"] == plain.extra["events_processed"]
+
+
+def test_profile_leaves_telemetry_disabled():
+    _profile()
+    assert obs.active() is None
+
+
+def test_cprofile_option_adds_function_ranking():
+    report = _profile(cprofile=True)
+    assert report["cprofile_top"]
+    top = report["cprofile_top"][0]
+    assert set(top) == {"function", "calls", "tottime_s", "cumtime_s"}
+    assert top["cumtime_s"] >= report["cprofile_top"][-1]["cumtime_s"]
+
+
+def test_trace_option_streams_jsonl(tmp_path):
+    trace = tmp_path / "trace.jsonl"
+    report = _profile(trace_path=str(trace), trace_sample_every=50)
+    assert report["trace"]["emitted"] > 0
+    lines = [json.loads(line) for line in trace.read_text().splitlines()]
+    assert all(line["v"] == 1 for line in lines)
+
+
+def test_write_and_format(tmp_path):
+    report = _profile()
+    path = write_profile(report, str(tmp_path / "PROFILE_test.json"))
+    assert json.loads(open(path).read())["schema"] == PROFILE_SCHEMA
+    text = format_profile(report)
+    assert "phase coverage" in text
+    assert "top phases:" in text
+
+
+def test_cli_profile_smoke(tmp_path, capsys):
+    output = tmp_path / "PROFILE_large_plume.json"
+    code = main(
+        [
+            "profile",
+            "--preset",
+            "large_plume",
+            "--nodes",
+            "120",
+            "--duration",
+            "10",
+            "--output",
+            str(output),
+        ]
+    )
+    assert code == 0
+    report = json.loads(output.read_text())
+    assert report["schema"] == PROFILE_SCHEMA
+    assert report["scenario"]["num_nodes"] == 120
+    assert report["phase_coverage"] >= 0.9
+    assert len(report["top_phases"]) == 3
+    out = capsys.readouterr().out
+    assert "top phases:" in out
+    assert str(output) in out
+
+
+def test_cli_profile_nodes_override_keeps_density():
+    from repro.world.presets import get_preset
+
+    import math
+
+    preset = get_preset("large_plume")
+    density = preset.deployment.num_nodes / (
+        preset.deployment.width * preset.deployment.height
+    )
+    # Reproduce the CLI's rescale and check the density is preserved.
+    import dataclasses
+
+    nodes = 120
+    scale = math.sqrt(nodes / preset.deployment.num_nodes)
+    scaled = dataclasses.replace(
+        preset.deployment,
+        num_nodes=nodes,
+        width=preset.deployment.width * scale,
+        height=preset.deployment.height * scale,
+    )
+    assert nodes / (scaled.width * scaled.height) == pytest.approx(density)

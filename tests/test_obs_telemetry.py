@@ -1,0 +1,206 @@
+"""Unit tests for the telemetry core: counters, phase timers, trace sink."""
+
+import json
+
+import pytest
+
+from repro.obs import telemetry as obs
+from repro.obs.trace import TRACE_SCHEMA_VERSION, TraceSink
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_telemetry():
+    """Every test starts and ends with telemetry disabled."""
+    obs.disable()
+    yield
+    obs.disable()
+
+
+# ------------------------------------------------------------------- counters
+def test_count_accumulates():
+    tel = obs.Telemetry()
+    tel.count("events.arrival")
+    tel.count("events.arrival")
+    tel.count("events.arrival", by=3)
+    assert tel.counters["events.arrival"] == 5
+
+
+def test_observe_tracks_count_sum_mean_max():
+    tel = obs.Telemetry()
+    for value in (2.0, 8.0, 4.0):
+        tel.observe("bus.fanout", value)
+    series = tel.snapshot()["series"]["bus.fanout"]
+    assert series["count"] == 3
+    assert series["total"] == pytest.approx(14.0)
+    assert series["mean"] == pytest.approx(14.0 / 3.0)
+    assert series["max"] == pytest.approx(8.0)
+
+
+# --------------------------------------------------------------------- phases
+def test_phase_records_count_and_duration():
+    tel = obs.Telemetry()
+    with tel.phase("outer"):
+        pass
+    with tel.phase("outer"):
+        pass
+    stat = tel.phases["outer"]
+    assert stat.count == 2
+    assert stat.total_s >= 0.0
+    assert stat.self_s == pytest.approx(stat.total_s)
+
+
+def test_nested_phase_self_time_excludes_children():
+    tel = obs.Telemetry()
+    with tel.phase("outer"):
+        with tel.phase("inner"):
+            pass
+        with tel.phase("inner"):
+            pass
+    outer = tel.phases["outer"]
+    inner = tel.phases["inner"]
+    assert inner.count == 2
+    # Outer's inclusive time contains both inner spans; its self time is the
+    # inclusive time minus them -- so self-times partition the wall time.
+    assert outer.total_s >= inner.total_s
+    assert outer.self_s == pytest.approx(outer.total_s - inner.total_s)
+    assert inner.self_s == pytest.approx(inner.total_s)
+
+
+def test_deeper_nesting_partitions_exactly():
+    tel = obs.Telemetry()
+    with tel.phase("a"):
+        with tel.phase("b"):
+            with tel.phase("c"):
+                pass
+    total_self = sum(stat.self_s for stat in tel.phases.values())
+    assert total_self == pytest.approx(tel.phases["a"].total_s, abs=1e-6)
+
+
+# ------------------------------------------------------------------- registry
+def test_active_is_none_by_default():
+    assert obs.active() is None
+
+
+def test_enable_disable_roundtrip():
+    tel = obs.enable()
+    assert obs.active() is tel
+    assert obs.disable() is tel
+    assert obs.active() is None
+
+
+def test_session_restores_previous():
+    outer = obs.enable()
+    with obs.session() as inner:
+        assert obs.active() is inner
+        assert inner is not outer
+    assert obs.active() is outer
+
+
+def test_session_restores_on_exception():
+    with pytest.raises(RuntimeError):
+        with obs.session():
+            raise RuntimeError("boom")
+    assert obs.active() is None
+
+
+def test_module_phase_is_noop_when_disabled():
+    span = obs.phase("anything")
+    with span:
+        pass
+    assert span is obs.phase("something-else")  # the shared null span
+
+
+def test_module_phase_records_when_enabled():
+    with obs.session() as tel:
+        with obs.phase("tick"):
+            pass
+    assert tel.phases["tick"].count == 1
+
+
+# ------------------------------------------------------------------- snapshot
+def test_snapshot_schema_and_sorting():
+    tel = obs.Telemetry()
+    tel.count("b")
+    tel.count("a")
+    with tel.phase("p"):
+        pass
+    snap = tel.snapshot()
+    assert snap["schema"] == obs.SNAPSHOT_SCHEMA
+    assert list(snap["counters"]) == ["a", "b"]
+    assert snap["phases"]["p"]["count"] == 1
+    json.dumps(snap)  # must be JSON-serialisable as-is
+
+
+# ----------------------------------------------------------------- trace sink
+def test_trace_sink_writes_schema_versioned_jsonl(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with TraceSink(path) as sink:
+        sink.span("bus_delivery", 0.25)
+        sink.event("reclaim", {"spec_hash": "abc"})
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert len(lines) == 2
+    span, event = lines
+    assert span == {
+        "v": TRACE_SCHEMA_VERSION,
+        "kind": "span",
+        "phase": "bus_delivery",
+        "dur_s": 0.25,
+        "seq": 0,
+    }
+    assert event["kind"] == "reclaim"
+    assert event["spec_hash"] == "abc"
+    assert event["v"] == TRACE_SCHEMA_VERSION
+
+
+def test_trace_sink_samples_per_key_deterministically(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with TraceSink(path, sample_every=3) as sink:
+        for _ in range(7):
+            sink.span("tick", 0.0)
+        sink.span("other", 0.0)
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    ticks = [line["seq"] for line in lines if line["phase"] == "tick"]
+    assert ticks == [0, 3, 6]  # every 3rd, first always kept
+    assert [line["seq"] for line in lines if line["phase"] == "other"] == [0]
+    assert sink.emitted == 4
+    assert sink.dropped == 4
+
+
+def test_trace_sink_max_records_cap(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with TraceSink(path, max_records=2) as sink:
+        for _ in range(5):
+            sink.span("tick", 0.0)
+    assert sink.emitted == 2
+    assert sink.dropped == 3
+    assert len(path.read_text().splitlines()) == 2
+
+
+def test_trace_sink_close_is_idempotent(tmp_path):
+    sink = TraceSink(tmp_path / "trace.jsonl")
+    sink.close()
+    sink.close()
+    sink.span("after-close", 1.0)  # counted as dropped, not an error
+    assert sink.dropped == 1
+
+
+def test_trace_sink_rejects_bad_parameters(tmp_path):
+    with pytest.raises(ValueError):
+        TraceSink(tmp_path / "t.jsonl", sample_every=0)
+    with pytest.raises(ValueError):
+        TraceSink(tmp_path / "t.jsonl", max_records=-1)
+
+
+def test_telemetry_spans_flow_into_sink(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    sink = TraceSink(path)
+    tel = obs.Telemetry(sink=sink)
+    with tel.phase("estimation_kernel"):
+        pass
+    tel.trace("custom", batch=17)
+    sink.close()
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert lines[0]["kind"] == "span"
+    assert lines[0]["phase"] == "estimation_kernel"
+    assert lines[0]["dur_s"] >= 0.0
+    assert lines[1] == {"v": 1, "kind": "custom", "batch": 17, "seq": 0}
